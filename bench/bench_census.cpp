@@ -1,0 +1,76 @@
+// Census experiment reproduction (Section 5.2, text): SAMPLING +
+// FURTHEST on the Census dataset.
+//
+// The paper reports: clustering aggregation on Census (32561 rows, 8
+// categorical attributes) via SAMPLING with a 4000-row sample and the
+// FURTHEST algorithm yields ~54 clusters and a classification error of
+// 24% against the income class; LIMBO (k=2, phi=1.0) scores 27.6%; ROCK
+// does not scale to this size. This harness runs the same pipeline on
+// the Census-like synthetic table (55 planted social groups).
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace clustagg;
+  using namespace clustagg::bench;
+
+  std::size_t rows = 32561;
+  if (argc > 1) rows = static_cast<std::size_t>(std::atoll(argv[1]));
+
+  Result<SyntheticCategoricalData> data = MakeCensusLike(/*seed=*/42, rows);
+  CLUSTAGG_CHECK_OK(data.status());
+  const CategoricalTable& table = data->table;
+  std::printf("Census-like dataset: %zu rows, %zu categorical "
+              "attributes, %zu income classes\n", table.num_rows(),
+              table.num_attributes(), table.num_classes());
+
+  Result<ClusteringSet> input = AttributeClusterings(table);
+  CLUSTAGG_CHECK_OK(input.status());
+  const std::vector<std::int32_t>& classes = table.class_labels();
+
+  TablePrinter out({"method", "k", "E_C(%)", "time(s)"});
+
+  {
+    AggregatorOptions options;
+    options.algorithm = AggregationAlgorithm::kFurthest;
+    options.sampling_size = 4000;  // the paper's sample size
+    options.sampling.seed = 5;
+    Stopwatch watch;
+    Result<AggregationResult> result = Aggregate(*input, options);
+    CLUSTAGG_CHECK_OK(result.status());
+    Result<double> error =
+        ClassificationError(result->clustering, classes);
+    CLUSTAGG_CHECK_OK(error.status());
+    out.AddRow({"SAMPLING(4000)+FURTHEST",
+                std::to_string(result->clustering.NumClusters()),
+                TablePrinter::Fixed(100.0 * *error, 1),
+                TablePrinter::Fixed(watch.ElapsedSeconds(), 1)});
+  }
+  {
+    LimboOptions limbo;
+    limbo.k = 2;
+    limbo.phi = 1.0;
+    limbo.max_summaries = 400;
+    Stopwatch watch;
+    Result<Clustering> c = LimboCluster(table, limbo);
+    CLUSTAGG_CHECK_OK(c.status());
+    Result<double> error = ClassificationError(*c, classes);
+    CLUSTAGG_CHECK_OK(error.status());
+    out.AddRow({"LIMBO (phi=1.0,k=2)", std::to_string(c->NumClusters()),
+                TablePrinter::Fixed(100.0 * *error, 1),
+                TablePrinter::Fixed(watch.ElapsedSeconds(), 1)});
+  }
+
+  std::ostringstream os;
+  out.Print(os);
+  std::fputs(os.str().c_str(), stdout);
+  std::printf(
+      "\nReading: the paper reports ~54 clusters and E_C = 24%% for "
+      "SAMPLING+FURTHEST vs 27.6%% for LIMBO at k=2; ROCK does not "
+      "scale to this dataset (and is deliberately absent here too). The "
+      "cluster count should land in the 40-70 band (paper: 50-60) and "
+      "beat LIMBO's error.\n");
+  return 0;
+}

@@ -1,0 +1,144 @@
+#ifndef CLUSTAGG_BENCH_BENCH_COMMON_H_
+#define CLUSTAGG_BENCH_BENCH_COMMON_H_
+
+// Shared helpers for the table/figure reproduction harnesses.
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "clustagg/clustagg.h"
+#include "common/check.h"
+#include "common/stopwatch.h"
+#include "common/table_printer.h"
+
+namespace clustagg::bench {
+
+/// Ground-truth labels of a Dataset2D as a Clustering, giving each noise
+/// point (-1) its own singleton id so that pair metrics treat noise as
+/// unclustered.
+inline Clustering TruthClustering(const Dataset2D& data) {
+  std::vector<Clustering::Label> labels(data.size());
+  Clustering::Label next_noise = 1000000;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    labels[i] = data.ground_truth[i] >= 0 ? data.ground_truth[i]
+                                          : next_noise++;
+  }
+  return Clustering(std::move(labels));
+}
+
+/// k-means sweep k = 2..10 (the paper's Figure 4 / 5 input recipe).
+inline ClusteringSet KMeansSweep(const std::vector<Point2D>& points,
+                                 std::size_t k_min = 2,
+                                 std::size_t k_max = 10,
+                                 std::size_t max_iterations = 100) {
+  std::vector<Clustering> inputs;
+  for (std::size_t k = k_min; k <= k_max; ++k) {
+    KMeansOptions options;
+    options.k = k;
+    options.seed = 1000 + k;
+    options.max_iterations = max_iterations;
+    Result<KMeansResult> r = KMeans(points, options);
+    CLUSTAGG_CHECK_OK(r.status());
+    inputs.push_back(std::move(r->clustering));
+  }
+  Result<ClusteringSet> set = ClusteringSet::Create(std::move(inputs));
+  CLUSTAGG_CHECK_OK(set.status());
+  return *std::move(set);
+}
+
+/// One row of a Table 2/3-style comparison.
+struct TableRow {
+  std::string name;
+  std::size_t k = 0;
+  double classification_error = 0.0;
+  double disagreement_error = 0.0;
+  double seconds = 0.0;
+};
+
+inline void PrintComparisonTable(const std::string& title,
+                                 const std::vector<TableRow>& rows,
+                                 double lower_bound) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  TablePrinter table({"algorithm", "k", "E_C(%)", "E_D", "time(s)"});
+  table.AddRow({"Lower bound", "", "",
+                TablePrinter::WithCommas(
+                    static_cast<long long>(lower_bound)),
+                ""});
+  table.AddSeparator();
+  for (const TableRow& row : rows) {
+    table.AddRow({row.name, std::to_string(row.k),
+                  TablePrinter::Fixed(100.0 * row.classification_error, 1),
+                  TablePrinter::WithCommas(
+                      static_cast<long long>(row.disagreement_error)),
+                  TablePrinter::Fixed(row.seconds, 2)});
+  }
+  std::ostringstream os;
+  table.Print(os);
+  std::fputs(os.str().c_str(), stdout);
+}
+
+/// Scores one candidate clustering against the class labels and the
+/// aggregation objective.
+inline TableRow ScoreRow(const std::string& name, const Clustering& c,
+                         const ClusteringSet& input,
+                         const std::vector<std::int32_t>& class_labels,
+                         double seconds) {
+  TableRow row;
+  row.name = name;
+  row.k = c.NumClusters();
+  Result<double> error = ClassificationError(c, class_labels);
+  CLUSTAGG_CHECK_OK(error.status());
+  row.classification_error = *error;
+  Result<double> ed = input.TotalDisagreements(c);
+  CLUSTAGG_CHECK_OK(ed.status());
+  row.disagreement_error = *ed;
+  row.seconds = seconds;
+  return row;
+}
+
+/// Runs the paper's five aggregation algorithms (BALLS at the practical
+/// alpha = 0.4, as in Tables 2 and 3) and returns one scored row each.
+inline std::vector<TableRow> RunAggregationRows(
+    const ClusteringSet& input,
+    const std::vector<std::int32_t>& class_labels) {
+  std::vector<TableRow> rows;
+  const struct {
+    AggregationAlgorithm algorithm;
+    const char* name;
+  } configs[] = {
+      {AggregationAlgorithm::kBestClustering, "BESTCLUSTERING"},
+      {AggregationAlgorithm::kAgglomerative, "AGGLOMERATIVE"},
+      {AggregationAlgorithm::kFurthest, "FURTHEST"},
+      {AggregationAlgorithm::kBalls, "BALLS (a=0.4)"},
+      {AggregationAlgorithm::kLocalSearch, "LOCALSEARCH"},
+  };
+  for (const auto& config : configs) {
+    AggregatorOptions options;
+    options.algorithm = config.algorithm;
+    options.balls.alpha = 0.4;
+    Stopwatch watch;
+    Result<AggregationResult> result = Aggregate(input, options);
+    CLUSTAGG_CHECK_OK(result.status());
+    rows.push_back(ScoreRow(config.name, result->clustering, input,
+                            class_labels, watch.ElapsedSeconds()));
+  }
+  return rows;
+}
+
+/// The class-label clustering itself (the tables' first row: E_C = 0 by
+/// definition, E_D shows what the labels cost under the aggregation
+/// objective).
+inline Clustering ClassLabelClustering(
+    const std::vector<std::int32_t>& class_labels) {
+  std::vector<Clustering::Label> labels(class_labels.size());
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    labels[i] = class_labels[i];
+  }
+  return Clustering(std::move(labels));
+}
+
+}  // namespace clustagg::bench
+
+#endif  // CLUSTAGG_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,105 @@
+// Figure 3 reproduction: clustering aggregation improves robustness.
+//
+// The paper runs five vanilla algorithms (single / complete / average
+// linkage, Ward, k-means; all with k = 7) on a 2D dataset whose features
+// defeat each of them, then aggregates the five clusterings with
+// AGGLOMERATIVE. The figure is visual; this harness reports the same
+// story numerically: agreement with the intended 7-group structure
+// (adjusted Rand index and classification error) per input and for the
+// aggregate. Expected shape: every input is imperfect in its own way,
+// and the aggregate matches or beats the best of them.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace clustagg;
+  using namespace clustagg::bench;
+
+  std::printf("Figure 3: improving clustering robustness\n");
+  std::printf("(five imperfect vanilla clusterings -> AGGLOMERATIVE "
+              "aggregate)\n");
+
+  TablePrinter table(
+      {"clustering", "k", "ARI", "E_C(%)", "E_D vs inputs"});
+
+  // Average over several dataset seeds so the story is not an artifact
+  // of one draw.
+  const std::vector<uint64_t> seeds = {7, 19, 41};
+  for (uint64_t seed : seeds) {
+    Result<Dataset2D> data = GenerateSevenClusters(seed);
+    CLUSTAGG_CHECK_OK(data.status());
+    const Clustering truth = TruthClustering(*data);
+    std::vector<std::int32_t> truth_classes(data->size());
+    for (std::size_t i = 0; i < data->size(); ++i) {
+      truth_classes[i] = data->ground_truth[i];
+    }
+
+    std::vector<Clustering> inputs;
+    std::vector<std::string> names;
+    for (Linkage linkage : {Linkage::kSingle, Linkage::kComplete,
+                            Linkage::kAverage, Linkage::kWard}) {
+      HierarchicalOptions options;
+      options.linkage = linkage;
+      options.k = 7;
+      Result<Clustering> c = HierarchicalCluster(data->points, options);
+      CLUSTAGG_CHECK_OK(c.status());
+      inputs.push_back(std::move(*c));
+      names.emplace_back(LinkageName(linkage));
+    }
+    {
+      KMeansOptions options;
+      options.k = 7;
+      options.seed = seed;
+      Result<KMeansResult> r = KMeans(data->points, options);
+      CLUSTAGG_CHECK_OK(r.status());
+      inputs.push_back(std::move(r->clustering));
+      names.emplace_back("k-means");
+    }
+
+    Result<ClusteringSet> set = ClusteringSet::Create(inputs);
+    CLUSTAGG_CHECK_OK(set.status());
+
+    auto add_row = [&](const std::string& name, const Clustering& c) {
+      Result<double> ari = AdjustedRandIndex(c, truth);
+      CLUSTAGG_CHECK_OK(ari.status());
+      Result<double> error = ClassificationError(c, truth_classes);
+      CLUSTAGG_CHECK_OK(error.status());
+      Result<double> ed = set->TotalDisagreements(c);
+      CLUSTAGG_CHECK_OK(ed.status());
+      table.AddRow({name, std::to_string(c.NumClusters()),
+                    TablePrinter::Fixed(*ari, 3),
+                    TablePrinter::Fixed(100.0 * *error, 1),
+                    TablePrinter::WithCommas(
+                        static_cast<long long>(*ed))});
+    };
+
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      std::string label = "seed";
+      label += std::to_string(seed);
+      label += " ";
+      label += names[i];
+      add_row(label, inputs[i]);
+    }
+    AggregatorOptions options;
+    options.algorithm = AggregationAlgorithm::kAgglomerative;
+    options.refine_with_local_search = true;
+    Result<AggregationResult> aggregated = Aggregate(*set, options);
+    CLUSTAGG_CHECK_OK(aggregated.status());
+    std::string label = "seed";
+    label += std::to_string(seed);
+    label += " AGGREGATED";
+    add_row(label, aggregated->clustering);
+    table.AddSeparator();
+  }
+
+  std::ostringstream os;
+  table.Print(os);
+  std::fputs(os.str().c_str(), stdout);
+  std::printf(
+      "\nReading: each input algorithm misses a different feature of the "
+      "data; the AGGREGATED row should have ARI >= the best input and "
+      "the lowest E_D (the objective it optimizes).\n");
+  return 0;
+}

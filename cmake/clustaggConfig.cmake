@@ -1,0 +1,3 @@
+# CMake package config for clustagg: find_package(clustagg) provides the
+# imported target clustagg::clustagg.
+include("${CMAKE_CURRENT_LIST_DIR}/clustaggTargets.cmake")

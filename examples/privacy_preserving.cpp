@@ -1,0 +1,61 @@
+// Privacy-preserving clustering (Section 2): a table is vertically
+// partitioned across sites that must not reveal attribute values to each
+// other. Each site clusters its own attributes locally and publishes
+// only the resulting partition of row ids; central aggregation combines
+// the partitions. No data values ever leave a site.
+
+#include <cstdio>
+
+#include "clustagg/clustagg.h"
+#include "common/check.h"
+
+int main() {
+  using namespace clustagg;
+
+  // A Mushrooms-like table whose 22 attributes are held by 4 sites.
+  Result<SyntheticCategoricalData> data = MakeMushroomsLike(/*seed=*/5);
+  CLUSTAGG_CHECK_OK(data.status());
+  const CategoricalTable& table = data->table;
+  const std::size_t num_sites = 4;
+  std::printf("Table: %zu rows x %zu attributes, split across %zu sites\n\n",
+              table.num_rows(), table.num_attributes(), num_sites);
+
+  // Each site: aggregate its own attribute-induced clusterings locally
+  // (any local clustering algorithm would do) and publish one partition.
+  std::vector<Clustering> site_partitions;
+  for (std::size_t site = 0; site < num_sites; ++site) {
+    std::vector<Clustering> local;
+    for (std::size_t a = site; a < table.num_attributes(); a += num_sites) {
+      Result<Clustering> c = AttributeClustering(table, a);
+      CLUSTAGG_CHECK_OK(c.status());
+      local.push_back(std::move(*c));
+    }
+    Result<ClusteringSet> local_set = ClusteringSet::Create(std::move(local));
+    CLUSTAGG_CHECK_OK(local_set.status());
+    AggregatorOptions options;
+    options.algorithm = AggregationAlgorithm::kAgglomerative;
+    Result<AggregationResult> result = Aggregate(*local_set, options);
+    CLUSTAGG_CHECK_OK(result.status());
+    std::printf("site %zu publishes a partition with %zu clusters\n", site,
+                result->clustering.NumClusters());
+    site_partitions.push_back(std::move(result->clustering));
+  }
+
+  // Central aggregation sees only the partitions.
+  Result<ClusteringSet> published =
+      ClusteringSet::Create(std::move(site_partitions));
+  CLUSTAGG_CHECK_OK(published.status());
+  AggregatorOptions options;
+  options.algorithm = AggregationAlgorithm::kAgglomerative;
+  Result<AggregationResult> global = Aggregate(*published, options);
+  CLUSTAGG_CHECK_OK(global.status());
+
+  Result<double> error =
+      ClassificationError(global->clustering, table.class_labels());
+  CLUSTAGG_CHECK_OK(error.status());
+  std::printf("\nglobal aggregate: %zu clusters, classification error "
+              "%.1f%%\n", global->clustering.NumClusters(), 100.0 * *error);
+  std::printf("(for reference, no site ever shared an attribute value — "
+              "only row partitions)\n");
+  return 0;
+}

@@ -1,0 +1,35 @@
+#include "categorical/attribute_clusterings.h"
+
+#include <string>
+#include <vector>
+
+namespace clustagg {
+
+Result<Clustering> AttributeClustering(const CategoricalTable& table,
+                                       std::size_t attribute) {
+  if (attribute >= table.num_attributes()) {
+    return Status::InvalidArgument("attribute index " +
+                                   std::to_string(attribute) +
+                                   " out of range");
+  }
+  std::vector<Clustering::Label> labels(table.num_rows());
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    const std::int32_t v = table.value(r, attribute);
+    labels[r] = v == CategoricalTable::kMissingValue ? Clustering::kMissing
+                                                     : v;
+  }
+  return Clustering(std::move(labels));
+}
+
+Result<ClusteringSet> AttributeClusterings(const CategoricalTable& table) {
+  std::vector<Clustering> clusterings;
+  clusterings.reserve(table.num_attributes());
+  for (std::size_t a = 0; a < table.num_attributes(); ++a) {
+    Result<Clustering> c = AttributeClustering(table, a);
+    if (!c.ok()) return c.status();
+    clusterings.push_back(std::move(*c));
+  }
+  return ClusteringSet::Create(std::move(clusterings));
+}
+
+}  // namespace clustagg

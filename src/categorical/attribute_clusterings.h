@@ -1,0 +1,22 @@
+#ifndef CLUSTAGG_CATEGORICAL_ATTRIBUTE_CLUSTERINGS_H_
+#define CLUSTAGG_CATEGORICAL_ATTRIBUTE_CLUSTERINGS_H_
+
+#include "categorical/table.h"
+#include "common/status.h"
+#include "core/clustering_set.h"
+
+namespace clustagg {
+
+/// Views each categorical attribute as a clustering of the rows — one
+/// cluster per attribute value, rows with a missing value unlabeled —
+/// which is exactly the paper's recipe for clustering categorical data
+/// (Section 2): aggregate the m attribute-induced clusterings.
+Result<ClusteringSet> AttributeClusterings(const CategoricalTable& table);
+
+/// The single attribute-induced clustering for one attribute.
+Result<Clustering> AttributeClustering(const CategoricalTable& table,
+                                       std::size_t attribute);
+
+}  // namespace clustagg
+
+#endif  // CLUSTAGG_CATEGORICAL_ATTRIBUTE_CLUSTERINGS_H_

@@ -1,0 +1,248 @@
+#include "categorical/limbo.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace clustagg {
+
+namespace {
+
+/// Sparse distribution over attribute-value items, sorted by item id.
+using Sparse = std::vector<std::pair<std::uint32_t, double>>;
+
+/// A weighted cluster summary (LIMBO's DCF): total tuple mass and the
+/// conditional distribution over attribute-value items.
+struct Summary {
+  double weight = 0.0;
+  Sparse dist;
+};
+
+/// Information loss of merging two summaries:
+///   delta_I = (w1 + w2) * [pi1 KL(p1 || pbar) + pi2 KL(p2 || pbar)],
+/// the weighted Jensen-Shannon divergence, computed in one merged sweep
+/// over the two supports.
+double MergeCost(const Summary& a, const Summary& b) {
+  const double w = a.weight + b.weight;
+  const double pi1 = a.weight / w;
+  const double pi2 = b.weight / w;
+  double js = 0.0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.dist.size() || j < b.dist.size()) {
+    double p1 = 0.0;
+    double p2 = 0.0;
+    if (j >= b.dist.size() ||
+        (i < a.dist.size() && a.dist[i].first < b.dist[j].first)) {
+      p1 = a.dist[i++].second;
+    } else if (i >= a.dist.size() || b.dist[j].first < a.dist[i].first) {
+      p2 = b.dist[j++].second;
+    } else {
+      p1 = a.dist[i++].second;
+      p2 = b.dist[j++].second;
+    }
+    const double pbar = pi1 * p1 + pi2 * p2;
+    if (p1 > 0.0) js += pi1 * p1 * std::log2(p1 / pbar);
+    if (p2 > 0.0) js += pi2 * p2 * std::log2(p2 / pbar);
+  }
+  return w * std::max(js, 0.0);
+}
+
+/// Merges b into a (weighted mixture of the distributions).
+void MergeInto(Summary* a, const Summary& b) {
+  const double w = a->weight + b.weight;
+  const double pi1 = a->weight / w;
+  const double pi2 = b.weight / w;
+  Sparse merged;
+  merged.reserve(a->dist.size() + b.dist.size());
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a->dist.size() || j < b.dist.size()) {
+    if (j >= b.dist.size() ||
+        (i < a->dist.size() && a->dist[i].first < b.dist[j].first)) {
+      merged.emplace_back(a->dist[i].first, pi1 * a->dist[i].second);
+      ++i;
+    } else if (i >= a->dist.size() || b.dist[j].first < a->dist[i].first) {
+      merged.emplace_back(b.dist[j].first, pi2 * b.dist[j].second);
+      ++j;
+    } else {
+      merged.emplace_back(a->dist[i].first,
+                          pi1 * a->dist[i].second + pi2 * b.dist[j].second);
+      ++i;
+      ++j;
+    }
+  }
+  a->weight = w;
+  a->dist = std::move(merged);
+}
+
+/// The tuple's singleton summary: uniform over its present
+/// attribute-value items, mass 1/n.
+Summary TupleSummary(const CategoricalTable& table,
+                     const std::vector<std::uint32_t>& item_offsets,
+                     std::size_t row, double mass) {
+  Summary s;
+  s.weight = mass;
+  std::size_t present = 0;
+  for (std::size_t a = 0; a < table.num_attributes(); ++a) {
+    if (table.has_value(row, a)) ++present;
+  }
+  if (present == 0) return s;
+  const double p = 1.0 / static_cast<double>(present);
+  s.dist.reserve(present);
+  for (std::size_t a = 0; a < table.num_attributes(); ++a) {
+    if (!table.has_value(row, a)) continue;
+    s.dist.emplace_back(
+        item_offsets[a] + static_cast<std::uint32_t>(table.value(row, a)),
+        p);
+  }
+  return s;
+}
+
+}  // namespace
+
+Result<Clustering> LimboCluster(const CategoricalTable& table,
+                                const LimboOptions& options) {
+  if (options.k < 1) {
+    return Status::InvalidArgument("k must be >= 1");
+  }
+  if (options.phi < 0.0) {
+    return Status::InvalidArgument("phi must be >= 0");
+  }
+  if (options.max_summaries < options.k) {
+    return Status::InvalidArgument("max_summaries must be >= k");
+  }
+  const std::size_t n = table.num_rows();
+  const std::size_t m = table.num_attributes();
+  const double mass = 1.0 / static_cast<double>(n);
+
+  std::vector<std::uint32_t> item_offsets(m, 0);
+  for (std::size_t a = 1; a < m; ++a) {
+    item_offsets[a] = item_offsets[a - 1] +
+                      static_cast<std::uint32_t>(
+                          table.attribute_cardinality(a - 1));
+  }
+
+  Rng rng(options.seed);
+
+  // Merge-cost scale for the phi threshold: average cost of merging two
+  // random tuples.
+  double scale = 0.0;
+  if (options.phi > 0.0 && n >= 2) {
+    const std::size_t trials = std::min<std::size_t>(200, n * (n - 1) / 2);
+    for (std::size_t t = 0; t < trials; ++t) {
+      const std::size_t u = rng.NextBounded(n);
+      std::size_t v = rng.NextBounded(n);
+      if (v == u) v = (v + 1) % n;
+      scale += MergeCost(TupleSummary(table, item_offsets, u, mass),
+                         TupleSummary(table, item_offsets, v, mass));
+    }
+    scale /= static_cast<double>(trials);
+  }
+  const double threshold = options.phi * scale;
+
+  // Phase 1: space-bounded summarization. Tuples are folded into the
+  // closest summary unless they are informative enough (cost above the
+  // phi threshold) and space remains for a new summary.
+  std::vector<Summary> summaries;
+  summaries.reserve(std::min(options.max_summaries, n));
+  for (std::size_t row = 0; row < n; ++row) {
+    Summary ts = TupleSummary(table, item_offsets, row, mass);
+    double best_cost = std::numeric_limits<double>::infinity();
+    std::size_t best = summaries.size();
+    for (std::size_t s = 0; s < summaries.size(); ++s) {
+      const double c = MergeCost(summaries[s], ts);
+      if (c < best_cost) {
+        best_cost = c;
+        best = s;
+      }
+    }
+    const bool open_new = summaries.size() < options.max_summaries &&
+                          (summaries.empty() || best_cost > threshold);
+    if (open_new) {
+      summaries.push_back(std::move(ts));
+    } else {
+      MergeInto(&summaries[best], ts);
+    }
+  }
+
+  // Phase 2: agglomerative information bottleneck on the summaries, via
+  // a lazy min-heap of merge costs.
+  const std::size_t s0 = summaries.size();
+  std::vector<std::uint32_t> version(s0, 0);
+  std::vector<bool> alive(s0, true);
+  std::size_t active = s0;
+
+  struct HeapEntry {
+    double cost;
+    std::uint32_t a, b;
+    std::uint32_t version_a, version_b;
+    bool operator<(const HeapEntry& other) const {
+      return cost > other.cost;  // min-heap
+    }
+  };
+  std::priority_queue<HeapEntry> heap;
+  auto push_costs_of = [&](std::size_t a) {
+    for (std::size_t b = 0; b < s0; ++b) {
+      if (b == a || !alive[b]) continue;
+      heap.push({MergeCost(summaries[a], summaries[b]),
+                 static_cast<std::uint32_t>(std::min(a, b)),
+                 static_cast<std::uint32_t>(std::max(a, b)),
+                 version[std::min(a, b)], version[std::max(a, b)]});
+    }
+  };
+  for (std::size_t a = 0; a < s0; ++a) {
+    for (std::size_t b = a + 1; b < s0; ++b) {
+      heap.push({MergeCost(summaries[a], summaries[b]),
+                 static_cast<std::uint32_t>(a), static_cast<std::uint32_t>(b),
+                 version[a], version[b]});
+    }
+  }
+  while (active > options.k && !heap.empty()) {
+    const HeapEntry top = heap.top();
+    heap.pop();
+    const std::size_t a = top.a;
+    const std::size_t b = top.b;
+    if (!alive[a] || !alive[b] || version[a] != top.version_a ||
+        version[b] != top.version_b) {
+      continue;
+    }
+    MergeInto(&summaries[a], summaries[b]);
+    alive[b] = false;
+    ++version[a];
+    ++version[b];
+    --active;
+    if (active > options.k) push_costs_of(a);
+  }
+
+  // Phase 3: assign every tuple to the surviving cluster with the least
+  // information loss.
+  std::vector<std::size_t> cluster_reps;
+  for (std::size_t s = 0; s < s0; ++s) {
+    if (alive[s]) cluster_reps.push_back(s);
+  }
+  std::vector<Clustering::Label> labels(n);
+  for (std::size_t row = 0; row < n; ++row) {
+    const Summary ts = TupleSummary(table, item_offsets, row, mass);
+    double best_cost = std::numeric_limits<double>::infinity();
+    std::size_t best = 0;
+    for (std::size_t c = 0; c < cluster_reps.size(); ++c) {
+      const double cost = MergeCost(summaries[cluster_reps[c]], ts);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = c;
+      }
+    }
+    labels[row] = static_cast<Clustering::Label>(best);
+  }
+  return Clustering(std::move(labels)).Normalized();
+}
+
+}  // namespace clustagg

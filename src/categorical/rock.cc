@@ -1,0 +1,227 @@
+#include "categorical/rock.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace clustagg {
+
+namespace {
+
+/// Greedy goodness-based merging on an explicit subset of rows. Returns
+/// labels (one per subset row) with at most k clusters among the rows
+/// that have links; link-less rows stay singletons.
+struct RockCore {
+  const CategoricalTable& table;
+  const std::vector<std::size_t>& rows;
+  double theta;
+  double f;  // (1 - theta) / (1 + theta)
+
+  // Per active cluster: member rows (subset indices), link counts to
+  // other clusters, and a version stamp for lazy heap invalidation.
+  std::vector<std::vector<std::uint32_t>> members;
+  std::vector<std::unordered_map<std::uint32_t, double>> links;
+  std::vector<std::uint32_t> version;
+  std::size_t active = 0;
+
+  std::vector<std::vector<std::uint32_t>> neighbors;
+
+  explicit RockCore(const CategoricalTable& t,
+                    const std::vector<std::size_t>& r, double th)
+      : table(t), rows(r), theta(th), f((1.0 - th) / (1.0 + th)) {}
+
+  void BuildNeighbors() {
+    const std::size_t ns = rows.size();
+    neighbors.assign(ns, {});
+    for (std::size_t i = 0; i < ns; ++i) {
+      for (std::size_t j = i + 1; j < ns; ++j) {
+        if (JaccardSimilarity(table, rows[i], rows[j]) >= theta) {
+          neighbors[i].push_back(static_cast<std::uint32_t>(j));
+          neighbors[j].push_back(static_cast<std::uint32_t>(i));
+        }
+      }
+    }
+  }
+
+  Status BuildLinks() {
+    const std::size_t ns = rows.size();
+    // Cost guard: link counting enumerates all neighbor pairs.
+    std::size_t work = 0;
+    for (const auto& nb : neighbors) work += nb.size() * nb.size();
+    if (work > std::size_t{4} * 1000 * 1000 * 1000) {
+      return Status::ResourceExhausted(
+          "ROCK link counting would enumerate " + std::to_string(work) +
+          " neighbor pairs; use RockOptions::sample_size");
+    }
+
+    members.assign(ns, {});
+    links.assign(ns, {});
+    version.assign(ns, 0);
+    active = ns;
+    for (std::size_t i = 0; i < ns; ++i) {
+      members[i] = {static_cast<std::uint32_t>(i)};
+    }
+    // links(u, v) = number of common neighbors of u and v: every row i
+    // contributes one link to each pair of its neighbors.
+    for (std::size_t i = 0; i < ns; ++i) {
+      const auto& nb = neighbors[i];
+      for (std::size_t a = 0; a < nb.size(); ++a) {
+        for (std::size_t b = a + 1; b < nb.size(); ++b) {
+          links[nb[a]][nb[b]] += 1.0;
+          links[nb[b]][nb[a]] += 1.0;
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  double Goodness(std::size_t a, std::size_t b, double link_count) const {
+    const double na = static_cast<double>(members[a].size());
+    const double nb = static_cast<double>(members[b].size());
+    const double e = 1.0 + 2.0 * f;
+    const double denom = std::pow(na + nb, e) - std::pow(na, e) -
+                         std::pow(nb, e);
+    return link_count / denom;
+  }
+
+  /// Merges clusters until k remain or no linked pair is left.
+  void MergeTo(std::size_t k) {
+    struct HeapEntry {
+      double goodness;
+      std::uint32_t a, b;
+      std::uint32_t version_a, version_b;
+      bool operator<(const HeapEntry& other) const {
+        return goodness < other.goodness;
+      }
+    };
+    std::priority_queue<HeapEntry> heap;
+    auto push_pairs_of = [&](std::size_t a) {
+      for (const auto& [b, l] : links[a]) {
+        if (members[b].empty()) continue;
+        heap.push({Goodness(a, b, l), static_cast<std::uint32_t>(a), b,
+                   version[a], version[b]});
+      }
+    };
+    for (std::size_t i = 0; i < links.size(); ++i) {
+      for (const auto& [j, l] : links[i]) {
+        if (i < j) {
+          heap.push({Goodness(i, j, l), static_cast<std::uint32_t>(i), j,
+                     version[i], version[j]});
+        }
+      }
+    }
+
+    while (active > k && !heap.empty()) {
+      const HeapEntry top = heap.top();
+      heap.pop();
+      const std::size_t a = top.a;
+      const std::size_t b = top.b;
+      if (version[a] != top.version_a || version[b] != top.version_b) {
+        continue;  // stale
+      }
+      CLUSTAGG_CHECK(!members[a].empty() && !members[b].empty());
+      // Merge b into a.
+      members[a].insert(members[a].end(), members[b].begin(),
+                        members[b].end());
+      members[b].clear();
+      ++version[a];
+      ++version[b];
+      links[a].erase(static_cast<std::uint32_t>(b));
+      for (const auto& [c, l] : links[b]) {
+        if (c == a || members[c].empty()) continue;
+        links[a][c] += l;
+        links[c][static_cast<std::uint32_t>(a)] += l;
+        links[c].erase(static_cast<std::uint32_t>(b));
+      }
+      links[b].clear();
+      --active;
+      push_pairs_of(a);
+    }
+  }
+
+  /// Labels for the subset rows, normalized.
+  Clustering ToClustering() const {
+    std::vector<Clustering::Label> labels(rows.size(), Clustering::kMissing);
+    Clustering::Label next = 0;
+    for (const auto& cluster : members) {
+      if (cluster.empty()) continue;
+      for (std::uint32_t i : cluster) labels[i] = next;
+      ++next;
+    }
+    return Clustering(std::move(labels));
+  }
+};
+
+}  // namespace
+
+Result<Clustering> RockCluster(const CategoricalTable& table,
+                               const RockOptions& options) {
+  if (options.theta < 0.0 || options.theta > 1.0) {
+    return Status::InvalidArgument("theta must lie in [0, 1]");
+  }
+  if (options.k < 1) {
+    return Status::InvalidArgument("k must be >= 1");
+  }
+  const std::size_t n = table.num_rows();
+
+  std::vector<std::size_t> cluster_rows(n);
+  for (std::size_t i = 0; i < n; ++i) cluster_rows[i] = i;
+  const bool sampled = options.sample_size > 0 && options.sample_size < n;
+  if (sampled) {
+    Rng rng(options.seed);
+    cluster_rows = rng.SampleWithoutReplacement(n, options.sample_size);
+    std::sort(cluster_rows.begin(), cluster_rows.end());
+  }
+
+  RockCore core(table, cluster_rows, options.theta);
+  core.BuildNeighbors();
+  if (Status s = core.BuildLinks(); !s.ok()) return s;
+  core.MergeTo(options.k);
+  const Clustering sample_clustering = core.ToClustering();
+
+  if (!sampled) return sample_clustering.Normalized();
+
+  // Labeling phase (as in the original ROCK paper): each remaining row
+  // goes to the cluster with the most threshold-neighbors, normalized by
+  // the cluster's expected neighbor count (|C| + 1)^f.
+  const auto clusters = sample_clustering.Clusters();
+  std::vector<Clustering::Label> labels(n, Clustering::kMissing);
+  for (std::size_t c = 0; c < clusters.size(); ++c) {
+    for (std::size_t i : clusters[c]) {
+      labels[cluster_rows[i]] = static_cast<Clustering::Label>(c);
+    }
+  }
+  Clustering::Label next = static_cast<Clustering::Label>(clusters.size());
+  const double f = (1.0 - options.theta) / (1.0 + options.theta);
+  for (std::size_t r = 0; r < n; ++r) {
+    if (labels[r] != Clustering::kMissing) continue;
+    double best_score = 0.0;
+    Clustering::Label best = Clustering::kMissing;
+    for (std::size_t c = 0; c < clusters.size(); ++c) {
+      std::size_t in_neighbors = 0;
+      for (std::size_t i : clusters[c]) {
+        if (JaccardSimilarity(table, r, cluster_rows[i]) >= options.theta) {
+          ++in_neighbors;
+        }
+      }
+      const double score =
+          static_cast<double>(in_neighbors) /
+          std::pow(static_cast<double>(clusters[c].size()) + 1.0, f);
+      if (score > best_score) {
+        best_score = score;
+        best = static_cast<Clustering::Label>(c);
+      }
+    }
+    labels[r] = best != Clustering::kMissing ? best : next++;
+  }
+  return Clustering(std::move(labels)).Normalized();
+}
+
+}  // namespace clustagg

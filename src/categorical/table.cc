@@ -1,0 +1,94 @@
+#include "categorical/table.h"
+
+#include <algorithm>
+
+namespace clustagg {
+
+Result<CategoricalTable> CategoricalTable::Create(
+    std::vector<std::vector<std::int32_t>> rows,
+    std::vector<std::int32_t> class_labels,
+    std::vector<std::string> attribute_names,
+    std::vector<std::string> class_names) {
+  CategoricalTable table;
+  if (rows.empty()) {
+    return Status::InvalidArgument("table must have at least one row");
+  }
+  const std::size_t m = rows.front().size();
+  if (m == 0) {
+    return Status::InvalidArgument("table must have at least one attribute");
+  }
+  std::vector<std::size_t> cardinalities(m, 0);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    if (rows[r].size() != m) {
+      return Status::InvalidArgument(
+          "row " + std::to_string(r) + " has " +
+          std::to_string(rows[r].size()) + " values, expected " +
+          std::to_string(m));
+    }
+    for (std::size_t a = 0; a < m; ++a) {
+      const std::int32_t v = rows[r][a];
+      if (v < 0 && v != kMissingValue) {
+        return Status::InvalidArgument(
+            "negative value code in row " + std::to_string(r) +
+            ", attribute " + std::to_string(a));
+      }
+      if (v >= 0) {
+        cardinalities[a] = std::max(cardinalities[a],
+                                    static_cast<std::size_t>(v) + 1);
+      }
+    }
+  }
+  if (!class_labels.empty()) {
+    if (class_labels.size() != rows.size()) {
+      return Status::InvalidArgument(
+          "class_labels has " + std::to_string(class_labels.size()) +
+          " entries, expected " + std::to_string(rows.size()));
+    }
+    for (std::int32_t c : class_labels) {
+      if (c < 0) {
+        return Status::InvalidArgument("class labels must be >= 0");
+      }
+      table.num_classes_ = std::max(table.num_classes_,
+                                    static_cast<std::size_t>(c) + 1);
+    }
+  }
+  if (!attribute_names.empty() && attribute_names.size() != m) {
+    return Status::InvalidArgument("attribute_names size mismatch");
+  }
+  table.rows_ = std::move(rows);
+  table.class_labels_ = std::move(class_labels);
+  table.attribute_names_ = std::move(attribute_names);
+  table.class_names_ = std::move(class_names);
+  table.cardinalities_ = std::move(cardinalities);
+  table.num_attributes_ = m;
+  return table;
+}
+
+std::size_t CategoricalTable::CountMissing() const {
+  std::size_t count = 0;
+  for (const auto& row : rows_) {
+    for (std::int32_t v : row) {
+      if (v == kMissingValue) ++count;
+    }
+  }
+  return count;
+}
+
+double JaccardSimilarity(const CategoricalTable& table, std::size_t row_a,
+                         std::size_t row_b) {
+  std::size_t common = 0;
+  std::size_t present_a = 0;
+  std::size_t present_b = 0;
+  for (std::size_t a = 0; a < table.num_attributes(); ++a) {
+    const bool ha = table.has_value(row_a, a);
+    const bool hb = table.has_value(row_b, a);
+    if (ha) ++present_a;
+    if (hb) ++present_b;
+    if (ha && hb && table.value(row_a, a) == table.value(row_b, a)) ++common;
+  }
+  const std::size_t uni = present_a + present_b - common;
+  if (uni == 0) return 0.0;
+  return static_cast<double>(common) / static_cast<double>(uni);
+}
+
+}  // namespace clustagg

@@ -1,0 +1,84 @@
+#ifndef CLUSTAGG_CATEGORICAL_TABLE_H_
+#define CLUSTAGG_CATEGORICAL_TABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace clustagg {
+
+/// A relational table of categorical attributes — the input of the
+/// categorical-clustering application (Section 2). Values are dense
+/// integer codes per attribute; `kMissingValue` marks missing entries
+/// (the paper's Votes and Mushrooms datasets have 288 and 2480 of them).
+/// An optional class-label column supports the classification-error
+/// evaluation of Section 5.2 (it is never shown to the clustering
+/// algorithms).
+class CategoricalTable {
+ public:
+  static constexpr std::int32_t kMissingValue = -1;
+
+  CategoricalTable() = default;
+
+  /// Validates shape: every row has the same number of attributes, codes
+  /// are >= 0 or kMissingValue, and class_labels (when provided) has one
+  /// entry per row with codes >= 0.
+  static Result<CategoricalTable> Create(
+      std::vector<std::vector<std::int32_t>> rows,
+      std::vector<std::int32_t> class_labels = {},
+      std::vector<std::string> attribute_names = {},
+      std::vector<std::string> class_names = {});
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_attributes() const { return num_attributes_; }
+
+  std::int32_t value(std::size_t row, std::size_t attribute) const {
+    return rows_[row][attribute];
+  }
+  bool has_value(std::size_t row, std::size_t attribute) const {
+    return rows_[row][attribute] != kMissingValue;
+  }
+
+  /// Number of distinct codes observed in the attribute (max code + 1).
+  std::size_t attribute_cardinality(std::size_t attribute) const {
+    return cardinalities_[attribute];
+  }
+
+  /// Total number of missing cells.
+  std::size_t CountMissing() const;
+
+  bool has_class_labels() const { return !class_labels_.empty(); }
+  const std::vector<std::int32_t>& class_labels() const {
+    return class_labels_;
+  }
+  /// Number of distinct class labels (max label + 1); 0 without labels.
+  std::size_t num_classes() const { return num_classes_; }
+
+  const std::vector<std::string>& attribute_names() const {
+    return attribute_names_;
+  }
+  const std::vector<std::string>& class_names() const { return class_names_; }
+
+ private:
+  std::vector<std::vector<std::int32_t>> rows_;
+  std::vector<std::int32_t> class_labels_;
+  std::vector<std::string> attribute_names_;
+  std::vector<std::string> class_names_;
+  std::vector<std::size_t> cardinalities_;
+  std::size_t num_attributes_ = 0;
+  std::size_t num_classes_ = 0;
+};
+
+/// Jaccard similarity of two rows over their attribute-value items
+/// {(attribute, value)}: |common| / |union|, skipping missing cells.
+/// Returns 0 when both rows are entirely missing. Used by ROCK and
+/// available for general similarity analysis.
+double JaccardSimilarity(const CategoricalTable& table, std::size_t row_a,
+                         std::size_t row_b);
+
+}  // namespace clustagg
+
+#endif  // CLUSTAGG_CATEGORICAL_TABLE_H_

@@ -1,0 +1,31 @@
+#ifndef CLUSTAGG_COMMON_CHECK_H_
+#define CLUSTAGG_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Internal invariant checks. These guard library bugs, not user input;
+// user input is validated with Status returns. CHECK is active in all
+// build types: the algorithms here are cheap relative to the O(n^2)
+// distance work, so the safety is worth it.
+
+#define CLUSTAGG_CHECK(condition)                                         \
+  do {                                                                    \
+    if (!(condition)) {                                                   \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,       \
+                   __LINE__, #condition);                                 \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#define CLUSTAGG_CHECK_OK(status_expr)                                    \
+  do {                                                                    \
+    const ::clustagg::Status _clustagg_check_status = (status_expr);      \
+    if (!_clustagg_check_status.ok()) {                                   \
+      std::fprintf(stderr, "CHECK_OK failed at %s:%d: %s\n", __FILE__,    \
+                   __LINE__, _clustagg_check_status.ToString().c_str());  \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#endif  // CLUSTAGG_COMMON_CHECK_H_

@@ -1,0 +1,129 @@
+#ifndef CLUSTAGG_COMMON_STATUS_H_
+#define CLUSTAGG_COMMON_STATUS_H_
+
+#include <cstdlib>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace clustagg {
+
+/// Error category for a failed operation.
+///
+/// The library does not throw exceptions across its public API; fallible
+/// operations return `Status` (or `Result<T>`). Infallible internal
+/// invariants use the CHECK macros from `common/check.h` instead.
+enum class StatusCode {
+  kOk = 0,
+  /// A caller-supplied argument is malformed (wrong size, out of range,
+  /// inconsistent with other arguments).
+  kInvalidArgument,
+  /// The operation is valid but cannot run against the current state
+  /// (e.g., asking for the best of zero input clusterings).
+  kFailedPrecondition,
+  /// A resource limit was exceeded (e.g., exact solver beyond its
+  /// tractable instance size).
+  kResourceExhausted,
+  /// An internal invariant was violated; indicates a library bug.
+  kInternal,
+};
+
+/// Returns a stable human-readable name ("OK", "InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Lightweight success-or-error value, modeled after the Status idiom used
+/// by production storage engines. Cheap to copy in the OK case.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// Factory helpers, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  static Status ResourceExhausted(std::string message) {
+    return Status(StatusCode::kResourceExhausted, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// A value of type T or the Status explaining why it could not be produced.
+///
+/// Accessing `value()` on an error result aborts the process (by design:
+/// the caller must check `ok()` first), mirroring absl::StatusOr semantics
+/// without the dependency.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or from an error status keeps call
+  /// sites terse (`return Status::InvalidArgument(...)` / `return value`).
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status)                            // NOLINT(runtime/explicit)
+      : payload_(std::move(status)) {
+    if (std::get<Status>(payload_).ok()) {
+      // An OK status carries no value; this is a programming error.
+      std::abort();
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// Returns OK when a value is present.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(payload_);
+  }
+
+  const T& value() const& {
+    if (!ok()) std::abort();
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    if (!ok()) std::abort();
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    if (!ok()) std::abort();
+    return std::get<T>(std::move(payload_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+}  // namespace clustagg
+
+#endif  // CLUSTAGG_COMMON_STATUS_H_

@@ -1,0 +1,45 @@
+#ifndef CLUSTAGG_COMMON_TABLE_PRINTER_H_
+#define CLUSTAGG_COMMON_TABLE_PRINTER_H_
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace clustagg {
+
+/// Plain-text table formatter used by the benchmark harnesses so that
+/// every reproduced paper table prints in a uniform, diffable layout.
+///
+/// Usage:
+///   TablePrinter t({"algorithm", "k", "E_C(%)", "E_D"});
+///   t.AddRow({"AGGLOMERATIVE", "2", "14.7", "30408"});
+///   t.Print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a data row; must have as many cells as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Appends a horizontal separator line at this position.
+  void AddSeparator();
+
+  /// Renders the table with column-aligned cells.
+  void Print(std::ostream& os) const;
+
+  /// Formats a double with `digits` decimal places.
+  static std::string Fixed(double value, int digits);
+
+  /// Formats a count with thousands separators (e.g., "13,537").
+  static std::string WithCommas(long long value);
+
+ private:
+  std::vector<std::string> header_;
+  // A row with no cells encodes a separator.
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace clustagg
+
+#endif  // CLUSTAGG_COMMON_TABLE_PRINTER_H_

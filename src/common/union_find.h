@@ -1,0 +1,59 @@
+#ifndef CLUSTAGG_COMMON_UNION_FIND_H_
+#define CLUSTAGG_COMMON_UNION_FIND_H_
+
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+namespace clustagg {
+
+/// Disjoint-set forest with path halving and union by size.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+
+  std::size_t Find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Merges the sets containing a and b; returns false if already joined.
+  bool Union(std::size_t a, std::size_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return false;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+    return true;
+  }
+
+  /// Size of the set containing x.
+  std::size_t SetSize(std::size_t x) { return size_[Find(x)]; }
+
+  /// Labels elements by their set, 0..k-1 in order of first appearance.
+  std::vector<std::int32_t> ComponentLabels() {
+    std::vector<std::int32_t> labels(parent_.size(), -1);
+    std::int32_t next = 0;
+    std::vector<std::int32_t> root_label(parent_.size(), -1);
+    for (std::size_t v = 0; v < parent_.size(); ++v) {
+      const std::size_t r = Find(v);
+      if (root_label[r] < 0) root_label[r] = next++;
+      labels[v] = root_label[r];
+    }
+    return labels;
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> size_;
+};
+
+}  // namespace clustagg
+
+#endif  // CLUSTAGG_COMMON_UNION_FIND_H_

@@ -1,0 +1,35 @@
+#include "core/agglomerative.h"
+
+#include <utility>
+
+namespace clustagg {
+
+Result<Clustering> AgglomerativeClusterer::Run(
+    const CorrelationInstance& instance) const {
+  const std::size_t n = instance.size();
+  if (n == 0) return Clustering();
+
+  // Widen the packed float matrix to double for the Lance-Williams
+  // updates (average-linkage accumulates weighted means).
+  SymmetricMatrix<double> working(n);
+  {
+    const auto& packed = instance.matrix().packed();
+    auto& out = working.packed();
+    for (std::size_t i = 0; i < packed.size(); ++i) {
+      out[i] = static_cast<double>(packed[i]);
+    }
+  }
+
+  Result<Dendrogram> dendrogram =
+      AgglomerateFull(std::move(working), Linkage::kAverage);
+  if (!dendrogram.ok()) return dendrogram.status();
+
+  if (options_.target_clusters > 0) {
+    Result<Clustering> cut = dendrogram->CutAtK(options_.target_clusters);
+    if (!cut.ok()) return cut.status();
+    return cut->Normalized();
+  }
+  return dendrogram->CutAtHeight(options_.merge_threshold).Normalized();
+}
+
+}  // namespace clustagg

@@ -1,0 +1,116 @@
+#include "core/aggregator.h"
+
+#include <utility>
+
+#include "core/best_clustering.h"
+#include "core/correlation_instance.h"
+
+namespace clustagg {
+
+const char* AggregationAlgorithmName(AggregationAlgorithm algorithm) {
+  switch (algorithm) {
+    case AggregationAlgorithm::kBestClustering:
+      return "BESTCLUSTERING";
+    case AggregationAlgorithm::kBalls:
+      return "BALLS";
+    case AggregationAlgorithm::kAgglomerative:
+      return "AGGLOMERATIVE";
+    case AggregationAlgorithm::kFurthest:
+      return "FURTHEST";
+    case AggregationAlgorithm::kLocalSearch:
+      return "LOCALSEARCH";
+    case AggregationAlgorithm::kPivot:
+      return "CC-PIVOT";
+    case AggregationAlgorithm::kAnnealing:
+      return "ANNEALING";
+    case AggregationAlgorithm::kMajority:
+      return "MAJORITY";
+    case AggregationAlgorithm::kExact:
+      return "EXACT";
+  }
+  return "UNKNOWN";
+}
+
+Result<std::unique_ptr<CorrelationClusterer>> MakeClusterer(
+    const AggregatorOptions& options) {
+  switch (options.algorithm) {
+    case AggregationAlgorithm::kBalls:
+      return std::unique_ptr<CorrelationClusterer>(
+          new BallsClusterer(options.balls));
+    case AggregationAlgorithm::kAgglomerative:
+      return std::unique_ptr<CorrelationClusterer>(
+          new AgglomerativeClusterer(options.agglomerative));
+    case AggregationAlgorithm::kFurthest:
+      return std::unique_ptr<CorrelationClusterer>(
+          new FurthestClusterer(options.furthest));
+    case AggregationAlgorithm::kLocalSearch:
+      return std::unique_ptr<CorrelationClusterer>(
+          new LocalSearchClusterer(options.local_search));
+    case AggregationAlgorithm::kPivot:
+      return std::unique_ptr<CorrelationClusterer>(
+          new PivotClusterer(options.pivot));
+    case AggregationAlgorithm::kAnnealing:
+      return std::unique_ptr<CorrelationClusterer>(
+          new AnnealingClusterer(options.annealing));
+    case AggregationAlgorithm::kMajority:
+      return std::unique_ptr<CorrelationClusterer>(
+          new MajorityClusterer(options.majority));
+    case AggregationAlgorithm::kExact:
+      return std::unique_ptr<CorrelationClusterer>(
+          new ExactClusterer(options.exact));
+    case AggregationAlgorithm::kBestClustering:
+      return Status::InvalidArgument(
+          "BESTCLUSTERING needs the original clusterings, not a "
+          "correlation instance; call Aggregate or BestClustering directly");
+  }
+  return Status::InvalidArgument("unknown aggregation algorithm");
+}
+
+Result<AggregationResult> Aggregate(const ClusteringSet& input,
+                                    const AggregatorOptions& options) {
+  AggregationResult out;
+
+  if (options.algorithm == AggregationAlgorithm::kBestClustering) {
+    Result<BestClusteringResult> best = BestClustering(input,
+                                                       options.missing);
+    if (!best.ok()) return best.status();
+    out.clustering = std::move(best->clustering);
+    out.total_disagreements = best->total_disagreements;
+    return out;
+  }
+
+  Result<std::unique_ptr<CorrelationClusterer>> clusterer =
+      MakeClusterer(options);
+  if (!clusterer.ok()) return clusterer.status();
+
+  const bool use_sampling = options.sampling_size > 0 &&
+                            options.algorithm != AggregationAlgorithm::kExact;
+  Result<Clustering> clustering = [&]() -> Result<Clustering> {
+    if (use_sampling) {
+      SamplingOptions sampling = options.sampling;
+      sampling.sample_size = options.sampling_size;
+      sampling.missing = options.missing;
+      return SamplingAggregate(input, **clusterer, sampling);
+    }
+    const CorrelationInstance instance =
+        CorrelationInstance::FromClusterings(input, options.missing);
+    Result<Clustering> result = (*clusterer)->Run(instance);
+    if (!result.ok()) return result.status();
+    if (options.refine_with_local_search &&
+        options.algorithm != AggregationAlgorithm::kLocalSearch) {
+      LocalSearchClusterer refiner(options.local_search);
+      return refiner.RunFrom(instance, *result);
+    }
+    return result;
+  }();
+  if (!clustering.ok()) return clustering.status();
+
+  Result<double> disagreements =
+      input.TotalDisagreements(*clustering, options.missing);
+  if (!disagreements.ok()) return disagreements.status();
+  out.clustering = std::move(*clustering);
+  out.total_disagreements = *disagreements;
+  return out;
+}
+
+}  // namespace clustagg

@@ -1,0 +1,92 @@
+#ifndef CLUSTAGG_CORE_AGGREGATOR_H_
+#define CLUSTAGG_CORE_AGGREGATOR_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "core/agglomerative.h"
+#include "core/annealing.h"
+#include "core/balls.h"
+#include "core/clusterer.h"
+#include "core/clustering_set.h"
+#include "core/exact.h"
+#include "core/furthest.h"
+#include "core/local_search.h"
+#include "core/majority.h"
+#include "core/pivot.h"
+#include "core/sampling.h"
+
+namespace clustagg {
+
+/// Selector for the aggregation algorithm used by the Aggregate facade.
+enum class AggregationAlgorithm {
+  kBestClustering,
+  kBalls,
+  kAgglomerative,
+  kFurthest,
+  kLocalSearch,
+  /// CC-PIVOT (Ailon-Charikar-Newman) — the randomized-pivot extension.
+  kPivot,
+  /// Simulated annealing (Filkov & Skiena) — the related-work
+  /// metaheuristic.
+  kAnnealing,
+  /// Co-association majority baseline (Fred & Jain) — for comparison.
+  kMajority,
+  /// Exhaustive optimum; only for tiny inputs (see ExactOptions).
+  kExact,
+};
+
+const char* AggregationAlgorithmName(AggregationAlgorithm algorithm);
+
+/// One-stop options for the Aggregate facade.
+struct AggregatorOptions {
+  AggregationAlgorithm algorithm = AggregationAlgorithm::kAgglomerative;
+
+  /// Per-algorithm knobs (only the selected algorithm's options matter).
+  BallsOptions balls;
+  AgglomerativeOptions agglomerative;
+  FurthestOptions furthest;
+  LocalSearchOptions local_search;
+  PivotOptions pivot;
+  AnnealingOptions annealing;
+  MajorityOptions majority;
+  ExactOptions exact;
+
+  /// Missing-value policy for building the correlation instance.
+  MissingValueOptions missing;
+
+  /// Post-process the result with LOCALSEARCH (Section 4 recommends it as
+  /// a refinement step; not applied when the algorithm already is
+  /// LOCALSEARCH or EXACT).
+  bool refine_with_local_search = false;
+
+  /// If nonzero, run via SAMPLING with this sample size instead of
+  /// building the full O(n^2) instance (Section 4.1). Ignored for
+  /// kBestClustering and kExact.
+  std::size_t sampling_size = 0;
+  SamplingOptions sampling;
+};
+
+/// Result of an aggregation run.
+struct AggregationResult {
+  Clustering clustering;
+  /// Total (expected) disagreements D(C) with the inputs — the E_D
+  /// reported in the paper's tables.
+  double total_disagreements = 0.0;
+};
+
+/// Instantiates the requested correlation clusterer (not
+/// kBestClustering, which is not a correlation clusterer).
+Result<std::unique_ptr<CorrelationClusterer>> MakeClusterer(
+    const AggregatorOptions& options);
+
+/// Aggregates the input clusterings with the selected algorithm: builds
+/// the correlation instance (or samples), clusters, optionally refines
+/// with local search, and scores the result.
+Result<AggregationResult> Aggregate(const ClusteringSet& input,
+                                    const AggregatorOptions& options = {});
+
+}  // namespace clustagg
+
+#endif  // CLUSTAGG_CORE_AGGREGATOR_H_

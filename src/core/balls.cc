@@ -1,0 +1,57 @@
+#include "core/balls.h"
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+#include <vector>
+
+namespace clustagg {
+
+Result<Clustering> BallsClusterer::Run(
+    const CorrelationInstance& instance) const {
+  if (options_.alpha < 0.0 || options_.alpha > 0.5) {
+    return Status::InvalidArgument(
+        "BALLS alpha must lie in [0, 0.5], got " +
+        std::to_string(options_.alpha));
+  }
+  const std::size_t n = instance.size();
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  if (options_.sort_by_incident_weight) {
+    const std::vector<double> weights = instance.TotalIncidentWeights();
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return weights[a] < weights[b];
+                     });
+  }
+
+  std::vector<Clustering::Label> labels(n, Clustering::kMissing);
+  Clustering::Label next_label = 0;
+  std::vector<std::size_t> ball;
+  for (std::size_t u : order) {
+    if (labels[u] != Clustering::kMissing) continue;
+    // Gather the ball: unclustered vertices within distance 1/2 of u.
+    ball.clear();
+    double total = 0.0;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (v == u || labels[v] != Clustering::kMissing) continue;
+      const double x = instance.distance(u, v);
+      if (x <= 0.5) {
+        ball.push_back(v);
+        total += x;
+      }
+    }
+    const Clustering::Label cluster = next_label++;
+    labels[u] = cluster;
+    if (!ball.empty() &&
+        total / static_cast<double>(ball.size()) <= options_.alpha) {
+      for (std::size_t v : ball) labels[v] = cluster;
+    }
+    // Otherwise u stays a singleton and the ball members remain available
+    // to later vertices.
+  }
+  return Clustering(std::move(labels)).Normalized();
+}
+
+}  // namespace clustagg

@@ -1,0 +1,23 @@
+#include "core/best_clustering.h"
+
+namespace clustagg {
+
+Result<BestClusteringResult> BestClustering(
+    const ClusteringSet& input, const MissingValueOptions& missing) {
+  BestClusteringResult best;
+  bool first = true;
+  for (std::size_t i = 0; i < input.num_clusterings(); ++i) {
+    Clustering candidate = input.clustering(i).WithMissingAsSingletons();
+    Result<double> d = input.TotalDisagreements(candidate, missing);
+    if (!d.ok()) return d.status();
+    if (first || *d < best.total_disagreements) {
+      first = false;
+      best.index = i;
+      best.clustering = candidate.Normalized();
+      best.total_disagreements = *d;
+    }
+  }
+  return best;
+}
+
+}  // namespace clustagg

@@ -1,0 +1,35 @@
+#ifndef CLUSTAGG_CORE_BEST_CLUSTERING_H_
+#define CLUSTAGG_CORE_BEST_CLUSTERING_H_
+
+#include <cstddef>
+
+#include "common/status.h"
+#include "core/clustering.h"
+#include "core/clustering_set.h"
+
+namespace clustagg {
+
+/// Result of the BESTCLUSTERING algorithm.
+struct BestClusteringResult {
+  /// Index of the winning input clustering.
+  std::size_t index = 0;
+  /// The winner, made complete (missing labels become fresh singletons)
+  /// and normalized.
+  Clustering clustering;
+  /// Its total (expected) disagreement D(C) with the inputs.
+  double total_disagreements = 0.0;
+};
+
+/// The BESTCLUSTERING algorithm (Section 4): returns the input clustering
+/// C_i minimizing the total disagreement D(C_i) with all inputs. By the
+/// triangle inequality of d(.,.) this is a 2(1 - 1/m)-approximation to
+/// the optimal aggregate — a bound that is tight — but the paper notes it
+/// is non-intuitive and rarely good in practice. Inputs with missing
+/// labels are completed by turning each missing object into a singleton
+/// before being scored as candidates.
+Result<BestClusteringResult> BestClustering(
+    const ClusteringSet& input, const MissingValueOptions& missing = {});
+
+}  // namespace clustagg
+
+#endif  // CLUSTAGG_CORE_BEST_CLUSTERING_H_

@@ -1,0 +1,32 @@
+#ifndef CLUSTAGG_CORE_CLUSTERER_H_
+#define CLUSTAGG_CORE_CLUSTERER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/clustering.h"
+#include "core/correlation_instance.h"
+
+namespace clustagg {
+
+/// Interface for correlation-clustering algorithms: everything that can
+/// take a distance matrix X and return a partition. All the paper's
+/// aggregation algorithms except BESTCLUSTERING (which needs the original
+/// clusterings) implement this, which is also what the SAMPLING
+/// meta-algorithm composes over.
+class CorrelationClusterer {
+ public:
+  virtual ~CorrelationClusterer() = default;
+
+  /// Algorithm name as used in the paper's tables (e.g. "AGGLOMERATIVE").
+  virtual std::string name() const = 0;
+
+  /// Clusters the instance. The result is a complete clustering of
+  /// instance.size() objects with normalized labels.
+  virtual Result<Clustering> Run(const CorrelationInstance& instance) const
+      = 0;
+};
+
+}  // namespace clustagg
+
+#endif  // CLUSTAGG_CORE_CLUSTERER_H_

@@ -1,0 +1,112 @@
+#include "core/correlation_instance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace clustagg {
+
+Result<CorrelationInstance> CorrelationInstance::FromDistances(
+    SymmetricMatrix<float> distances) {
+  for (float x : distances.packed()) {
+    if (!(x >= 0.0f && x <= 1.0f)) {
+      return Status::InvalidArgument(
+          "correlation distances must lie in [0, 1], got " +
+          std::to_string(x));
+    }
+  }
+  return CorrelationInstance(std::move(distances));
+}
+
+CorrelationInstance CorrelationInstance::FromClusterings(
+    const ClusteringSet& input, const MissingValueOptions& missing) {
+  const std::size_t n = input.num_objects();
+  SymmetricMatrix<float> distances(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = u + 1; v < n; ++v) {
+      distances.Set(u, v,
+                    static_cast<float>(input.PairwiseDistance(u, v, missing)));
+    }
+  }
+  return CorrelationInstance(std::move(distances));
+}
+
+CorrelationInstance CorrelationInstance::FromClusteringsSubset(
+    const ClusteringSet& input, const std::vector<std::size_t>& subset,
+    const MissingValueOptions& missing) {
+  const std::size_t n = subset.size();
+  SymmetricMatrix<float> distances(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      distances.Set(
+          i, j,
+          static_cast<float>(
+              input.PairwiseDistance(subset[i], subset[j], missing)));
+    }
+  }
+  return CorrelationInstance(std::move(distances));
+}
+
+Result<double> CorrelationInstance::Cost(const Clustering& candidate) const {
+  const std::size_t n = size();
+  if (candidate.size() != n) {
+    return Status::InvalidArgument(
+        "candidate clustering covers " + std::to_string(candidate.size()) +
+        " objects, expected " + std::to_string(n));
+  }
+  if (candidate.HasMissing()) {
+    return Status::InvalidArgument(
+        "candidate clustering must be complete (no missing labels)");
+  }
+  double cost = 0.0;
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = u + 1; v < n; ++v) {
+      const double x = distances_(u, v);
+      cost += candidate.label(u) == candidate.label(v) ? x : 1.0 - x;
+    }
+  }
+  return cost;
+}
+
+double CorrelationInstance::LowerBound() const {
+  double bound = 0.0;
+  for (float x : distances_.packed()) {
+    bound += std::min<double>(x, 1.0 - static_cast<double>(x));
+  }
+  return bound;
+}
+
+std::vector<double> CorrelationInstance::TotalIncidentWeights() const {
+  const std::size_t n = size();
+  std::vector<double> weights(n, 0.0);
+  std::size_t idx = 0;
+  const std::vector<float>& packed = distances_.packed();
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = u + 1; v < n; ++v) {
+      const double x = packed[idx++];
+      weights[u] += x;
+      weights[v] += x;
+    }
+  }
+  return weights;
+}
+
+bool CorrelationInstance::SatisfiesTriangleInequality(
+    double tolerance) const {
+  const std::size_t n = size();
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = 0; v < n; ++v) {
+      if (v == u) continue;
+      for (std::size_t w = u + 1; w < n; ++w) {
+        if (w == v) continue;
+        if (distances_(u, w) >
+            distances_(u, v) + distances_(v, w) + tolerance) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace clustagg

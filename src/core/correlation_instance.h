@@ -1,0 +1,81 @@
+#ifndef CLUSTAGG_CORE_CORRELATION_INSTANCE_H_
+#define CLUSTAGG_CORE_CORRELATION_INSTANCE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "common/symmetric_matrix.h"
+#include "core/clustering.h"
+#include "core/clustering_set.h"
+
+namespace clustagg {
+
+/// An instance of the correlation-clustering problem (Problem 2): n
+/// objects and pairwise distances X_uv in [0, 1]. The cost of a candidate
+/// partition C is
+///   d(C) = sum_{u<v, C(u)=C(v)} X_uv + sum_{u<v, C(u)!=C(v)} (1 - X_uv).
+///
+/// Instances built from a ClusteringSet additionally satisfy the triangle
+/// inequality on X, the property the BALLS analysis relies on.
+///
+/// Storage is a packed symmetric float matrix: X values derived from m
+/// clusterings are multiples of 1/m (m small), so float is ample, and the
+/// Mushrooms-scale instance (n = 8124) fits in ~130 MB.
+class CorrelationInstance {
+ public:
+  CorrelationInstance() = default;
+
+  /// Validating factory: every entry must lie in [0, 1].
+  static Result<CorrelationInstance> FromDistances(
+      SymmetricMatrix<float> distances);
+
+  /// Builds the instance summarizing a set of input clusterings:
+  /// X_uv = (expected) fraction of clusterings separating u and v under
+  /// the missing-value policy. O(m n^2).
+  static CorrelationInstance FromClusterings(
+      const ClusteringSet& input, const MissingValueOptions& missing = {});
+
+  /// Same, restricted to the given objects: object i of the instance is
+  /// subset[i]. Used by the SAMPLING algorithm.
+  static CorrelationInstance FromClusteringsSubset(
+      const ClusteringSet& input, const std::vector<std::size_t>& subset,
+      const MissingValueOptions& missing = {});
+
+  std::size_t size() const { return distances_.size(); }
+
+  /// X_uv (0 when u == v).
+  double distance(std::size_t u, std::size_t v) const {
+    return distances_(u, v);
+  }
+
+  /// Correlation-clustering cost of a complete candidate partition.
+  /// O(n^2).
+  Result<double> Cost(const Clustering& candidate) const;
+
+  /// Per-pair lower bound on the optimal cost: every unordered pair
+  /// contributes at least min(X_uv, 1 - X_uv) whatever the partition does
+  /// with it. This is the "Lower bound" row of Tables 2 and 3 (up to the
+  /// factor m relating d(C) and D(C)).
+  double LowerBound() const;
+
+  /// Total incident weight sum_v X_uv of each vertex; the BALLS algorithm
+  /// sorts vertices by this. O(n^2).
+  std::vector<double> TotalIncidentWeights() const;
+
+  /// Exhaustively verifies X_uw <= X_uv + X_vw for all triples, within
+  /// `tolerance`. O(n^3) — test helper for small instances.
+  bool SatisfiesTriangleInequality(double tolerance = 1e-6) const;
+
+  const SymmetricMatrix<float>& matrix() const { return distances_; }
+
+ private:
+  explicit CorrelationInstance(SymmetricMatrix<float> distances)
+      : distances_(std::move(distances)) {}
+
+  SymmetricMatrix<float> distances_;
+};
+
+}  // namespace clustagg
+
+#endif  // CLUSTAGG_CORE_CORRELATION_INSTANCE_H_

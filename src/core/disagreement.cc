@@ -1,0 +1,87 @@
+#include "core/disagreement.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace clustagg {
+
+namespace {
+
+Status CheckComparable(const Clustering& a, const Clustering& b) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument(
+        "clusterings cover different numbers of objects (" +
+        std::to_string(a.size()) + " vs " + std::to_string(b.size()) + ")");
+  }
+  if (a.HasMissing() || b.HasMissing()) {
+    return Status::InvalidArgument(
+        "disagreement distance requires complete clusterings; use "
+        "ClusteringSet with a missing-value policy instead");
+  }
+  return Status::OK();
+}
+
+std::uint64_t PairsFromSizes(const std::vector<std::uint64_t>& sizes) {
+  std::uint64_t pairs = 0;
+  for (std::uint64_t s : sizes) pairs += s * (s - 1) / 2;
+  return pairs;
+}
+
+}  // namespace
+
+Result<std::uint64_t> DisagreementDistanceNaive(const Clustering& a,
+                                                const Clustering& b) {
+  if (Status s = CheckComparable(a, b); !s.ok()) return s;
+  const std::size_t n = a.size();
+  std::uint64_t disagreements = 0;
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = u + 1; v < n; ++v) {
+      const bool together_a = a.label(u) == a.label(v);
+      const bool together_b = b.label(u) == b.label(v);
+      if (together_a != together_b) ++disagreements;
+    }
+  }
+  return disagreements;
+}
+
+Result<std::uint64_t> DisagreementDistance(const Clustering& a,
+                                           const Clustering& b) {
+  if (Status s = CheckComparable(a, b); !s.ok()) return s;
+  const Clustering na = a.Normalized();
+  const Clustering nb = b.Normalized();
+  const std::size_t n = na.size();
+  const std::size_t ka = na.NumClusters();
+  const std::size_t kb = nb.NumClusters();
+
+  std::vector<std::uint64_t> sizes_a(ka, 0);
+  std::vector<std::uint64_t> sizes_b(kb, 0);
+  // Contingency counts, indexed cluster-of-a * kb + cluster-of-b. Dense is
+  // fine: the aggregation inputs here have small k.
+  std::vector<std::uint64_t> joint(ka * kb, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto ca = static_cast<std::size_t>(na.label(v));
+    const auto cb = static_cast<std::size_t>(nb.label(v));
+    ++sizes_a[ca];
+    ++sizes_b[cb];
+    ++joint[ca * kb + cb];
+  }
+
+  std::uint64_t joint_pairs = 0;
+  for (std::uint64_t c : joint) joint_pairs += c * (c - 1) / 2;
+
+  return PairsFromSizes(sizes_a) + PairsFromSizes(sizes_b) - 2 * joint_pairs;
+}
+
+Result<std::uint64_t> CoClusteredPairs(const Clustering& c) {
+  if (c.HasMissing()) {
+    return Status::InvalidArgument(
+        "CoClusteredPairs requires a complete clustering");
+  }
+  std::unordered_map<Clustering::Label, std::uint64_t> sizes;
+  for (std::size_t v = 0; v < c.size(); ++v) ++sizes[c.label(v)];
+  std::uint64_t pairs = 0;
+  for (const auto& [label, s] : sizes) pairs += s * (s - 1) / 2;
+  return pairs;
+}
+
+}  // namespace clustagg

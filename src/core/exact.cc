@@ -1,0 +1,90 @@
+#include "core/exact.h"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace clustagg {
+
+namespace {
+
+/// Depth-first enumeration of restricted-growth strings with
+/// branch-and-bound: object i may join any cluster used by objects < i or
+/// open a new one; the partial cost plus a per-pair lower bound on the
+/// unassigned remainder prunes hopeless branches.
+class ExactSearch {
+ public:
+  explicit ExactSearch(const CorrelationInstance& instance)
+      : instance_(instance), n_(instance.size()), labels_(n_, 0),
+        best_labels_(n_, 0) {
+    // remaining_lb_[i]: lower bound on the cost of all pairs with at
+    // least one endpoint >= i (every pair costs at least min(X, 1-X)).
+    remaining_lb_.assign(n_ + 1, 0.0);
+    for (std::size_t i = n_; i-- > 0;) {
+      double row = 0.0;
+      for (std::size_t u = 0; u < i; ++u) {
+        const double x = instance_.distance(u, i);
+        row += std::min(x, 1.0 - x);
+      }
+      remaining_lb_[i] = remaining_lb_[i + 1] + row;
+    }
+  }
+
+  Clustering Solve() {
+    best_cost_ = std::numeric_limits<double>::infinity();
+    Recurse(0, 0, 0.0);
+    std::vector<Clustering::Label> labels(n_);
+    for (std::size_t v = 0; v < n_; ++v) {
+      labels[v] = static_cast<Clustering::Label>(best_labels_[v]);
+    }
+    return Clustering(std::move(labels)).Normalized();
+  }
+
+  double best_cost() const { return best_cost_; }
+
+ private:
+  void Recurse(std::size_t i, std::size_t used, double partial) {
+    if (partial + remaining_lb_[i] >= best_cost_) return;
+    if (i == n_) {
+      best_cost_ = partial;
+      best_labels_ = labels_;
+      return;
+    }
+    // Try clusters 0..used-1 and a fresh cluster `used`.
+    for (std::size_t c = 0; c <= used; ++c) {
+      labels_[i] = c;
+      double delta = 0.0;
+      for (std::size_t u = 0; u < i; ++u) {
+        const double x = instance_.distance(u, i);
+        delta += labels_[u] == c ? x : 1.0 - x;
+      }
+      Recurse(i + 1, c == used ? used + 1 : used, partial + delta);
+    }
+  }
+
+  const CorrelationInstance& instance_;
+  std::size_t n_;
+  std::vector<std::size_t> labels_;
+  std::vector<std::size_t> best_labels_;
+  std::vector<double> remaining_lb_;
+  double best_cost_ = 0.0;
+};
+
+}  // namespace
+
+Result<Clustering> ExactClusterer::Run(
+    const CorrelationInstance& instance) const {
+  const std::size_t n = instance.size();
+  if (n > options_.max_objects) {
+    return Status::ResourceExhausted(
+        "exact solver limited to " + std::to_string(options_.max_objects) +
+        " objects, got " + std::to_string(n) +
+        " (raise ExactOptions::max_objects deliberately if you mean it)");
+  }
+  if (n == 0) return Clustering();
+  ExactSearch search(instance);
+  return search.Solve();
+}
+
+}  // namespace clustagg

@@ -1,0 +1,38 @@
+#ifndef CLUSTAGG_CORE_EXACT_H_
+#define CLUSTAGG_CORE_EXACT_H_
+
+#include <cstddef>
+#include <string>
+
+#include "core/clusterer.h"
+
+namespace clustagg {
+
+/// Options for the exact solver.
+struct ExactOptions {
+  /// Refuse instances larger than this (Bell numbers explode; Bell(12) is
+  /// already 4.2M partitions). Raise deliberately for ad-hoc experiments.
+  std::size_t max_objects = 12;
+};
+
+/// Exact correlation-clustering optimum by exhaustive enumeration of all
+/// set partitions (restricted-growth strings). Exponential — intended as
+/// the oracle for tests and the empirical approximation-ratio ablation,
+/// not for real data. Returns kResourceExhausted beyond max_objects.
+class ExactClusterer final : public CorrelationClusterer {
+ public:
+  explicit ExactClusterer(ExactOptions options = {}) : options_(options) {}
+
+  std::string name() const override { return "EXACT"; }
+
+  Result<Clustering> Run(const CorrelationInstance& instance) const override;
+
+  const ExactOptions& options() const { return options_; }
+
+ private:
+  ExactOptions options_;
+};
+
+}  // namespace clustagg
+
+#endif  // CLUSTAGG_CORE_EXACT_H_

@@ -1,0 +1,111 @@
+#include "core/furthest.h"
+
+#include <limits>
+#include <vector>
+
+#include "common/check.h"
+
+namespace clustagg {
+
+namespace {
+
+/// Assigns every object to the nearest center (ties to the earliest
+/// center) and returns the resulting clustering with labels = center
+/// ranks.
+Clustering AssignToCenters(const CorrelationInstance& instance,
+                           const std::vector<std::size_t>& centers) {
+  const std::size_t n = instance.size();
+  std::vector<Clustering::Label> labels(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    std::size_t best = 0;
+    double best_dist = std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < centers.size(); ++c) {
+      const double d = instance.distance(v, centers[c]);
+      if (d < best_dist) {
+        best_dist = d;
+        best = c;
+      }
+    }
+    labels[v] = static_cast<Clustering::Label>(best);
+  }
+  return Clustering(std::move(labels));
+}
+
+}  // namespace
+
+Result<Clustering> FurthestClusterer::Run(
+    const CorrelationInstance& instance) const {
+  const std::size_t n = instance.size();
+  if (n == 0) return Clustering();
+
+  const std::size_t max_centers =
+      options_.max_centers == 0 ? n
+                                : std::min(options_.max_centers, n);
+
+  // k = 1: everything in one cluster.
+  Clustering best_clustering = Clustering::SingleCluster(n);
+  Result<double> best_cost = instance.Cost(best_clustering);
+  CLUSTAGG_CHECK(best_cost.ok());
+
+  if (n == 1 || max_centers < 2) return best_clustering;
+
+  // Seed with the furthest pair.
+  std::size_t c1 = 0;
+  std::size_t c2 = 1;
+  double max_dist = -1.0;
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = u + 1; v < n; ++v) {
+      const double d = instance.distance(u, v);
+      if (d > max_dist) {
+        max_dist = d;
+        c1 = u;
+        c2 = v;
+      }
+    }
+  }
+  std::vector<std::size_t> centers = {c1, c2};
+  // min distance from each object to the current center set, for the
+  // furthest-first traversal.
+  std::vector<double> min_dist(n);
+  std::vector<bool> is_center(n, false);
+  is_center[c1] = is_center[c2] = true;
+  for (std::size_t v = 0; v < n; ++v) {
+    min_dist[v] =
+        std::min(instance.distance(v, c1), instance.distance(v, c2));
+  }
+
+  for (;;) {
+    Clustering candidate = AssignToCenters(instance, centers);
+    Result<double> cost = instance.Cost(candidate);
+    CLUSTAGG_CHECK(cost.ok());
+    if (*cost < *best_cost) {
+      best_cost = *cost;
+      best_clustering = std::move(candidate);
+    } else {
+      // Adding the last center stopped helping: output the previous
+      // (best) solution.
+      break;
+    }
+    if (centers.size() >= max_centers) break;
+
+    // Promote the object furthest from the current centers.
+    std::size_t next = n;
+    double next_dist = -1.0;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (is_center[v]) continue;
+      if (min_dist[v] > next_dist) {
+        next_dist = min_dist[v];
+        next = v;
+      }
+    }
+    if (next == n) break;  // every object is a center
+    centers.push_back(next);
+    is_center[next] = true;
+    for (std::size_t v = 0; v < n; ++v) {
+      min_dist[v] = std::min(min_dist[v], instance.distance(v, next));
+    }
+  }
+  return best_clustering.Normalized();
+}
+
+}  // namespace clustagg

@@ -1,0 +1,44 @@
+#ifndef CLUSTAGG_CORE_FURTHEST_H_
+#define CLUSTAGG_CORE_FURTHEST_H_
+
+#include <cstddef>
+#include <string>
+
+#include "core/clusterer.h"
+
+namespace clustagg {
+
+/// Options for the FURTHEST correlation clusterer.
+struct FurthestOptions {
+  /// Safety cap on the number of centers tried; 0 means up to n. The
+  /// algorithm normally stops much earlier, as soon as adding a center
+  /// stops improving the correlation cost.
+  std::size_t max_centers = 0;
+};
+
+/// The FURTHEST algorithm (Section 4): top-down furthest-first traversal,
+/// inspired by the Hochbaum-Shmoys 2-approximation for p-centers. Starts
+/// with all objects in one cluster; repeatedly promotes the object
+/// furthest from the current centers to a new center, assigns every
+/// object to the center incurring the least cost, and keeps going while
+/// the correlation cost improves. O(k^2 n) for the traversal plus
+/// O(k n^2) for the cost evaluations, where k is the number of clusters
+/// produced.
+class FurthestClusterer final : public CorrelationClusterer {
+ public:
+  explicit FurthestClusterer(FurthestOptions options = {})
+      : options_(options) {}
+
+  std::string name() const override { return "FURTHEST"; }
+
+  Result<Clustering> Run(const CorrelationInstance& instance) const override;
+
+  const FurthestOptions& options() const { return options_; }
+
+ private:
+  FurthestOptions options_;
+};
+
+}  // namespace clustagg
+
+#endif  // CLUSTAGG_CORE_FURTHEST_H_

@@ -1,0 +1,165 @@
+#include "core/hierarchy.h"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+
+#include "common/check.h"
+#include "common/union_find.h"
+
+namespace clustagg {
+
+const char* LinkageName(Linkage linkage) {
+  switch (linkage) {
+    case Linkage::kSingle:
+      return "single";
+    case Linkage::kComplete:
+      return "complete";
+    case Linkage::kAverage:
+      return "average";
+    case Linkage::kWard:
+      return "ward";
+  }
+  return "unknown";
+}
+
+Clustering Dendrogram::CutAtHeight(double threshold) const {
+  UnionFind uf(num_leaves);
+  for (const Merge& m : merges) {
+    if (m.height < threshold) uf.Union(m.left, m.right);
+  }
+  return Clustering(uf.ComponentLabels());
+}
+
+Result<Clustering> Dendrogram::CutAtK(std::size_t k) const {
+  if (k < 1 || k > num_leaves) {
+    return Status::InvalidArgument("k=" + std::to_string(k) +
+                                   " outside [1, " +
+                                   std::to_string(num_leaves) + "]");
+  }
+  UnionFind uf(num_leaves);
+  const std::size_t merges_to_apply = num_leaves - k;
+  CLUSTAGG_CHECK(merges_to_apply <= merges.size());
+  for (std::size_t i = 0; i < merges_to_apply; ++i) {
+    uf.Union(merges[i].left, merges[i].right);
+  }
+  return Clustering(uf.ComponentLabels());
+}
+
+namespace {
+
+/// Lance-Williams distance update: the distance from the merge of
+/// clusters a and b (sizes sa, sb) to another cluster k (size sk), given
+/// the three pre-merge distances.
+double LanceWilliams(Linkage linkage, double dak, double dbk, double dab,
+                     double sa, double sb, double sk) {
+  switch (linkage) {
+    case Linkage::kSingle:
+      return std::min(dak, dbk);
+    case Linkage::kComplete:
+      return std::max(dak, dbk);
+    case Linkage::kAverage:
+      return (sa * dak + sb * dbk) / (sa + sb);
+    case Linkage::kWard:
+      return ((sa + sk) * dak + (sb + sk) * dbk - sk * dab) / (sa + sb + sk);
+  }
+  CLUSTAGG_CHECK(false);
+  return 0.0;
+}
+
+}  // namespace
+
+Result<Dendrogram> AgglomerateFull(SymmetricMatrix<double> distances,
+                                   Linkage linkage,
+                                   std::vector<double> initial_sizes) {
+  const std::size_t n = distances.size();
+  if (n == 0) {
+    return Status::InvalidArgument("cannot agglomerate an empty instance");
+  }
+  if (initial_sizes.empty()) {
+    initial_sizes.assign(n, 1.0);
+  } else if (initial_sizes.size() != n) {
+    return Status::InvalidArgument("initial_sizes has " +
+                                   std::to_string(initial_sizes.size()) +
+                                   " entries, expected " + std::to_string(n));
+  }
+
+  Dendrogram dendrogram;
+  dendrogram.num_leaves = n;
+  if (n == 1) return dendrogram;
+  dendrogram.merges.reserve(n - 1);
+
+  // Nearest-neighbor-chain over cluster slots 0..n-1. A merge keeps the
+  // smaller slot active and deactivates the other. Reducible linkages
+  // guarantee this produces the same merge set as global greedy merging.
+  std::vector<bool> active(n, true);
+  std::vector<double> sizes = std::move(initial_sizes);
+  // Representative leaf of each slot's current cluster (for the merge
+  // records).
+  std::vector<std::size_t> rep(n);
+  for (std::size_t i = 0; i < n; ++i) rep[i] = i;
+
+  std::vector<std::size_t> chain;
+  chain.reserve(n);
+  std::size_t num_active = n;
+  std::size_t next_start = 0;  // first slot to try when the chain is empty
+
+  while (num_active > 1) {
+    if (chain.empty()) {
+      while (!active[next_start]) ++next_start;
+      chain.push_back(next_start);
+    }
+    for (;;) {
+      const std::size_t c = chain.back();
+      // Nearest active neighbor of c; prefer the chain predecessor on
+      // ties so that mutual nearest neighbors are detected.
+      std::size_t best = std::numeric_limits<std::size_t>::max();
+      double best_dist = std::numeric_limits<double>::infinity();
+      const std::size_t prev =
+          chain.size() >= 2 ? chain[chain.size() - 2] : best;
+      for (std::size_t k = 0; k < n; ++k) {
+        if (!active[k] || k == c) continue;
+        const double d = distances(c, k);
+        if (d < best_dist || (d == best_dist && k == prev)) {
+          best_dist = d;
+          best = k;
+        }
+      }
+      if (best == prev) {
+        // Mutual nearest neighbors: merge c and prev.
+        chain.pop_back();
+        chain.pop_back();
+        const std::size_t a = std::min(c, prev);
+        const std::size_t b = std::max(c, prev);
+        dendrogram.merges.push_back({rep[a], rep[b], best_dist});
+        const double sa = sizes[a];
+        const double sb = sizes[b];
+        const double dab = distances(a, b);
+        for (std::size_t k = 0; k < n; ++k) {
+          if (!active[k] || k == a || k == b) continue;
+          distances.Set(
+              a, k,
+              LanceWilliams(linkage, distances(a, k), distances(b, k), dab,
+                            sa, sb, sizes[k]));
+        }
+        sizes[a] = sa + sb;
+        active[b] = false;
+        --num_active;
+        break;
+      }
+      chain.push_back(best);
+    }
+  }
+
+  // NN-chain discovers merges out of height order; sort ascending. For
+  // monotone linkages a stable sort keeps every merge after the merges
+  // that formed its children (children have strictly smaller height, or
+  // equal height and earlier discovery).
+  std::stable_sort(dendrogram.merges.begin(), dendrogram.merges.end(),
+                   [](const Dendrogram::Merge& x, const Dendrogram::Merge& y) {
+                     return x.height < y.height;
+                   });
+  return dendrogram;
+}
+
+}  // namespace clustagg

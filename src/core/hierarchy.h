@@ -1,0 +1,71 @@
+#ifndef CLUSTAGG_CORE_HIERARCHY_H_
+#define CLUSTAGG_CORE_HIERARCHY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "common/symmetric_matrix.h"
+#include "core/clustering.h"
+
+namespace clustagg {
+
+/// Lance-Williams linkage rules supported by the generic agglomerative
+/// engine. All four are *reducible* (so the nearest-neighbor-chain
+/// algorithm reproduces the greedy merge order) and *monotone* (merge
+/// heights are non-decreasing, so cutting the dendrogram at a height
+/// equals running greedy merging until that threshold).
+enum class Linkage {
+  kSingle,
+  kComplete,
+  kAverage,
+  /// Ward's minimum-variance criterion. Feed *squared* Euclidean
+  /// distances; heights come out in squared units.
+  kWard,
+};
+
+const char* LinkageName(Linkage linkage);
+
+/// A full merge tree produced by agglomerative clustering. Each merge is
+/// recorded by one *representative leaf* of each merged side plus the
+/// linkage height; replaying merges through a union-find reconstructs any
+/// prefix partition, which makes cutting robust even under floating-point
+/// ties in the heights.
+struct Dendrogram {
+  struct Merge {
+    /// A leaf (original object index) inside the left merged cluster.
+    std::size_t left;
+    /// A leaf inside the right merged cluster.
+    std::size_t right;
+    double height;
+  };
+
+  std::size_t num_leaves = 0;
+  /// Exactly num_leaves - 1 merges, in the greedy (non-decreasing height)
+  /// order.
+  std::vector<Merge> merges;
+
+  /// The partition obtained by applying every merge with height strictly
+  /// below `threshold` (the paper's AGGLOMERATIVE stops when the closest
+  /// pair is at average distance >= 1/2, i.e. threshold = 0.5).
+  Clustering CutAtHeight(double threshold) const;
+
+  /// The partition with exactly k clusters (k in [1, num_leaves]).
+  Result<Clustering> CutAtK(std::size_t k) const;
+};
+
+/// Runs bottom-up agglomerative clustering over an explicit initial
+/// distance matrix using the nearest-neighbor-chain algorithm:
+/// O(n^2) time and no extra distance copies (the matrix is consumed and
+/// updated in place via the Lance-Williams recurrences).
+///
+/// `initial_sizes` optionally gives a weight to each leaf (used when the
+/// leaves are themselves summaries of many objects, e.g. in SAMPLING
+/// post-processing); defaults to all ones.
+Result<Dendrogram> AgglomerateFull(SymmetricMatrix<double> distances,
+                                   Linkage linkage,
+                                   std::vector<double> initial_sizes = {});
+
+}  // namespace clustagg
+
+#endif  // CLUSTAGG_CORE_HIERARCHY_H_

@@ -1,0 +1,199 @@
+#ifndef CLUSTAGG_CORE_INTERNAL_MOVE_STATE_H_
+#define CLUSTAGG_CORE_INTERNAL_MOVE_STATE_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "core/clustering.h"
+#include "core/correlation_instance.h"
+
+namespace clustagg::internal {
+
+/// Mutable single-object-move state shared by LOCALSEARCH and ANNEALING:
+/// cluster slots with sizes and the M(v, slot) = sum_{u in slot} X_vu
+/// table (Section 4's bookkeeping). Evaluating all moves of one object
+/// costs O(#clusters); applying a move costs O(n) for the two affected
+/// M rows. Slots are compacted when a cluster empties.
+class MoveState {
+ public:
+  /// Sentinel target meaning "open a fresh singleton cluster".
+  static constexpr std::size_t kSingletonTarget =
+      static_cast<std::size_t>(-1);
+
+  MoveState(const CorrelationInstance& instance, const Clustering& initial)
+      : instance_(instance), n_(instance.size()) {
+    const Clustering norm = initial.Normalized();
+    const std::size_t k = norm.NumClusters();
+    assignment_.resize(n_);
+    sizes_.assign(k, 0);
+    m_.assign(k, std::vector<double>(n_, 0.0));
+    for (std::size_t v = 0; v < n_; ++v) {
+      const auto c = static_cast<std::size_t>(norm.label(v));
+      assignment_[v] = c;
+      ++sizes_[c];
+    }
+    for (std::size_t v = 0; v < n_; ++v) {
+      const std::size_t c = assignment_[v];
+      std::vector<double>& row = m_[c];
+      for (std::size_t u = 0; u < n_; ++u) {
+        if (u != v) row[u] += instance_.distance(u, v);
+      }
+    }
+  }
+
+  std::size_t num_objects() const { return n_; }
+  std::size_t num_clusters() const { return sizes_.size(); }
+  std::size_t cluster_of(std::size_t v) const { return assignment_[v]; }
+  std::size_t cluster_size(std::size_t c) const { return sizes_[c]; }
+
+  /// d(v, C_j) for every current cluster j plus the fresh-singleton cost,
+  /// all with v conceptually removed from its own cluster:
+  ///   singleton = T = sum_j (|C_j| - M(v, C_j)),
+  ///   join(j)   = T + 2 M(v, C_j) - |C_j|.
+  /// Returns {T, join costs per slot}.
+  std::pair<double, std::vector<double>> EvaluateMoves(
+      std::size_t v) const {
+    const std::size_t current = assignment_[v];
+    const std::size_t k = sizes_.size();
+    double t = 0.0;
+    for (std::size_t j = 0; j < k; ++j) {
+      t += SizeWithoutV(j, current) - m_[j][v];
+    }
+    std::vector<double> join(k);
+    for (std::size_t j = 0; j < k; ++j) {
+      join[j] = t + 2.0 * m_[j][v] - SizeWithoutV(j, current);
+    }
+    return {t, std::move(join)};
+  }
+
+  /// Greedy step: evaluates every move for v and applies the best one if
+  /// it improves on staying by more than `min_improvement` (allocation-
+  /// free; the hot path of LOCALSEARCH). Returns true if v moved.
+  bool TryImproveBest(std::size_t v, double min_improvement) {
+    const std::size_t current = assignment_[v];
+    const std::size_t k = sizes_.size();
+    double t = 0.0;
+    for (std::size_t j = 0; j < k; ++j) {
+      t += SizeWithoutV(j, current) - m_[j][v];
+    }
+    auto join_cost = [&](std::size_t j) {
+      return t + 2.0 * m_[j][v] - SizeWithoutV(j, current);
+    };
+    const double stay_cost = join_cost(current);
+    double best_cost = t;  // fresh singleton
+    std::size_t best = kSingletonTarget;
+    for (std::size_t j = 0; j < k; ++j) {
+      const double c = join_cost(j);
+      if (c < best_cost) {
+        best_cost = c;
+        best = j;
+      }
+    }
+    if (best == current || stay_cost - best_cost <= min_improvement) {
+      return false;
+    }
+    Apply(v, best);
+    return true;
+  }
+
+  /// Cost delta of moving v to `target` (a slot index or
+  /// kSingletonTarget) relative to staying put. O(#clusters),
+  /// allocation-free.
+  double MoveDelta(std::size_t v, std::size_t target) const {
+    const std::size_t current = assignment_[v];
+    const std::size_t k = sizes_.size();
+    double t = 0.0;
+    for (std::size_t j = 0; j < k; ++j) {
+      t += SizeWithoutV(j, current) - m_[j][v];
+    }
+    auto join_cost = [&](std::size_t j) {
+      return t + 2.0 * m_[j][v] - SizeWithoutV(j, current);
+    };
+    const double stay = join_cost(current);
+    const double moved =
+        target == kSingletonTarget ? t : join_cost(target);
+    return moved - stay;
+  }
+
+  /// Moves v to `target` (slot index valid *now*, or kSingletonTarget).
+  /// Returns the slot v ended up in.
+  std::size_t Apply(std::size_t v, std::size_t target) {
+    const std::size_t current = assignment_[v];
+    if (target == current) return current;
+    const std::size_t relocated_from = RemoveFromCluster(v, current);
+    if (target == kSingletonTarget) {
+      sizes_.push_back(0);
+      m_.emplace_back(n_, 0.0);
+      target = sizes_.size() - 1;
+    } else {
+      // RemoveFromCluster may have compacted the last slot into
+      // `current`.
+      if (target == relocated_from) target = current;
+      CLUSTAGG_CHECK(target < sizes_.size());
+    }
+    AddToCluster(v, target);
+    return target;
+  }
+
+  Clustering ToClustering() const {
+    std::vector<Clustering::Label> labels(n_);
+    for (std::size_t v = 0; v < n_; ++v) {
+      labels[v] = static_cast<Clustering::Label>(assignment_[v]);
+    }
+    return Clustering(std::move(labels)).Normalized();
+  }
+
+ private:
+  double SizeWithoutV(std::size_t j, std::size_t current) const {
+    return static_cast<double>(sizes_[j]) - (j == current ? 1.0 : 0.0);
+  }
+
+  /// Removes v from slot c. If c empties, the last slot is moved into c
+  /// and its old index is returned; otherwise returns a sentinel
+  /// matching no slot.
+  std::size_t RemoveFromCluster(std::size_t v, std::size_t c) {
+    CLUSTAGG_CHECK(sizes_[c] > 0);
+    --sizes_[c];
+    std::vector<double>& row = m_[c];
+    for (std::size_t u = 0; u < n_; ++u) {
+      if (u != v) row[u] -= instance_.distance(u, v);
+    }
+    std::size_t relocated_from = sizes_.size();
+    if (sizes_[c] == 0) {
+      const std::size_t last = sizes_.size() - 1;
+      if (c != last) {
+        sizes_[c] = sizes_[last];
+        m_[c] = std::move(m_[last]);
+        for (std::size_t u = 0; u < n_; ++u) {
+          if (assignment_[u] == last) assignment_[u] = c;
+        }
+        relocated_from = last;
+      }
+      sizes_.pop_back();
+      m_.pop_back();
+    }
+    return relocated_from;
+  }
+
+  void AddToCluster(std::size_t v, std::size_t c) {
+    assignment_[v] = c;
+    ++sizes_[c];
+    std::vector<double>& row = m_[c];
+    for (std::size_t u = 0; u < n_; ++u) {
+      if (u != v) row[u] += instance_.distance(u, v);
+    }
+  }
+
+  const CorrelationInstance& instance_;
+  std::size_t n_;
+  std::vector<std::size_t> assignment_;
+  std::vector<std::size_t> sizes_;
+  // m_[c][v] = M(v, C_c) = sum of distances from v to the members of C_c.
+  std::vector<std::vector<double>> m_;
+};
+
+}  // namespace clustagg::internal
+
+#endif  // CLUSTAGG_CORE_INTERNAL_MOVE_STATE_H_

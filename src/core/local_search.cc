@@ -1,0 +1,73 @@
+#include "core/local_search.h"
+
+#include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/internal/move_state.h"
+
+namespace clustagg {
+
+Result<Clustering> LocalSearchClusterer::Run(
+    const CorrelationInstance& instance) const {
+  const std::size_t n = instance.size();
+  Clustering initial;
+  switch (options_.init) {
+    case LocalSearchOptions::Init::kSingletons:
+      initial = Clustering::AllSingletons(n);
+      break;
+    case LocalSearchOptions::Init::kSingleCluster:
+      initial = Clustering::SingleCluster(n);
+      break;
+    case LocalSearchOptions::Init::kRandom: {
+      std::size_t k = options_.random_clusters;
+      if (k == 0) {
+        k = std::max<std::size_t>(
+            2, static_cast<std::size_t>(std::llround(std::sqrt(
+                   static_cast<double>(n)))));
+      }
+      Rng rng(options_.seed);
+      std::vector<Clustering::Label> labels(n);
+      for (std::size_t v = 0; v < n; ++v) {
+        labels[v] = static_cast<Clustering::Label>(rng.NextBounded(k));
+      }
+      initial = Clustering(std::move(labels));
+      break;
+    }
+  }
+  return RunFrom(instance, initial);
+}
+
+Result<Clustering> LocalSearchClusterer::RunFrom(
+    const CorrelationInstance& instance, const Clustering& initial) const {
+  const std::size_t n = instance.size();
+  if (initial.size() != n) {
+    return Status::InvalidArgument(
+        "initial clustering covers " + std::to_string(initial.size()) +
+        " objects, expected " + std::to_string(n));
+  }
+  if (initial.HasMissing()) {
+    return Status::InvalidArgument(
+        "local search requires a complete starting clustering");
+  }
+  if (n == 0) return Clustering();
+
+  internal::MoveState state(instance, initial);
+  Rng rng(options_.seed);
+  std::vector<std::size_t> order(n);
+  for (std::size_t v = 0; v < n; ++v) order[v] = v;
+
+  for (std::size_t pass = 0; pass < options_.max_passes; ++pass) {
+    if (options_.shuffle_order) order = rng.Permutation(n);
+    bool any_move = false;
+    for (std::size_t v : order) {
+      any_move |= state.TryImproveBest(v, options_.min_improvement);
+    }
+    if (!any_move) break;
+  }
+  return state.ToClustering();
+}
+
+}  // namespace clustagg

@@ -1,0 +1,76 @@
+#ifndef CLUSTAGG_CORE_LOCAL_SEARCH_H_
+#define CLUSTAGG_CORE_LOCAL_SEARCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "core/clusterer.h"
+
+namespace clustagg {
+
+/// Options for the LOCALSEARCH correlation clusterer.
+struct LocalSearchOptions {
+  /// Starting partition when running stand-alone (RunFrom ignores this).
+  enum class Init {
+    /// Every object in its own cluster.
+    kSingletons,
+    /// All objects in one cluster.
+    kSingleCluster,
+    /// Uniformly random assignment to ~sqrt(n) clusters (the paper's
+    /// "random partition of the data" option).
+    kRandom,
+  };
+
+  Init init = Init::kSingletons;
+
+  /// Number of clusters for Init::kRandom; 0 picks max(2, round(sqrt(n))).
+  std::size_t random_clusters = 0;
+
+  /// Seed for Init::kRandom and for shuffle_order.
+  std::uint64_t seed = 1;
+
+  /// Visit objects in a freshly shuffled order each pass instead of index
+  /// order. Kept off by default for reproducible benches.
+  bool shuffle_order = false;
+
+  /// Hard cap on full passes over the objects (the paper notes the number
+  /// of iterations can be large; this guards pathological cases).
+  std::size_t max_passes = 1000;
+
+  /// A move must improve the cost by more than this to be taken; guards
+  /// against infinite loops on floating-point noise.
+  double min_improvement = 1e-7;
+};
+
+/// The LOCALSEARCH algorithm (Section 4): repeatedly sweep the objects,
+/// moving each to the cluster (or to a fresh singleton) that minimizes
+///   d(v, C_i) = M(v, C_i) + sum_{j != i} (|C_j| - M(v, C_j)),
+/// where M(v, C) = sum_{u in C} X_vu, until no move improves the cost.
+/// The implementation maintains M incrementally: evaluating all moves for
+/// one object costs O(#clusters) after an O(n) bookkeeping update per
+/// accepted move. Also usable as a post-processing step on any other
+/// algorithm's output via RunFrom / the Aggregator's refine option.
+class LocalSearchClusterer final : public CorrelationClusterer {
+ public:
+  explicit LocalSearchClusterer(LocalSearchOptions options = {})
+      : options_(options) {}
+
+  std::string name() const override { return "LOCALSEARCH"; }
+
+  Result<Clustering> Run(const CorrelationInstance& instance) const override;
+
+  /// Improves a given complete starting partition; the result never has a
+  /// higher correlation cost than `initial`.
+  Result<Clustering> RunFrom(const CorrelationInstance& instance,
+                             const Clustering& initial) const;
+
+  const LocalSearchOptions& options() const { return options_; }
+
+ private:
+  LocalSearchOptions options_;
+};
+
+}  // namespace clustagg
+
+#endif  // CLUSTAGG_CORE_LOCAL_SEARCH_H_

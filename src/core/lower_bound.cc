@@ -1,0 +1,21 @@
+#include "core/lower_bound.h"
+
+#include <algorithm>
+
+namespace clustagg {
+
+double DisagreementLowerBound(const ClusteringSet& input,
+                              const MissingValueOptions& missing) {
+  const std::size_t n = input.num_objects();
+  const double w = input.total_weight();
+  double bound = 0.0;
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = u + 1; v < n; ++v) {
+      const double x = input.PairwiseDistance(u, v, missing);
+      bound += w * std::min(x, 1.0 - x);
+    }
+  }
+  return bound;
+}
+
+}  // namespace clustagg

@@ -1,0 +1,19 @@
+#ifndef CLUSTAGG_CORE_LOWER_BOUND_H_
+#define CLUSTAGG_CORE_LOWER_BOUND_H_
+
+#include "common/status.h"
+#include "core/clustering_set.h"
+
+namespace clustagg {
+
+/// Per-pair lower bound on the optimal total disagreement D(C*): any
+/// partition pays at least m * min(X_uv, 1 - X_uv) for the pair (u, v),
+/// because placing the pair together costs the clusterings that split it
+/// and apart costs the ones that join it. This is the "Lower bound" row
+/// in Tables 2 and 3. O(m n^2).
+double DisagreementLowerBound(const ClusteringSet& input,
+                              const MissingValueOptions& missing = {});
+
+}  // namespace clustagg
+
+#endif  // CLUSTAGG_CORE_LOWER_BOUND_H_

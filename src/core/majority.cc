@@ -1,0 +1,26 @@
+#include "core/majority.h"
+
+#include <string>
+
+#include "common/union_find.h"
+
+namespace clustagg {
+
+Result<Clustering> MajorityClusterer::Run(
+    const CorrelationInstance& instance) const {
+  if (options_.link_threshold < 0.0 || options_.link_threshold > 1.0) {
+    return Status::InvalidArgument("link_threshold must lie in [0, 1]");
+  }
+  const std::size_t n = instance.size();
+  UnionFind uf(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = u + 1; v < n; ++v) {
+      if (instance.distance(u, v) < options_.link_threshold) {
+        uf.Union(u, v);
+      }
+    }
+  }
+  return Clustering(uf.ComponentLabels());
+}
+
+}  // namespace clustagg

@@ -1,0 +1,43 @@
+#ifndef CLUSTAGG_CORE_MAJORITY_H_
+#define CLUSTAGG_CORE_MAJORITY_H_
+
+#include <string>
+
+#include "core/clusterer.h"
+
+namespace clustagg {
+
+/// Options for the majority / evidence-accumulation baseline.
+struct MajorityOptions {
+  /// Two objects are linked when the fraction of clusterings separating
+  /// them is strictly below this threshold (1/2 = simple majority, the
+  /// setting of Fred & Jain's evidence accumulation).
+  double link_threshold = 0.5;
+};
+
+/// Co-association majority baseline (Fred & Jain, ICPR 2002 — reference
+/// [14] of the paper): link every pair the majority of input clusterings
+/// puts together and output the connected components of the link graph.
+/// This is single linkage on the co-association matrix. It ignores the
+/// correlation-clustering penalty for *joining* distant objects through
+/// chains, which is exactly the failure mode the paper's objective
+/// repairs — included as a comparison baseline and exercised in the
+/// ablation bench. O(n^2).
+class MajorityClusterer final : public CorrelationClusterer {
+ public:
+  explicit MajorityClusterer(MajorityOptions options = {})
+      : options_(options) {}
+
+  std::string name() const override { return "MAJORITY"; }
+
+  Result<Clustering> Run(const CorrelationInstance& instance) const override;
+
+  const MajorityOptions& options() const { return options_; }
+
+ private:
+  MajorityOptions options_;
+};
+
+}  // namespace clustagg
+
+#endif  // CLUSTAGG_CORE_MAJORITY_H_

@@ -1,0 +1,64 @@
+#include "core/pivot.h"
+
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace clustagg {
+
+namespace {
+
+Clustering PivotOnce(const CorrelationInstance& instance,
+                     double join_threshold, Rng* rng) {
+  const std::size_t n = instance.size();
+  std::vector<Clustering::Label> labels(n, Clustering::kMissing);
+  std::vector<std::size_t> order = rng->Permutation(n);
+  Clustering::Label next = 0;
+  for (std::size_t pivot : order) {
+    if (labels[pivot] != Clustering::kMissing) continue;
+    const Clustering::Label cluster = next++;
+    labels[pivot] = cluster;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (labels[v] != Clustering::kMissing || v == pivot) continue;
+      if (instance.distance(pivot, v) < join_threshold) {
+        labels[v] = cluster;
+      }
+    }
+  }
+  return Clustering(std::move(labels));
+}
+
+}  // namespace
+
+Result<Clustering> PivotClusterer::Run(
+    const CorrelationInstance& instance) const {
+  if (options_.repetitions < 1) {
+    return Status::InvalidArgument("repetitions must be >= 1");
+  }
+  if (options_.join_threshold < 0.0 || options_.join_threshold > 1.0) {
+    return Status::InvalidArgument("join_threshold must lie in [0, 1]");
+  }
+  const std::size_t n = instance.size();
+  if (n == 0) return Clustering();
+
+  Rng rng(options_.seed);
+  Clustering best;
+  double best_cost = 0.0;
+  bool first = true;
+  for (std::size_t r = 0; r < options_.repetitions; ++r) {
+    Clustering candidate =
+        PivotOnce(instance, options_.join_threshold, &rng);
+    Result<double> cost = instance.Cost(candidate);
+    CLUSTAGG_CHECK(cost.ok());
+    if (first || *cost < best_cost) {
+      best = std::move(candidate);
+      best_cost = *cost;
+      first = false;
+    }
+  }
+  return best.Normalized();
+}
+
+}  // namespace clustagg

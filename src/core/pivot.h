@@ -1,0 +1,52 @@
+#ifndef CLUSTAGG_CORE_PIVOT_H_
+#define CLUSTAGG_CORE_PIVOT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "core/clusterer.h"
+
+namespace clustagg {
+
+/// Options for the CC-PIVOT clusterer.
+struct PivotOptions {
+  /// Number of independent randomized runs; the lowest-cost result wins.
+  /// 1 reproduces the bare algorithm.
+  std::size_t repetitions = 8;
+  std::uint64_t seed = 1;
+  /// A non-pivot vertex joins the pivot's cluster when its distance to
+  /// the pivot is below this threshold (1/2 = "the majority of the input
+  /// clusterings put them together").
+  double join_threshold = 0.5;
+};
+
+/// The CC-PIVOT algorithm of Ailon, Charikar, Newman (STOC 2005): pick a
+/// random unclustered vertex as pivot, cluster every unclustered vertex
+/// within distance < 1/2 of it with the pivot, remove, repeat.
+///
+/// This is the natural follow-up to the paper's BALLS algorithm from the
+/// same year (the paper's Section 6 surveys this line of work): expected
+/// 3-approximation on 0/1 instances and expected 5-approximation for
+/// weighted instances with probability constraints, which covers the
+/// instances produced by clustering aggregation. Included as the
+/// "future work" extension and as an ablation baseline against BALLS:
+/// same ball-growing idea, random pivots instead of the sorted-weight
+/// heuristic, no alpha test. O(n^2) per repetition.
+class PivotClusterer final : public CorrelationClusterer {
+ public:
+  explicit PivotClusterer(PivotOptions options = {}) : options_(options) {}
+
+  std::string name() const override { return "CC-PIVOT"; }
+
+  Result<Clustering> Run(const CorrelationInstance& instance) const override;
+
+  const PivotOptions& options() const { return options_; }
+
+ private:
+  PivotOptions options_;
+};
+
+}  // namespace clustagg
+
+#endif  // CLUSTAGG_CORE_PIVOT_H_

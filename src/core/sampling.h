@@ -1,0 +1,60 @@
+#ifndef CLUSTAGG_CORE_SAMPLING_H_
+#define CLUSTAGG_CORE_SAMPLING_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/status.h"
+#include "core/clusterer.h"
+#include "core/clustering.h"
+#include "core/clustering_set.h"
+
+namespace clustagg {
+
+/// Options for the SAMPLING meta-algorithm.
+struct SamplingOptions {
+  /// Number of objects sampled uniformly at random for the expensive
+  /// aggregation phase. 0 picks the Chernoff-guided default
+  /// `sample_log_factor * ln(n)`, which hits every constant-fraction
+  /// cluster with high probability (Section 4.1).
+  std::size_t sample_size = 0;
+
+  /// Multiplier for the ln(n) default; larger values trade running time
+  /// for a better chance of sampling small clusters.
+  double sample_log_factor = 50.0;
+
+  /// Seed for the uniform sample.
+  std::uint64_t seed = 1;
+
+  /// Re-run the base algorithm on the singleton clusters produced by the
+  /// assignment phase (the paper's post-processing; without it small
+  /// clusters shatter into singletons).
+  bool recluster_singletons = true;
+
+  /// Missing-value policy used when computing on-the-fly distances.
+  MissingValueOptions missing;
+};
+
+/// Diagnostics from a SAMPLING run (used by the Figure 5 benches).
+struct SamplingStats {
+  std::size_t sample_size = 0;
+  std::size_t singletons_after_assignment = 0;
+  double sample_phase_seconds = 0.0;
+  double assign_phase_seconds = 0.0;
+  double recluster_phase_seconds = 0.0;
+};
+
+/// The SAMPLING meta-algorithm (Section 4.1): aggregate a uniform sample
+/// with `base`, assign every non-sampled object to the cluster of the
+/// sample minimizing the correlation cost (or to a singleton), then
+/// collect all singletons and aggregate them again with `base`. Pre- and
+/// post-processing are O(n * sample_size * m); only the sample pays the
+/// quadratic cost.
+Result<Clustering> SamplingAggregate(const ClusteringSet& input,
+                                     const CorrelationClusterer& base,
+                                     const SamplingOptions& options = {},
+                                     SamplingStats* stats = nullptr);
+
+}  // namespace clustagg
+
+#endif  // CLUSTAGG_CORE_SAMPLING_H_

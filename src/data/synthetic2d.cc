@@ -1,0 +1,136 @@
+#include "data/synthetic2d.h"
+
+#include <cmath>
+#include <string>
+
+#include "common/rng.h"
+
+namespace clustagg {
+
+Result<Dataset2D> GenerateGaussianMixture(
+    const GaussianMixtureOptions& options) {
+  if (options.num_clusters == 0 || options.points_per_cluster == 0) {
+    return Status::InvalidArgument(
+        "num_clusters and points_per_cluster must be positive");
+  }
+  if (options.noise_fraction < 0.0) {
+    return Status::InvalidArgument("noise_fraction must be >= 0");
+  }
+  Rng rng(options.seed);
+
+  // Rejection-sample separated centers; relax the separation if the
+  // square gets too crowded to place them.
+  std::vector<Point2D> centers;
+  double separation = options.min_center_separation;
+  while (centers.size() < options.num_clusters) {
+    bool placed = false;
+    for (int attempt = 0; attempt < 200; ++attempt) {
+      const Point2D c = {rng.NextDouble(), rng.NextDouble()};
+      bool ok = true;
+      for (const Point2D& other : centers) {
+        if (EuclideanDistance(c, other) < separation) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        centers.push_back(c);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) separation *= 0.8;
+  }
+
+  Dataset2D data;
+  const std::size_t clustered =
+      options.num_clusters * options.points_per_cluster;
+  const std::size_t noise = static_cast<std::size_t>(
+      std::llround(options.noise_fraction * static_cast<double>(clustered)));
+  data.points.reserve(clustered + noise);
+  data.ground_truth.reserve(clustered + noise);
+  for (std::size_t c = 0; c < options.num_clusters; ++c) {
+    for (std::size_t i = 0; i < options.points_per_cluster; ++i) {
+      data.points.push_back(
+          {centers[c].x + options.cluster_stddev * rng.NextGaussian(),
+           centers[c].y + options.cluster_stddev * rng.NextGaussian()});
+      data.ground_truth.push_back(static_cast<int>(c));
+    }
+  }
+  for (std::size_t i = 0; i < noise; ++i) {
+    data.points.push_back({rng.NextDouble(), rng.NextDouble()});
+    data.ground_truth.push_back(-1);
+  }
+  return data;
+}
+
+namespace {
+
+void AddGaussianBlob(Rng* rng, Dataset2D* data, Point2D center,
+                     double stddev, std::size_t count, int label) {
+  for (std::size_t i = 0; i < count; ++i) {
+    data->points.push_back({center.x + stddev * rng->NextGaussian(),
+                            center.y + stddev * rng->NextGaussian()});
+    data->ground_truth.push_back(label);
+  }
+}
+
+/// Points along the segment a -> b with small jitter orthogonal to it;
+/// the first half is labeled `label_a`, the second `label_b`.
+void AddBridge(Rng* rng, Dataset2D* data, Point2D a, Point2D b,
+               double jitter, std::size_t count, int label_a, int label_b) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const double t = (static_cast<double>(i) + 0.5) /
+                     static_cast<double>(count);
+    const double dx = b.x - a.x;
+    const double dy = b.y - a.y;
+    const double len = std::sqrt(dx * dx + dy * dy);
+    const double off = jitter * rng->NextGaussian();
+    data->points.push_back({a.x + t * dx - off * dy / len,
+                            a.y + t * dy + off * dx / len});
+    data->ground_truth.push_back(t < 0.5 ? label_a : label_b);
+  }
+}
+
+}  // namespace
+
+Result<Dataset2D> GenerateSevenClusters(std::uint64_t seed, double scale) {
+  if (scale <= 0.0) {
+    return Status::InvalidArgument("scale must be positive");
+  }
+  Rng rng(seed);
+  Dataset2D data;
+  auto count = [scale](std::size_t base) {
+    return static_cast<std::size_t>(
+        std::llround(scale * static_cast<double>(base)));
+  };
+
+  // Group 0 and 1: two round blobs connected by a narrow bridge — the
+  // feature that fools single linkage.
+  const Point2D c0 = {1.0, 3.0};
+  const Point2D c1 = {2.4, 3.0};
+  AddGaussianBlob(&rng, &data, c0, 0.22, count(180), 0);
+  AddGaussianBlob(&rng, &data, c1, 0.22, count(180), 1);
+  AddBridge(&rng, &data, {1.25, 3.0}, {2.15, 3.0}, 0.015, count(30), 0, 1);
+
+  // Group 2: an elongated horizontal strip — fools complete linkage and
+  // k-means.
+  for (std::size_t i = 0; i < count(160); ++i) {
+    data.points.push_back(
+        {rng.NextUniform(0.4, 3.6), 1.7 + 0.05 * rng.NextGaussian()});
+    data.ground_truth.push_back(2);
+  }
+
+  // Group 3: a small dense cluster next to a large sparse one (group 4) —
+  // uneven sizes fool k-means.
+  AddGaussianBlob(&rng, &data, {3.55, 3.45}, 0.07, count(60), 3);
+  AddGaussianBlob(&rng, &data, {0.55, 0.55}, 0.25, count(200), 4);
+
+  // Groups 5 and 6: medium blobs with a size contrast.
+  AddGaussianBlob(&rng, &data, {3.25, 0.55}, 0.18, count(140), 5);
+  AddGaussianBlob(&rng, &data, {2.0, 0.35}, 0.09, count(70), 6);
+
+  return data;
+}
+
+}  // namespace clustagg

@@ -1,0 +1,51 @@
+#ifndef CLUSTAGG_DATA_SYNTHETIC2D_H_
+#define CLUSTAGG_DATA_SYNTHETIC2D_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/status.h"
+#include "vanilla/dataset2d.h"
+
+namespace clustagg {
+
+/// Options for the Gaussian-mixture-plus-noise generator used by the
+/// paper's Figure 4 ("correct clusters and outliers") and Figure 5
+/// (right) scalability experiments: k* centers uniform in the unit
+/// square, Gaussian clouds around them, plus a fraction of uniform
+/// background noise.
+struct GaussianMixtureOptions {
+  /// Number of true clusters (the paper uses k* = 3, 5, 7).
+  std::size_t num_clusters = 5;
+  /// Points drawn per cluster (the paper uses 100).
+  std::size_t points_per_cluster = 100;
+  /// Extra uniform noise, as a fraction of the clustered points (the
+  /// paper adds 20%). Noise points get ground-truth label -1.
+  double noise_fraction = 0.2;
+  /// Standard deviation of each Gaussian cloud, in unit-square units.
+  double cluster_stddev = 0.04;
+  /// Minimum pairwise distance enforced between sampled centers so the
+  /// "correct" clusters are actually separable.
+  double min_center_separation = 0.18;
+  std::uint64_t seed = 1;
+};
+
+/// Generates the mixture; ground_truth holds 0..k*-1 for cluster points
+/// and -1 for noise.
+Result<Dataset2D> GenerateGaussianMixture(
+    const GaussianMixtureOptions& options);
+
+/// The "difficult shapes" dataset of Figure 3: seven perceptually
+/// distinct groups engineered to break individual vanilla algorithms —
+/// two blobs connected by a narrow bridge (defeats single linkage),
+/// uneven-size clusters (defeats k-means), an elongated strip (defeats
+/// complete linkage), and small dense clusters. `scale` multiplies the
+/// point counts (scale = 1 gives ~1000 points). Ground truth labels the
+/// seven groups 0..6; the bridge points carry the label of the blob they
+/// are attached to (split at the midpoint).
+Result<Dataset2D> GenerateSevenClusters(std::uint64_t seed,
+                                        double scale = 1.0);
+
+}  // namespace clustagg
+
+#endif  // CLUSTAGG_DATA_SYNTHETIC2D_H_

@@ -1,0 +1,97 @@
+#ifndef CLUSTAGG_DATA_SYNTHETIC_CATEGORICAL_H_
+#define CLUSTAGG_DATA_SYNTHETIC_CATEGORICAL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "categorical/table.h"
+#include "common/status.h"
+
+namespace clustagg {
+
+/// Generator for synthetic categorical tables with planted latent-group
+/// structure. This stands in for the UCI datasets of Section 5.2 (this
+/// repository runs offline — see DESIGN.md §4): rows belong to latent
+/// groups; each (group, attribute) pair has a deterministic preferred
+/// value on "informative" attributes; rows draw the preferred value with
+/// probability 1 - attribute_noise and a uniform value otherwise; class
+/// labels are a fixed function of the latent group. Aggregation
+/// algorithms should recover (a refinement of) the latent groups, which
+/// is exactly the structure the UCI experiments exercise.
+struct SyntheticCategoricalOptions {
+  std::size_t num_rows = 1000;
+  /// Cardinality of each attribute; the vector length defines the number
+  /// of attributes.
+  std::vector<std::size_t> cardinalities;
+  /// Number of latent groups that generate rows.
+  std::size_t num_latent_groups = 2;
+  /// Class label of each latent group (length num_latent_groups). Empty
+  /// means group index = class label.
+  std::vector<std::int32_t> group_to_class;
+  /// Attribute *profile* of each latent group (length num_latent_groups;
+  /// empty means group index = profile). Two groups sharing a profile
+  /// are indistinguishable to any clustering of the attributes but can
+  /// carry different class labels — this models look-alike classes (e.g.
+  /// poisonous and edible mushroom species with the same morphology),
+  /// which is what puts a floor under the classification error of even a
+  /// perfect clustering, as in the paper's Table 1.
+  std::vector<std::size_t> group_profiles;
+  /// Relative sampling weight of each group (empty = uniform).
+  std::vector<double> group_weights;
+  /// Probability that a cell ignores its group-preferred value and draws
+  /// uniformly from the attribute domain.
+  double attribute_noise = 0.15;
+  /// Fraction of rows that are "mavericks": weakly-typical individuals
+  /// whose cells are drawn from a *uniformly random group's* profile with
+  /// probability maverick_crossover (and from their own group's profile
+  /// otherwise). Mavericks sit between the group prototypes, which is
+  /// what produces the paper's 10-15% classification errors on real
+  /// survey data without blurring the majority structure.
+  double maverick_fraction = 0.0;
+  double maverick_crossover = 1.0;
+  /// Fraction of attributes that discriminate between groups; the rest
+  /// share one preferred value across all groups.
+  double informative_fraction = 1.0;
+  /// Total number of missing cells scattered uniformly over the table.
+  std::size_t missing_cells = 0;
+  /// Probability that a row's class label is resampled from the global
+  /// class distribution instead of taking its group's class. Models
+  /// class labels that are correlated with — but not determined by — the
+  /// attributes (e.g. income given demographics), which puts a floor
+  /// under the classification error of any clustering.
+  double class_noise = 0.0;
+  std::uint64_t seed = 1;
+};
+
+/// A generated table plus the latent group of each row (the planted
+/// ground truth, which is finer than the class labels).
+struct SyntheticCategoricalData {
+  CategoricalTable table;
+  std::vector<std::int32_t> latent_groups;
+};
+
+Result<SyntheticCategoricalData> GenerateCategorical(
+    const SyntheticCategoricalOptions& options);
+
+/// Votes-like table: 435 rows, 16 binary attributes, 2 classes
+/// (republican / democrat), 288 missing cells — the published schema of
+/// the UCI Congressional Votes dataset.
+Result<SyntheticCategoricalData> MakeVotesLike(std::uint64_t seed = 1);
+
+/// Mushrooms-like table: 8124 rows, 22 attributes with cardinalities 2-9,
+/// 2 classes (poisonous / edible) built from 9 latent "species groups",
+/// 2480 missing cells — the published schema of UCI Mushrooms. The
+/// species-group structure mirrors the paper's finding that the natural
+/// cluster count is around 7-9 (Tables 1 and 3).
+Result<SyntheticCategoricalData> MakeMushroomsLike(std::uint64_t seed = 1);
+
+/// Census-like table: 8 categorical attributes with census-like
+/// cardinalities, 2 income classes built from ~55 latent social groups
+/// (the paper reports 50-60 clusters), default 32561 rows.
+Result<SyntheticCategoricalData> MakeCensusLike(std::uint64_t seed = 1,
+                                                std::size_t num_rows = 32561);
+
+}  // namespace clustagg
+
+#endif  // CLUSTAGG_DATA_SYNTHETIC_CATEGORICAL_H_

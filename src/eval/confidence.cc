@@ -1,0 +1,65 @@
+#include "eval/confidence.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <string>
+
+#include "core/internal/move_state.h"
+
+namespace clustagg {
+
+Result<std::vector<double>> AssignmentMargins(
+    const CorrelationInstance& instance, const Clustering& clustering) {
+  const std::size_t n = instance.size();
+  if (clustering.size() != n) {
+    return Status::InvalidArgument(
+        "clustering covers " + std::to_string(clustering.size()) +
+        " objects, expected " + std::to_string(n));
+  }
+  if (clustering.HasMissing()) {
+    return Status::InvalidArgument("clustering must be complete");
+  }
+  if (n == 0) return std::vector<double>{};
+
+  const internal::MoveState state(instance, clustering);
+  std::vector<double> margins(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto [singleton_cost, join] = state.EvaluateMoves(v);
+    const std::size_t current = state.cluster_of(v);
+    const double stay = join[current];
+    // For an object that already is a singleton, "open a fresh
+    // singleton" is a no-op, not an alternative; its real alternatives
+    // are the other clusters.
+    double best_alternative = std::numeric_limits<double>::infinity();
+    if (state.cluster_size(current) > 1) {
+      best_alternative = singleton_cost;
+    }
+    for (std::size_t j = 0; j < join.size(); ++j) {
+      if (j == current) continue;
+      best_alternative = std::min(best_alternative, join[j]);
+    }
+    // No alternative at all (n == 1, or a lone singleton cluster).
+    margins[v] = best_alternative - stay;
+  }
+  return margins;
+}
+
+Result<std::vector<std::size_t>> MostAmbiguousObjects(
+    const CorrelationInstance& instance, const Clustering& clustering,
+    std::size_t count) {
+  Result<std::vector<double>> margins =
+      AssignmentMargins(instance, clustering);
+  if (!margins.ok()) return margins.status();
+  std::vector<std::size_t> order(margins->size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  count = std::min(count, order.size());
+  std::partial_sort(order.begin(), order.begin() + count, order.end(),
+                    [&](std::size_t a, std::size_t b) {
+                      return (*margins)[a] < (*margins)[b];
+                    });
+  order.resize(count);
+  return order;
+}
+
+}  // namespace clustagg

@@ -1,0 +1,38 @@
+#ifndef CLUSTAGG_EVAL_CONFIDENCE_H_
+#define CLUSTAGG_EVAL_CONFIDENCE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/clustering.h"
+#include "core/correlation_instance.h"
+
+namespace clustagg {
+
+/// Per-object assignment confidence for a clustering of a correlation
+/// instance: for each object v,
+///
+///   margin(v) = min over alternative placements A of
+///                   [ cost(v in A) - cost(v in its current cluster) ]
+///
+/// where the alternatives are every other current cluster plus a fresh
+/// singleton, and cost is the LOCALSEARCH objective d(v, C). A negative
+/// margin means v is misplaced (a single move would reduce the total
+/// cost — impossible at a local optimum); a margin near zero means the
+/// consensus is ambiguous about v (the paper's outliers: objects "with
+/// no consensus on how they should be clustered"); a large margin means
+/// the placement is solid.
+///
+/// O(n^2) once, then O(k) per object.
+Result<std::vector<double>> AssignmentMargins(
+    const CorrelationInstance& instance, const Clustering& clustering);
+
+/// Convenience: indices of the objects with the smallest margins (the
+/// most outlier-like), most ambiguous first. `count` is clamped to n.
+Result<std::vector<std::size_t>> MostAmbiguousObjects(
+    const CorrelationInstance& instance, const Clustering& clustering,
+    std::size_t count);
+
+}  // namespace clustagg
+
+#endif  // CLUSTAGG_EVAL_CONFIDENCE_H_

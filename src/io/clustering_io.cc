@@ -1,0 +1,125 @@
+#include "io/clustering_io.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+namespace clustagg {
+
+Result<Clustering> ParseClustering(std::string_view text) {
+  std::vector<Clustering::Label> labels;
+  std::size_t pos = 0;
+  const std::size_t n = text.size();
+  while (pos < n) {
+    // Skip whitespace.
+    while (pos < n && (text[pos] == ' ' || text[pos] == '\t' ||
+                       text[pos] == '\r' || text[pos] == '\n')) {
+      ++pos;
+    }
+    if (pos >= n) break;
+    if (text[pos] == '#') {
+      // Comment to end of line.
+      while (pos < n && text[pos] != '\n') ++pos;
+      continue;
+    }
+    const std::size_t start = pos;
+    while (pos < n && text[pos] != ' ' && text[pos] != '\t' &&
+           text[pos] != '\r' && text[pos] != '\n') {
+      ++pos;
+    }
+    const std::string_view token = text.substr(start, pos - start);
+    if (token == "?") {
+      labels.push_back(Clustering::kMissing);
+      continue;
+    }
+    Clustering::Label value = 0;
+    bool valid = !token.empty();
+    for (char c : token) {
+      if (c < '0' || c > '9') {
+        valid = false;
+        break;
+      }
+      if (value > (std::numeric_limits<Clustering::Label>::max() - 9) / 10) {
+        return Status::InvalidArgument("cluster label overflows: " +
+                                       std::string(token));
+      }
+      value = value * 10 + (c - '0');
+    }
+    if (!valid) {
+      return Status::InvalidArgument(
+          "invalid label token '" + std::string(token) +
+          "' at offset " + std::to_string(start) +
+          " (expected a non-negative integer or '?')");
+    }
+    labels.push_back(value);
+  }
+  if (labels.empty()) {
+    return Status::InvalidArgument("label file contains no labels");
+  }
+  return Clustering(std::move(labels));
+}
+
+std::string FormatClustering(const Clustering& clustering) {
+  std::string out;
+  for (std::size_t v = 0; v < clustering.size(); ++v) {
+    if (v > 0) out += ' ';
+    if (clustering.has_label(v)) {
+      out += std::to_string(clustering.label(v));
+    } else {
+      out += '?';
+    }
+  }
+  out += '\n';
+  return out;
+}
+
+Result<Clustering> ReadClusteringFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::InvalidArgument("cannot open '" + path +
+                                   "': " + std::strerror(errno));
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  Result<Clustering> parsed = ParseClustering(buffer.str());
+  if (!parsed.ok()) {
+    return Status::InvalidArgument("while reading '" + path +
+                                   "': " + parsed.status().message());
+  }
+  return parsed;
+}
+
+Status WriteClusteringFile(const std::string& path,
+                           const Clustering& clustering) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::InvalidArgument("cannot open '" + path +
+                                   "' for writing: " +
+                                   std::strerror(errno));
+  }
+  out << FormatClustering(clustering);
+  if (!out) {
+    return Status::Internal("write to '" + path + "' failed");
+  }
+  return Status::OK();
+}
+
+Result<ClusteringSet> ReadClusteringSet(
+    const std::vector<std::string>& paths) {
+  if (paths.empty()) {
+    return Status::InvalidArgument("no label files given");
+  }
+  std::vector<Clustering> clusterings;
+  clusterings.reserve(paths.size());
+  for (const std::string& path : paths) {
+    Result<Clustering> c = ReadClusteringFile(path);
+    if (!c.ok()) return c.status();
+    clusterings.push_back(std::move(*c));
+  }
+  return ClusteringSet::Create(std::move(clusterings));
+}
+
+}  // namespace clustagg

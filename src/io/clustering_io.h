@@ -1,0 +1,42 @@
+#ifndef CLUSTAGG_IO_CLUSTERING_IO_H_
+#define CLUSTAGG_IO_CLUSTERING_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "core/clustering.h"
+#include "core/clustering_set.h"
+
+namespace clustagg {
+
+/// Text format for clusterings (the "label file"): one token per object,
+/// separated by whitespace or newlines — a non-negative integer cluster
+/// id, or `?` for a missing label. Lines starting with `#` are comments.
+///
+/// Example (the paper's C_1 of Figure 1):
+///   # clustering C1
+///   0 0 1 1 2 2
+
+/// Parses a label file's contents.
+Result<Clustering> ParseClustering(std::string_view text);
+
+/// Serializes a clustering in the label-file format (one line, plus a
+/// trailing newline). Missing labels become `?`.
+std::string FormatClustering(const Clustering& clustering);
+
+/// Reads a clustering from a file.
+Result<Clustering> ReadClusteringFile(const std::string& path);
+
+/// Writes a clustering to a file (overwrites).
+Status WriteClusteringFile(const std::string& path,
+                           const Clustering& clustering);
+
+/// Reads several label files into a ClusteringSet (all files must cover
+/// the same number of objects).
+Result<ClusteringSet> ReadClusteringSet(
+    const std::vector<std::string>& paths);
+
+}  // namespace clustagg
+
+#endif  // CLUSTAGG_IO_CLUSTERING_IO_H_

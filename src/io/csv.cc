@@ -1,0 +1,202 @@
+#include "io/csv.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+namespace clustagg {
+
+namespace {
+
+/// Splits one CSV line on the delimiter; trims trailing '\r'.
+std::vector<std::string> SplitLine(std::string_view line, char delimiter) {
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  std::vector<std::string> cells;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= line.size(); ++i) {
+    if (i == line.size() || line[i] == delimiter) {
+      cells.emplace_back(line.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return cells;
+}
+
+bool IsMissing(const std::string& cell, const CsvOptions& options) {
+  return std::find(options.missing_tokens.begin(),
+                   options.missing_tokens.end(),
+                   cell) != options.missing_tokens.end();
+}
+
+}  // namespace
+
+Result<CsvDataset> ParseCategoricalCsv(std::string_view text,
+                                       const CsvOptions& options) {
+  // Split into lines, dropping blank ones.
+  std::vector<std::string_view> lines;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == '\n') {
+      std::string_view line = text.substr(start, i - start);
+      if (!line.empty() && line != "\r") lines.push_back(line);
+      start = i + 1;
+    }
+  }
+  if (lines.empty()) {
+    return Status::InvalidArgument("CSV input is empty");
+  }
+
+  std::vector<std::string> header;
+  std::size_t first_data_line = 0;
+  if (options.has_header) {
+    header = SplitLine(lines[0], options.delimiter);
+    first_data_line = 1;
+  } else {
+    // Synthesize positional names.
+    const std::size_t width =
+        SplitLine(lines[0], options.delimiter).size();
+    for (std::size_t c = 0; c < width; ++c) {
+      header.push_back(std::to_string(c));
+    }
+  }
+  const std::size_t width = header.size();
+
+  // Locate the class column.
+  std::size_t class_index = width;  // sentinel: none
+  if (!options.class_column.empty()) {
+    for (std::size_t c = 0; c < width; ++c) {
+      if (header[c] == options.class_column) {
+        class_index = c;
+        break;
+      }
+    }
+    if (class_index == width) {
+      return Status::InvalidArgument("class column '" +
+                                     options.class_column +
+                                     "' not found in header");
+    }
+  }
+
+  CsvDataset dataset;
+  std::vector<std::unordered_map<std::string, std::int32_t>> dictionaries(
+      width);
+  dataset.value_names.assign(width - (class_index < width ? 1 : 0), {});
+  std::unordered_map<std::string, std::int32_t> class_dictionary;
+
+  for (std::size_t c = 0; c < width; ++c) {
+    if (c != class_index) dataset.column_names.push_back(header[c]);
+  }
+
+  std::vector<std::vector<std::int32_t>> rows;
+  std::vector<std::int32_t> class_labels;
+  for (std::size_t l = first_data_line; l < lines.size(); ++l) {
+    const std::vector<std::string> cells =
+        SplitLine(lines[l], options.delimiter);
+    if (cells.size() != width) {
+      return Status::InvalidArgument(
+          "row " + std::to_string(l + 1) + " has " +
+          std::to_string(cells.size()) + " cells, expected " +
+          std::to_string(width));
+    }
+    std::vector<std::int32_t> row;
+    row.reserve(width);
+    std::size_t attribute = 0;
+    for (std::size_t c = 0; c < width; ++c) {
+      if (c == class_index) {
+        if (IsMissing(cells[c], options)) {
+          return Status::InvalidArgument("row " + std::to_string(l + 1) +
+                                         " has a missing class label");
+        }
+        auto [it, inserted] = class_dictionary.try_emplace(
+            cells[c],
+            static_cast<std::int32_t>(class_dictionary.size()));
+        if (inserted) dataset.class_names.push_back(cells[c]);
+        class_labels.push_back(it->second);
+        continue;
+      }
+      if (IsMissing(cells[c], options)) {
+        row.push_back(CategoricalTable::kMissingValue);
+      } else {
+        auto [it, inserted] = dictionaries[c].try_emplace(
+            cells[c], static_cast<std::int32_t>(dictionaries[c].size()));
+        if (inserted) dataset.value_names[attribute].push_back(cells[c]);
+        row.push_back(it->second);
+      }
+      ++attribute;
+    }
+    rows.push_back(std::move(row));
+  }
+
+  Result<CategoricalTable> table = CategoricalTable::Create(
+      std::move(rows), std::move(class_labels), dataset.column_names,
+      dataset.class_names);
+  if (!table.ok()) return table.status();
+  dataset.table = std::move(*table);
+  return dataset;
+}
+
+Result<CsvDataset> ReadCategoricalCsv(const std::string& path,
+                                      const CsvOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::InvalidArgument("cannot open '" + path +
+                                   "': " + std::strerror(errno));
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  Result<CsvDataset> parsed = ParseCategoricalCsv(buffer.str(), options);
+  if (!parsed.ok()) {
+    return Status::InvalidArgument("while reading '" + path +
+                                   "': " + parsed.status().message());
+  }
+  return parsed;
+}
+
+std::string FormatCategoricalCsv(const CsvDataset& dataset,
+                                 char delimiter) {
+  const CategoricalTable& table = dataset.table;
+  std::string out;
+  const bool has_class = table.has_class_labels();
+  for (std::size_t c = 0; c < dataset.column_names.size(); ++c) {
+    if (c > 0) out += delimiter;
+    out += dataset.column_names[c];
+  }
+  if (has_class) {
+    out += delimiter;
+    out += "class";
+  }
+  out += '\n';
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    for (std::size_t a = 0; a < table.num_attributes(); ++a) {
+      if (a > 0) out += delimiter;
+      if (!table.has_value(r, a)) {
+        out += '?';
+      } else {
+        const auto code = static_cast<std::size_t>(table.value(r, a));
+        if (a < dataset.value_names.size() &&
+            code < dataset.value_names[a].size()) {
+          out += dataset.value_names[a][code];
+        } else {
+          out += std::to_string(code);
+        }
+      }
+    }
+    if (has_class) {
+      out += delimiter;
+      const auto code =
+          static_cast<std::size_t>(table.class_labels()[r]);
+      if (code < dataset.class_names.size()) {
+        out += dataset.class_names[code];
+      } else {
+        out += std::to_string(code);
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace clustagg

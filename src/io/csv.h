@@ -1,0 +1,56 @@
+#ifndef CLUSTAGG_IO_CSV_H_
+#define CLUSTAGG_IO_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "categorical/table.h"
+#include "common/status.h"
+
+namespace clustagg {
+
+/// Options for reading a categorical CSV file.
+struct CsvOptions {
+  char delimiter = ',';
+  /// First row holds column names.
+  bool has_header = true;
+  /// Name (or, when the file has no header, 0-based index as a string)
+  /// of the column holding the class label; empty = no class column.
+  /// The class column is excluded from the attributes.
+  std::string class_column;
+  /// Cell values treated as missing.
+  std::vector<std::string> missing_tokens = {"?", "", "NA", "na"};
+};
+
+/// A categorical table decoded from CSV, with the dictionaries needed to
+/// map the integer codes back to the original strings.
+struct CsvDataset {
+  CategoricalTable table;
+  std::vector<std::string> column_names;       // attribute columns only
+  /// value_names[attribute][code] = original string.
+  std::vector<std::vector<std::string>> value_names;
+  /// class_names[class code] = original string (empty without a class
+  /// column; also mirrored in table.class_names()).
+  std::vector<std::string> class_names;
+};
+
+/// Parses CSV text into a categorical table: every column is a
+/// categorical attribute (values are dictionary-encoded in order of
+/// first appearance), except the optional class column. Quoting is not
+/// supported (cells must not contain the delimiter).
+Result<CsvDataset> ParseCategoricalCsv(std::string_view text,
+                                       const CsvOptions& options = {});
+
+/// Reads and parses a CSV file.
+Result<CsvDataset> ReadCategoricalCsv(const std::string& path,
+                                      const CsvOptions& options = {});
+
+/// Serializes a table back to CSV (codes replaced by dictionary strings
+/// when `dataset.value_names` is populated; missing cells become "?").
+std::string FormatCategoricalCsv(const CsvDataset& dataset,
+                                 char delimiter = ',');
+
+}  // namespace clustagg
+
+#endif  // CLUSTAGG_IO_CSV_H_

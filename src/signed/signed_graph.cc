@@ -1,0 +1,72 @@
+#include "signed/signed_graph.h"
+
+#include <string>
+
+namespace clustagg {
+
+SignedGraph SignedGraph::FromInstance(const CorrelationInstance& instance) {
+  const std::size_t n = instance.size();
+  SignedGraph graph(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = u + 1; v < n; ++v) {
+      graph.SetNegative(u, v, instance.distance(u, v) > 0.5);
+    }
+  }
+  return graph;
+}
+
+CorrelationInstance SignedGraph::ToInstance() const {
+  const std::size_t n = size();
+  SymmetricMatrix<float> distances(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = u + 1; v < n; ++v) {
+      distances.Set(u, v, negative(u, v) ? 1.0f : 0.0f);
+    }
+  }
+  Result<CorrelationInstance> instance =
+      CorrelationInstance::FromDistances(std::move(distances));
+  // 0/1 entries are always in range.
+  return *std::move(instance);
+}
+
+Result<std::uint64_t> SignedGraph::Disagreements(
+    const Clustering& candidate) const {
+  const std::size_t n = size();
+  if (candidate.size() != n) {
+    return Status::InvalidArgument(
+        "candidate covers " + std::to_string(candidate.size()) +
+        " objects, expected " + std::to_string(n));
+  }
+  if (candidate.HasMissing()) {
+    return Status::InvalidArgument("candidate must be complete");
+  }
+  std::uint64_t disagreements = 0;
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = u + 1; v < n; ++v) {
+      const bool together = candidate.label(u) == candidate.label(v);
+      if (together == negative(u, v)) ++disagreements;
+    }
+  }
+  return disagreements;
+}
+
+Result<std::uint64_t> SignedGraph::Agreements(
+    const Clustering& candidate) const {
+  Result<std::uint64_t> d = Disagreements(candidate);
+  if (!d.ok()) return d.status();
+  const auto n = static_cast<std::uint64_t>(size());
+  return n * (n - 1) / 2 - *d;
+}
+
+std::uint64_t SignedGraph::CountNegative() const {
+  const std::size_t n = size();
+  std::uint64_t count = 0;
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = u + 1; v < n; ++v) {
+      if (negative(u, v)) ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace clustagg

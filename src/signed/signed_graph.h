@@ -1,0 +1,74 @@
+#ifndef CLUSTAGG_SIGNED_SIGNED_GRAPH_H_
+#define CLUSTAGG_SIGNED_SIGNED_GRAPH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/status.h"
+#include "common/symmetric_matrix.h"
+#include "core/clustering.h"
+#include "core/correlation_instance.h"
+
+namespace clustagg {
+
+/// A complete graph with +/- edge labels — the original correlation-
+/// clustering formulation of Bansal, Blum, Chawla (FOCS 2002) that the
+/// paper's Section 6 builds on. The objective is to minimize the number
+/// of + edges cut plus the number of - edges kept inside clusters.
+///
+/// This is exactly the weighted formulation with X in {0, 1} (a + edge
+/// is X = 0, a - edge is X = 1), so every clusterer in this library runs
+/// on signed graphs through ToInstance(); the class exists to make the
+/// reduction explicit and to host signed-specific utilities (majority
+/// rounding of a weighted instance, agreement maximization accounting).
+class SignedGraph {
+ public:
+  SignedGraph() = default;
+
+  /// n vertices, all edges positive.
+  explicit SignedGraph(std::size_t n)
+      : negative_(n, /*fill=*/false) {}
+
+  /// Rounds a weighted instance at the majority threshold: pairs with
+  /// X_uv > 1/2 become - edges, pairs with X_uv < 1/2 become + edges;
+  /// exact ties round toward + ("do not cut" is free for them either
+  /// way).
+  static SignedGraph FromInstance(const CorrelationInstance& instance);
+
+  std::size_t size() const { return negative_.size(); }
+
+  /// True iff the edge (u, v) is negative. u == v reads as positive.
+  bool negative(std::size_t u, std::size_t v) const {
+    return u != v && negative_(u, v);
+  }
+  bool positive(std::size_t u, std::size_t v) const {
+    return u != v && !negative_(u, v);
+  }
+
+  void SetNegative(std::size_t u, std::size_t v, bool is_negative) {
+    negative_.Set(u, v, is_negative);
+  }
+
+  /// The equivalent 0/1 weighted instance; every CorrelationClusterer in
+  /// the library runs on it.
+  CorrelationInstance ToInstance() const;
+
+  /// Disagreements of a complete candidate partition: + edges cut plus
+  /// - edges not cut.
+  Result<std::uint64_t> Disagreements(const Clustering& candidate) const;
+
+  /// Agreements = (n choose 2) - Disagreements — the maximization
+  /// objective of the 0.76-approximation line of work (Section 6).
+  Result<std::uint64_t> Agreements(const Clustering& candidate) const;
+
+  /// Number of negative edges.
+  std::uint64_t CountNegative() const;
+
+ private:
+  // negative_(u, v) == true means the edge is labeled '-'.
+  SymmetricMatrix<bool> negative_;
+};
+
+}  // namespace clustagg
+
+#endif  // CLUSTAGG_SIGNED_SIGNED_GRAPH_H_

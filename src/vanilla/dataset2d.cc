@@ -1,0 +1,30 @@
+#include "vanilla/dataset2d.h"
+
+#include <cmath>
+
+namespace clustagg {
+
+double SquaredDistance(const Point2D& a, const Point2D& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+double EuclideanDistance(const Point2D& a, const Point2D& b) {
+  return std::sqrt(SquaredDistance(a, b));
+}
+
+SymmetricMatrix<double> PairwiseEuclidean(const std::vector<Point2D>& points,
+                                          bool squared) {
+  const std::size_t n = points.size();
+  SymmetricMatrix<double> dist(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double d2 = SquaredDistance(points[i], points[j]);
+      dist.Set(i, j, squared ? d2 : std::sqrt(d2));
+    }
+  }
+  return dist;
+}
+
+}  // namespace clustagg

@@ -1,0 +1,42 @@
+#ifndef CLUSTAGG_VANILLA_DATASET2D_H_
+#define CLUSTAGG_VANILLA_DATASET2D_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/symmetric_matrix.h"
+
+namespace clustagg {
+
+/// A point in the plane. The paper's robustness and scalability
+/// experiments (Figures 3-5) all run on two-dimensional point sets.
+struct Point2D {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Squared Euclidean distance.
+double SquaredDistance(const Point2D& a, const Point2D& b);
+
+/// Euclidean distance.
+double EuclideanDistance(const Point2D& a, const Point2D& b);
+
+/// A 2D point set with optional ground-truth labels (label -1 marks
+/// background noise / outliers in the synthetic generators).
+struct Dataset2D {
+  std::vector<Point2D> points;
+  /// Ground truth, same length as points when present; empty otherwise.
+  std::vector<int> ground_truth;
+
+  std::size_t size() const { return points.size(); }
+};
+
+/// Full pairwise Euclidean distance matrix; input for the hierarchical
+/// linkage algorithms. O(n^2) memory — for the vanilla clusterings of the
+/// robustness experiments (n ~ 1000).
+SymmetricMatrix<double> PairwiseEuclidean(const std::vector<Point2D>& points,
+                                          bool squared = false);
+
+}  // namespace clustagg
+
+#endif  // CLUSTAGG_VANILLA_DATASET2D_H_

@@ -1,0 +1,28 @@
+#include "vanilla/hierarchical.h"
+
+#include <utility>
+
+namespace clustagg {
+
+Result<Dendrogram> BuildDendrogram(const std::vector<Point2D>& points,
+                                   Linkage linkage) {
+  if (points.empty()) {
+    return Status::InvalidArgument("cannot cluster an empty point set");
+  }
+  // Ward's Lance-Williams recurrence operates on squared Euclidean
+  // distances; the other linkages use plain Euclidean.
+  SymmetricMatrix<double> dist =
+      PairwiseEuclidean(points, /*squared=*/linkage == Linkage::kWard);
+  return AgglomerateFull(std::move(dist), linkage);
+}
+
+Result<Clustering> HierarchicalCluster(const std::vector<Point2D>& points,
+                                       const HierarchicalOptions& options) {
+  Result<Dendrogram> dendrogram = BuildDendrogram(points, options.linkage);
+  if (!dendrogram.ok()) return dendrogram.status();
+  Result<Clustering> cut = dendrogram->CutAtK(options.k);
+  if (!cut.ok()) return cut.status();
+  return cut->Normalized();
+}
+
+}  // namespace clustagg

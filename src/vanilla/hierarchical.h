@@ -1,0 +1,36 @@
+#ifndef CLUSTAGG_VANILLA_HIERARCHICAL_H_
+#define CLUSTAGG_VANILLA_HIERARCHICAL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "core/clustering.h"
+#include "core/hierarchy.h"
+#include "vanilla/dataset2d.h"
+
+namespace clustagg {
+
+/// Options for hierarchical clustering of 2D points.
+struct HierarchicalOptions {
+  Linkage linkage = Linkage::kAverage;
+  /// Number of clusters to cut the dendrogram at.
+  std::size_t k = 2;
+};
+
+/// Hierarchical agglomerative clustering of a point set, cut at k
+/// clusters. These are the vanilla algorithms the paper aggregates in
+/// the robustness experiment (Figure 3): single / complete / average
+/// linkage and Ward's method. Ward distances are handled internally
+/// (squared Euclidean feed). O(n^2) time and memory.
+Result<Clustering> HierarchicalCluster(const std::vector<Point2D>& points,
+                                       const HierarchicalOptions& options);
+
+/// Builds the full dendrogram for a point set (exposed for callers that
+/// want several cuts of the same tree).
+Result<Dendrogram> BuildDendrogram(const std::vector<Point2D>& points,
+                                   Linkage linkage);
+
+}  // namespace clustagg
+
+#endif  // CLUSTAGG_VANILLA_HIERARCHICAL_H_

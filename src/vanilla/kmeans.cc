@@ -1,0 +1,150 @@
+#include "vanilla/kmeans.h"
+
+#include <limits>
+#include <string>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace clustagg {
+
+namespace {
+
+/// k-means++ seeding: first center uniform, then each next center drawn
+/// with probability proportional to the squared distance to the nearest
+/// chosen center.
+std::vector<Point2D> SeedPlusPlus(const std::vector<Point2D>& points,
+                                  std::size_t k, Rng* rng) {
+  const std::size_t n = points.size();
+  std::vector<Point2D> centers;
+  centers.reserve(k);
+  centers.push_back(points[rng->NextBounded(n)]);
+  std::vector<double> d2(n);
+  while (centers.size() < k) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      for (const Point2D& c : centers) {
+        best = std::min(best, SquaredDistance(points[i], c));
+      }
+      d2[i] = best;
+      total += best;
+    }
+    if (total <= 0.0) {
+      // All points coincide with existing centers; fall back to uniform.
+      centers.push_back(points[rng->NextBounded(n)]);
+      continue;
+    }
+    double target = rng->NextDouble() * total;
+    std::size_t chosen = n - 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      target -= d2[i];
+      if (target <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    centers.push_back(points[chosen]);
+  }
+  return centers;
+}
+
+KMeansResult LloydOnce(const std::vector<Point2D>& points,
+                       const KMeansOptions& options, Rng* rng) {
+  const std::size_t n = points.size();
+  const std::size_t k = options.k;
+  std::vector<Point2D> centers = SeedPlusPlus(points, k, rng);
+  std::vector<Clustering::Label> labels(n, 0);
+
+  KMeansResult result;
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    // Assignment step.
+    bool changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::size_t best = 0;
+      double best_d2 = std::numeric_limits<double>::infinity();
+      for (std::size_t c = 0; c < k; ++c) {
+        const double d2 = SquaredDistance(points[i], centers[c]);
+        if (d2 < best_d2) {
+          best_d2 = d2;
+          best = c;
+        }
+      }
+      if (labels[i] != static_cast<Clustering::Label>(best)) {
+        labels[i] = static_cast<Clustering::Label>(best);
+        changed = true;
+      }
+    }
+    result.iterations = iter + 1;
+    if (!changed && iter > 0) break;
+
+    // Update step.
+    std::vector<Point2D> sums(k);
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto c = static_cast<std::size_t>(labels[i]);
+      sums[c].x += points[i].x;
+      sums[c].y += points[i].y;
+      ++counts[c];
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Reseed an empty cluster to the point furthest from its current
+        // center assignment.
+        std::size_t far = 0;
+        double far_d2 = -1.0;
+        for (std::size_t i = 0; i < n; ++i) {
+          const double d2 = SquaredDistance(
+              points[i], centers[static_cast<std::size_t>(labels[i])]);
+          if (d2 > far_d2) {
+            far_d2 = d2;
+            far = i;
+          }
+        }
+        centers[c] = points[far];
+      } else {
+        centers[c] = {sums[c].x / static_cast<double>(counts[c]),
+                      sums[c].y / static_cast<double>(counts[c])};
+      }
+    }
+  }
+
+  double inertia = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    inertia += SquaredDistance(points[i],
+                               centers[static_cast<std::size_t>(labels[i])]);
+  }
+  result.clustering = Clustering(std::move(labels));
+  result.centroids = std::move(centers);
+  result.inertia = inertia;
+  return result;
+}
+
+}  // namespace
+
+Result<KMeansResult> KMeans(const std::vector<Point2D>& points,
+                            const KMeansOptions& options) {
+  const std::size_t n = points.size();
+  if (options.k < 1 || options.k > n) {
+    return Status::InvalidArgument("k=" + std::to_string(options.k) +
+                                   " outside [1, n=" + std::to_string(n) +
+                                   "]");
+  }
+  if (options.restarts < 1) {
+    return Status::InvalidArgument("restarts must be >= 1");
+  }
+  Rng rng(options.seed);
+  KMeansResult best;
+  bool first = true;
+  for (std::size_t r = 0; r < options.restarts; ++r) {
+    KMeansResult run = LloydOnce(points, options, &rng);
+    if (first || run.inertia < best.inertia) {
+      best = std::move(run);
+      first = false;
+    }
+  }
+  CLUSTAGG_CHECK(!first);
+  return best;
+}
+
+}  // namespace clustagg

@@ -1,0 +1,45 @@
+#ifndef CLUSTAGG_VANILLA_KMEANS_H_
+#define CLUSTAGG_VANILLA_KMEANS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/clustering.h"
+#include "vanilla/dataset2d.h"
+
+namespace clustagg {
+
+/// Options for Lloyd's k-means.
+struct KMeansOptions {
+  /// Number of clusters; must be in [1, n].
+  std::size_t k = 2;
+  /// Maximum Lloyd iterations.
+  std::size_t max_iterations = 100;
+  /// Seed for the k-means++ initialization.
+  std::uint64_t seed = 1;
+  /// Number of independent restarts; the run with the lowest within-
+  /// cluster sum of squares wins.
+  std::size_t restarts = 1;
+};
+
+/// Result of a k-means run.
+struct KMeansResult {
+  Clustering clustering;
+  std::vector<Point2D> centroids;
+  /// Within-cluster sum of squared distances (the k-means objective).
+  double inertia = 0.0;
+  std::size_t iterations = 0;
+};
+
+/// Lloyd's algorithm with k-means++ seeding. Empty clusters are reseeded
+/// to the point furthest from its centroid. This is the substrate that
+/// produces the input clusterings of the paper's Figures 4 and 5
+/// ("Matlab's k-means" in the original).
+Result<KMeansResult> KMeans(const std::vector<Point2D>& points,
+                            const KMeansOptions& options);
+
+}  // namespace clustagg
+
+#endif  // CLUSTAGG_VANILLA_KMEANS_H_

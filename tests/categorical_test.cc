@@ -1,0 +1,235 @@
+// Tests for the categorical substrate: CategoricalTable, attribute-
+// induced clusterings, the ROCK and LIMBO baselines.
+
+#include <gtest/gtest.h>
+
+#include "categorical/attribute_clusterings.h"
+#include "categorical/limbo.h"
+#include "categorical/rock.h"
+#include "categorical/table.h"
+#include "data/synthetic_categorical.h"
+#include "eval/metrics.h"
+
+namespace clustagg {
+namespace {
+
+constexpr std::int32_t kNA = CategoricalTable::kMissingValue;
+
+CategoricalTable SmallTable() {
+  // 5 rows x 3 attributes with one missing cell and 2 classes.
+  return *CategoricalTable::Create(
+      {
+          {0, 1, 0},
+          {0, 1, 1},
+          {1, 0, kNA},
+          {1, 0, 1},
+          {2, 0, 0},
+      },
+      {0, 0, 1, 1, 1});
+}
+
+// ------------------------------------------------------ CategoricalTable
+
+TEST(CategoricalTableTest, BasicAccessors) {
+  const CategoricalTable t = SmallTable();
+  EXPECT_EQ(t.num_rows(), 5u);
+  EXPECT_EQ(t.num_attributes(), 3u);
+  EXPECT_EQ(t.value(0, 1), 1);
+  EXPECT_FALSE(t.has_value(2, 2));
+  EXPECT_TRUE(t.has_value(2, 1));
+  EXPECT_EQ(t.attribute_cardinality(0), 3u);
+  EXPECT_EQ(t.attribute_cardinality(1), 2u);
+  EXPECT_EQ(t.CountMissing(), 1u);
+  EXPECT_TRUE(t.has_class_labels());
+  EXPECT_EQ(t.num_classes(), 2u);
+}
+
+TEST(CategoricalTableTest, CreateValidation) {
+  EXPECT_FALSE(CategoricalTable::Create({}).ok());
+  EXPECT_FALSE(CategoricalTable::Create({{}}).ok());
+  EXPECT_FALSE(CategoricalTable::Create({{0, 1}, {0}}).ok());
+  EXPECT_FALSE(CategoricalTable::Create({{0, -4}}).ok());
+  EXPECT_FALSE(CategoricalTable::Create({{0}, {1}}, {0}).ok());
+  EXPECT_FALSE(CategoricalTable::Create({{0}}, {-1}).ok());
+  EXPECT_TRUE(CategoricalTable::Create({{0, kNA}}).ok());
+}
+
+TEST(JaccardSimilarityTest, KnownValues) {
+  const CategoricalTable t = SmallTable();
+  // Rows 0 and 1 share attrs 0 and 1 (2 common of union 4): 0.5.
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(t, 0, 1), 0.5);
+  // Identical row with itself: 1.
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(t, 0, 0), 1.0);
+  // Rows 2 (2 present) and 3 (3 present): common 2, union 3.
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(t, 2, 3), 2.0 / 3.0);
+}
+
+TEST(JaccardSimilarityTest, DisjointRows) {
+  const CategoricalTable t = *CategoricalTable::Create({{0, 0}, {1, 1}});
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(t, 0, 1), 0.0);
+}
+
+// ------------------------------------------------ Attribute clusterings
+
+TEST(AttributeClusteringsTest, OneClusteringPerAttribute) {
+  const CategoricalTable t = SmallTable();
+  Result<ClusteringSet> set = AttributeClusterings(t);
+  ASSERT_TRUE(set.ok());
+  EXPECT_EQ(set->num_clusterings(), 3u);
+  EXPECT_EQ(set->num_objects(), 5u);
+  // Attribute 0 groups rows by value {0,0},{1,1},{2}.
+  const Clustering& a0 = set->clustering(0);
+  EXPECT_TRUE(a0.SameCluster(0, 1));
+  EXPECT_TRUE(a0.SameCluster(2, 3));
+  EXPECT_FALSE(a0.SameCluster(0, 2));
+  EXPECT_FALSE(a0.SameCluster(3, 4));
+}
+
+TEST(AttributeClusteringsTest, MissingValuesBecomeMissingLabels) {
+  const CategoricalTable t = SmallTable();
+  Result<Clustering> a2 = AttributeClustering(t, 2);
+  ASSERT_TRUE(a2.ok());
+  EXPECT_FALSE(a2->has_label(2));
+  EXPECT_TRUE(a2->has_label(0));
+}
+
+TEST(AttributeClusteringsTest, AttributeIndexValidated) {
+  EXPECT_FALSE(AttributeClustering(SmallTable(), 3).ok());
+}
+
+// ------------------------------------------------------------------ ROCK
+
+TEST(RockTest, SeparatesTwoValueBlocks) {
+  // Two groups of rows with disjoint value patterns.
+  std::vector<std::vector<std::int32_t>> rows;
+  for (int i = 0; i < 20; ++i) rows.push_back({0, 0, 0, 0});
+  for (int i = 0; i < 20; ++i) rows.push_back({1, 1, 1, 1});
+  const CategoricalTable t = *CategoricalTable::Create(std::move(rows));
+  RockOptions options;
+  options.theta = 0.5;
+  options.k = 2;
+  Result<Clustering> c = RockCluster(t, options);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->NumClusters(), 2u);
+  EXPECT_TRUE(c->SameCluster(0, 19));
+  EXPECT_TRUE(c->SameCluster(20, 39));
+  EXPECT_FALSE(c->SameCluster(0, 20));
+}
+
+TEST(RockTest, OptionValidation) {
+  const CategoricalTable t = SmallTable();
+  RockOptions options;
+  options.theta = 1.5;
+  EXPECT_FALSE(RockCluster(t, options).ok());
+  options.theta = 0.5;
+  options.k = 0;
+  EXPECT_FALSE(RockCluster(t, options).ok());
+}
+
+TEST(RockTest, SamplingPathCoversAllRows) {
+  Result<SyntheticCategoricalData> data = MakeVotesLike(3);
+  ASSERT_TRUE(data.ok());
+  RockOptions options;
+  options.theta = 0.6;
+  options.k = 2;
+  options.sample_size = 100;
+  options.seed = 4;
+  Result<Clustering> c = RockCluster(data->table, options);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->size(), data->table.num_rows());
+  EXPECT_FALSE(c->HasMissing());
+}
+
+TEST(RockTest, RecoverPlantedGroupsOnCleanData) {
+  SyntheticCategoricalOptions gen;
+  gen.num_rows = 120;
+  gen.cardinalities.assign(8, 4);
+  gen.num_latent_groups = 3;
+  gen.attribute_noise = 0.02;
+  gen.seed = 8;
+  Result<SyntheticCategoricalData> data = GenerateCategorical(gen);
+  ASSERT_TRUE(data.ok());
+  RockOptions options;
+  options.theta = 0.5;
+  options.k = 3;
+  Result<Clustering> c = RockCluster(data->table, options);
+  ASSERT_TRUE(c.ok());
+  Result<double> error =
+      ClassificationError(*c, data->table.class_labels());
+  ASSERT_TRUE(error.ok());
+  EXPECT_LT(*error, 0.05);
+}
+
+// ----------------------------------------------------------------- LIMBO
+
+TEST(LimboTest, SeparatesTwoValueBlocks) {
+  std::vector<std::vector<std::int32_t>> rows;
+  for (int i = 0; i < 15; ++i) rows.push_back({0, 0, 0});
+  for (int i = 0; i < 15; ++i) rows.push_back({1, 1, 1});
+  const CategoricalTable t = *CategoricalTable::Create(std::move(rows));
+  LimboOptions options;
+  options.k = 2;
+  Result<Clustering> c = LimboCluster(t, options);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->NumClusters(), 2u);
+  EXPECT_TRUE(c->SameCluster(0, 14));
+  EXPECT_TRUE(c->SameCluster(15, 29));
+  EXPECT_FALSE(c->SameCluster(0, 15));
+}
+
+TEST(LimboTest, OptionValidation) {
+  const CategoricalTable t = SmallTable();
+  LimboOptions options;
+  options.k = 0;
+  EXPECT_FALSE(LimboCluster(t, options).ok());
+  options.k = 2;
+  options.phi = -1.0;
+  EXPECT_FALSE(LimboCluster(t, options).ok());
+  options.phi = 0.0;
+  options.max_summaries = 1;
+  EXPECT_FALSE(LimboCluster(t, options).ok());
+}
+
+TEST(LimboTest, SummarizationBoundsRespected) {
+  Result<SyntheticCategoricalData> data = MakeVotesLike(5);
+  ASSERT_TRUE(data.ok());
+  LimboOptions options;
+  options.k = 2;
+  options.max_summaries = 50;  // far below n = 435
+  options.phi = 0.5;
+  Result<Clustering> c = LimboCluster(data->table, options);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->size(), 435u);
+  EXPECT_LE(c->NumClusters(), 2u);
+}
+
+TEST(LimboTest, RecoverPlantedGroupsOnCleanData) {
+  SyntheticCategoricalOptions gen;
+  gen.num_rows = 150;
+  gen.cardinalities.assign(10, 3);
+  gen.num_latent_groups = 3;
+  gen.attribute_noise = 0.02;
+  gen.seed = 12;
+  Result<SyntheticCategoricalData> data = GenerateCategorical(gen);
+  ASSERT_TRUE(data.ok());
+  LimboOptions options;
+  options.k = 3;
+  Result<Clustering> c = LimboCluster(data->table, options);
+  ASSERT_TRUE(c.ok());
+  Result<double> error =
+      ClassificationError(*c, data->table.class_labels());
+  EXPECT_LT(*error, 0.05);
+}
+
+TEST(LimboTest, HandlesMissingValues) {
+  const CategoricalTable t = SmallTable();
+  LimboOptions options;
+  options.k = 2;
+  Result<Clustering> c = LimboCluster(t, options);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->size(), 5u);
+  EXPECT_FALSE(c->HasMissing());
+}
+
+}  // namespace
+}  // namespace clustagg

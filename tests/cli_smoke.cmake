@@ -1,0 +1,22 @@
+# End-to-end CLI smoke test: generate a dataset, aggregate it from CSV,
+# evaluate the result file, and check every step's exit code.
+file(MAKE_DIRECTORY ${WORK})
+execute_process(COMMAND ${CLI} gen votes --seed 7 --out ${WORK}/votes.csv
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "gen failed: ${rc}")
+endif()
+execute_process(COMMAND ${CLI} aggregate --csv ${WORK}/votes.csv
+                --class-column class --algorithm furthest
+                --out ${WORK}/agg.labels RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "aggregate failed: ${rc}")
+endif()
+execute_process(COMMAND ${CLI} eval ${WORK}/agg.labels ${WORK}/agg.labels
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "eval failed: ${rc}")
+endif()
+if(NOT out MATCHES "adjusted rand index:  1.0000")
+  message(FATAL_ERROR "self-evaluation should be ARI 1.0, got: ${out}")
+endif()

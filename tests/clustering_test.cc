@@ -1,0 +1,154 @@
+// Tests for the Clustering partition representation.
+
+#include <gtest/gtest.h>
+
+#include "core/clustering.h"
+
+namespace clustagg {
+namespace {
+
+TEST(ClusteringTest, EmptyByDefault) {
+  Clustering c;
+  EXPECT_EQ(c.size(), 0u);
+  EXPECT_EQ(c.NumClusters(), 0u);
+  EXPECT_FALSE(c.HasMissing());
+}
+
+TEST(ClusteringTest, AllSingletons) {
+  const Clustering c = Clustering::AllSingletons(4);
+  EXPECT_EQ(c.size(), 4u);
+  EXPECT_EQ(c.NumClusters(), 4u);
+  for (std::size_t u = 0; u < 4; ++u) {
+    for (std::size_t v = u + 1; v < 4; ++v) {
+      EXPECT_FALSE(c.SameCluster(u, v));
+    }
+  }
+}
+
+TEST(ClusteringTest, SingleCluster) {
+  const Clustering c = Clustering::SingleCluster(5);
+  EXPECT_EQ(c.NumClusters(), 1u);
+  EXPECT_TRUE(c.SameCluster(0, 4));
+}
+
+TEST(ClusteringTest, FromLabelsValidates) {
+  EXPECT_TRUE(Clustering::FromLabels({0, 1, 2}).ok());
+  EXPECT_TRUE(Clustering::FromLabels({0, Clustering::kMissing, 1}).ok());
+  Result<Clustering> bad = Clustering::FromLabels({0, -7, 1});
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ClusteringTest, FromClustersBuildsLabels) {
+  Result<Clustering> c = Clustering::FromClusters(5, {{0, 2}, {1, 3}});
+  ASSERT_TRUE(c.ok());
+  EXPECT_TRUE(c->SameCluster(0, 2));
+  EXPECT_TRUE(c->SameCluster(1, 3));
+  EXPECT_FALSE(c->SameCluster(0, 1));
+  EXPECT_FALSE(c->has_label(4));  // not in any cluster
+}
+
+TEST(ClusteringTest, FromClustersRejectsOutOfRange) {
+  EXPECT_FALSE(Clustering::FromClusters(3, {{0, 5}}).ok());
+}
+
+TEST(ClusteringTest, FromClustersRejectsOverlap) {
+  EXPECT_FALSE(Clustering::FromClusters(3, {{0, 1}, {1, 2}}).ok());
+}
+
+TEST(ClusteringTest, MissingHandling) {
+  const Clustering c({0, Clustering::kMissing, 1, Clustering::kMissing});
+  EXPECT_TRUE(c.HasMissing());
+  EXPECT_EQ(c.CountMissing(), 2u);
+  EXPECT_EQ(c.NumClusters(), 2u);
+  EXPECT_FALSE(c.has_label(1));
+  EXPECT_TRUE(c.has_label(0));
+  // A missing object is in the same cluster as nothing, not even itself
+  // paired with another missing object.
+  EXPECT_FALSE(c.SameCluster(1, 3));
+  EXPECT_FALSE(c.SameCluster(0, 1));
+}
+
+TEST(ClusteringTest, NormalizeRelabelsByFirstAppearance) {
+  Clustering c({7, 7, 3, 9, 3});
+  c.Normalize();
+  EXPECT_EQ(c.labels(), (std::vector<Clustering::Label>{0, 0, 1, 2, 1}));
+}
+
+TEST(ClusteringTest, NormalizePreservesMissing) {
+  Clustering c({5, Clustering::kMissing, 5, 2});
+  c.Normalize();
+  EXPECT_EQ(c.labels(), (std::vector<Clustering::Label>{
+                            0, Clustering::kMissing, 0, 1}));
+}
+
+TEST(ClusteringTest, NormalizedDoesNotMutate) {
+  const Clustering c({9, 9, 1});
+  const Clustering n = c.Normalized();
+  EXPECT_EQ(c.label(0), 9);
+  EXPECT_EQ(n.label(0), 0);
+}
+
+TEST(ClusteringTest, ClustersGroupsMembers) {
+  const Clustering c({1, 0, 1, 2});
+  const auto clusters = c.Clusters();
+  ASSERT_EQ(clusters.size(), 3u);
+  EXPECT_EQ(clusters[0], (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(clusters[1], (std::vector<std::size_t>{1}));
+  EXPECT_EQ(clusters[2], (std::vector<std::size_t>{3}));
+}
+
+TEST(ClusteringTest, ClusterSizes) {
+  const Clustering c({0, 0, 0, 1, Clustering::kMissing});
+  EXPECT_EQ(c.ClusterSizes(), (std::vector<std::size_t>{3, 1}));
+}
+
+TEST(ClusteringTest, RestrictInducesSubClustering) {
+  const Clustering c({0, 0, 1, 1, 2});
+  const Clustering r = c.Restrict({0, 2, 4});
+  EXPECT_EQ(r.size(), 3u);
+  EXPECT_EQ(r.label(0), 0);
+  EXPECT_EQ(r.label(1), 1);
+  EXPECT_EQ(r.label(2), 2);
+}
+
+TEST(ClusteringTest, WithMissingAsSingletonsCompletesLabels) {
+  const Clustering c({0, Clustering::kMissing, 1, Clustering::kMissing});
+  const Clustering complete = c.WithMissingAsSingletons();
+  EXPECT_FALSE(complete.HasMissing());
+  EXPECT_EQ(complete.NumClusters(), 4u);
+  // Original labels retained.
+  EXPECT_EQ(complete.label(0), 0);
+  EXPECT_EQ(complete.label(2), 1);
+  // Fresh singletons do not collide with existing labels.
+  EXPECT_NE(complete.label(1), complete.label(3));
+  EXPECT_GT(complete.label(1), 1);
+}
+
+TEST(ClusteringTest, SamePartitionIgnoresLabelNames) {
+  const Clustering a({0, 0, 1, 2});
+  const Clustering b({5, 5, 9, 7});
+  const Clustering c({0, 1, 1, 2});
+  EXPECT_TRUE(a.SamePartition(b));
+  EXPECT_FALSE(a.SamePartition(c));
+}
+
+TEST(ClusteringTest, SamePartitionRequiresSameSize) {
+  EXPECT_FALSE(Clustering({0, 0}).SamePartition(Clustering({0, 0, 0})));
+}
+
+TEST(ClusteringTest, SamePartitionWithMissing) {
+  const Clustering a({0, Clustering::kMissing, 1});
+  const Clustering b({3, Clustering::kMissing, 8});
+  const Clustering c({3, 3, 8});
+  EXPECT_TRUE(a.SamePartition(b));
+  EXPECT_FALSE(a.SamePartition(c));
+}
+
+TEST(ClusteringTest, ValidateCatchesBadLabels) {
+  EXPECT_TRUE(Clustering({0, 1}).Validate().ok());
+  EXPECT_FALSE(Clustering({0, -3}).Validate().ok());
+}
+
+}  // namespace
+}  // namespace clustagg

@@ -1,0 +1,334 @@
+// Tests for the common substrate: Status/Result, Rng, SymmetricMatrix,
+// UnionFind, TablePrinter.
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/symmetric_matrix.h"
+#include "common/table_printer.h"
+#include "common/union_find.h"
+
+namespace clustagg {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad k");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad k");
+}
+
+TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, StreamInsertion) {
+  std::ostringstream os;
+  os << Status::Internal("boom");
+  EXPECT_EQ(os.str(), "Internal: boom");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::InvalidArgument("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::vector<int>> r = std::vector<int>{1, 2, 3};
+  std::vector<int> v = std::move(r).value();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+// ------------------------------------------------------------------- Rng
+
+TEST(RngTest, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(7);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanIsCentered) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.NextUniform(2.0, 4.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.02);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(13);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(15);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.NextBernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, PermutationIsAPermutation) {
+  Rng rng(17);
+  const auto perm = rng.Permutation(100);
+  std::set<std::size_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 99u);
+}
+
+TEST(RngTest, PermutationShuffles) {
+  Rng rng(19);
+  const auto perm = rng.Permutation(50);
+  std::size_t fixed = 0;
+  for (std::size_t i = 0; i < 50; ++i) {
+    if (perm[i] == i) ++fixed;
+  }
+  EXPECT_LT(fixed, 10u);  // expected ~1 fixed point
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinctAndInRange) {
+  Rng rng(21);
+  const auto sample = rng.SampleWithoutReplacement(1000, 100);
+  std::set<std::size_t> seen(sample.begin(), sample.end());
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_LT(*seen.rbegin(), 1000u);
+}
+
+TEST(RngTest, SampleAllIsFullSet) {
+  Rng rng(23);
+  const auto sample = rng.SampleWithoutReplacement(10, 10);
+  std::set<std::size_t> seen(sample.begin(), sample.end());
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, SampleUniformity) {
+  // Every index should be sampled roughly equally often across trials.
+  std::vector<int> counts(20, 0);
+  for (int t = 0; t < 2000; ++t) {
+    Rng rng(1000 + t);
+    for (std::size_t i : rng.SampleWithoutReplacement(20, 5)) ++counts[i];
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, 350);  // expectation 500
+    EXPECT_LT(c, 650);
+  }
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng a(31);
+  Rng child = a.Split();
+  EXPECT_NE(a.NextUint64(), child.NextUint64());
+}
+
+// ------------------------------------------------------- SymmetricMatrix
+
+TEST(SymmetricMatrixTest, EmptyMatrix) {
+  SymmetricMatrix<float> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_EQ(m.packed_size(), 0u);
+}
+
+TEST(SymmetricMatrixTest, FillAndDiagonal) {
+  SymmetricMatrix<double> m(4, 0.5, 0.0);
+  EXPECT_EQ(m.packed_size(), 6u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(m(i, i), 0.0);
+    for (std::size_t j = 0; j < 4; ++j) {
+      if (i != j) {
+        EXPECT_EQ(m(i, j), 0.5);
+      }
+    }
+  }
+}
+
+TEST(SymmetricMatrixTest, SetIsSymmetric) {
+  SymmetricMatrix<double> m(5);
+  m.Set(1, 3, 0.25);
+  EXPECT_EQ(m(1, 3), 0.25);
+  EXPECT_EQ(m(3, 1), 0.25);
+  m.Set(3, 1, 0.75);
+  EXPECT_EQ(m(1, 3), 0.75);
+}
+
+TEST(SymmetricMatrixTest, AllEntriesIndependent) {
+  const std::size_t n = 9;
+  SymmetricMatrix<double> m(n);
+  double v = 1.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      m.Set(i, j, v);
+      v += 1.0;
+    }
+  }
+  v = 1.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      EXPECT_EQ(m(i, j), v);
+      v += 1.0;
+    }
+  }
+}
+
+TEST(SymmetricMatrixTest, PackedOrderIsRowMajorUpperTriangle) {
+  SymmetricMatrix<int> m(3);
+  m.Set(0, 1, 1);
+  m.Set(0, 2, 2);
+  m.Set(1, 2, 3);
+  EXPECT_EQ(m.packed(), (std::vector<int>{1, 2, 3}));
+}
+
+// ------------------------------------------------------------- UnionFind
+
+TEST(UnionFindTest, InitiallyAllSingletons) {
+  UnionFind uf(5);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(uf.Find(i), i);
+    EXPECT_EQ(uf.SetSize(i), 1u);
+  }
+}
+
+TEST(UnionFindTest, UnionMergesAndReportsNew) {
+  UnionFind uf(4);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_FALSE(uf.Union(1, 0));
+  EXPECT_EQ(uf.Find(0), uf.Find(1));
+  EXPECT_EQ(uf.SetSize(0), 2u);
+  EXPECT_NE(uf.Find(0), uf.Find(2));
+}
+
+TEST(UnionFindTest, ComponentLabelsAreFirstAppearanceOrdered) {
+  UnionFind uf(6);
+  uf.Union(0, 3);
+  uf.Union(1, 4);
+  const auto labels = uf.ComponentLabels();
+  EXPECT_EQ(labels[0], labels[3]);
+  EXPECT_EQ(labels[1], labels[4]);
+  EXPECT_EQ(labels[0], 0);
+  EXPECT_EQ(labels[1], 1);
+  EXPECT_EQ(labels[2], 2);
+  EXPECT_EQ(labels[5], 3);
+}
+
+TEST(UnionFindTest, TransitiveUnions) {
+  UnionFind uf(100);
+  for (std::size_t i = 1; i < 100; ++i) uf.Union(i - 1, i);
+  EXPECT_EQ(uf.SetSize(42), 100u);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(uf.Find(i), uf.Find(0));
+  }
+}
+
+// ---------------------------------------------------------- TablePrinter
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"longer-name", "23"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name        | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer-name | 23    |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, FixedFormatsDigits) {
+  EXPECT_EQ(TablePrinter::Fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Fixed(2.0, 0), "2");
+}
+
+TEST(TablePrinterTest, WithCommas) {
+  EXPECT_EQ(TablePrinter::WithCommas(0), "0");
+  EXPECT_EQ(TablePrinter::WithCommas(999), "999");
+  EXPECT_EQ(TablePrinter::WithCommas(1000), "1,000");
+  EXPECT_EQ(TablePrinter::WithCommas(13537000), "13,537,000");
+  EXPECT_EQ(TablePrinter::WithCommas(-4500), "-4,500");
+}
+
+TEST(TablePrinterTest, SeparatorRendersLine) {
+  TablePrinter t({"x"});
+  t.AddRow({"1"});
+  t.AddSeparator();
+  t.AddRow({"2"});
+  std::ostringstream os;
+  t.Print(os);
+  // Header line + top/bottom + separator = at least 4 dashed lines.
+  std::size_t dashes = 0;
+  std::istringstream is(os.str());
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.find("+-") == 0) ++dashes;
+  }
+  EXPECT_EQ(dashes, 4u);
+}
+
+}  // namespace
+}  // namespace clustagg

@@ -1,0 +1,235 @@
+// Tests for the synthetic data generators.
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic2d.h"
+#include "data/synthetic_categorical.h"
+
+namespace clustagg {
+namespace {
+
+// -------------------------------------------------------- 2D generators
+
+TEST(GaussianMixtureTest, CountsAndLabels) {
+  GaussianMixtureOptions options;
+  options.num_clusters = 5;
+  options.points_per_cluster = 100;
+  options.noise_fraction = 0.2;
+  options.seed = 1;
+  Result<Dataset2D> data = GenerateGaussianMixture(options);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->size(), 600u);
+  ASSERT_EQ(data->ground_truth.size(), 600u);
+  std::size_t noise = 0;
+  std::set<int> labels;
+  for (int l : data->ground_truth) {
+    if (l < 0) {
+      ++noise;
+    } else {
+      labels.insert(l);
+    }
+  }
+  EXPECT_EQ(noise, 100u);
+  EXPECT_EQ(labels.size(), 5u);
+}
+
+TEST(GaussianMixtureTest, ClustersAreTight) {
+  GaussianMixtureOptions options;
+  options.num_clusters = 3;
+  options.points_per_cluster = 80;
+  options.noise_fraction = 0.0;
+  options.cluster_stddev = 0.02;
+  options.seed = 5;
+  Result<Dataset2D> data = GenerateGaussianMixture(options);
+  ASSERT_TRUE(data.ok());
+  // Per-cluster spread must be much smaller than the enforced center
+  // separation.
+  for (int c = 0; c < 3; ++c) {
+    double mx = 0.0;
+    double my = 0.0;
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < data->size(); ++i) {
+      if (data->ground_truth[i] == c) {
+        mx += data->points[i].x;
+        my += data->points[i].y;
+        ++count;
+      }
+    }
+    mx /= static_cast<double>(count);
+    my /= static_cast<double>(count);
+    for (std::size_t i = 0; i < data->size(); ++i) {
+      if (data->ground_truth[i] == c) {
+        EXPECT_LT(EuclideanDistance(data->points[i], {mx, my}), 0.12);
+      }
+    }
+  }
+}
+
+TEST(GaussianMixtureTest, DeterministicForSeed) {
+  GaussianMixtureOptions options;
+  options.seed = 7;
+  Result<Dataset2D> a = GenerateGaussianMixture(options);
+  Result<Dataset2D> b = GenerateGaussianMixture(options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (std::size_t i = 0; i < a->size(); ++i) {
+    EXPECT_DOUBLE_EQ(a->points[i].x, b->points[i].x);
+    EXPECT_DOUBLE_EQ(a->points[i].y, b->points[i].y);
+  }
+}
+
+TEST(GaussianMixtureTest, Validation) {
+  GaussianMixtureOptions options;
+  options.num_clusters = 0;
+  EXPECT_FALSE(GenerateGaussianMixture(options).ok());
+  options.num_clusters = 2;
+  options.noise_fraction = -0.5;
+  EXPECT_FALSE(GenerateGaussianMixture(options).ok());
+}
+
+TEST(SevenClustersTest, SevenGroupsAtScaleOne) {
+  Result<Dataset2D> data = GenerateSevenClusters(3);
+  ASSERT_TRUE(data.ok());
+  std::set<int> labels(data->ground_truth.begin(),
+                       data->ground_truth.end());
+  EXPECT_EQ(labels.size(), 7u);
+  EXPECT_GT(data->size(), 900u);
+  EXPECT_LT(data->size(), 1200u);
+}
+
+TEST(SevenClustersTest, ScaleGrowsPointCount) {
+  Result<Dataset2D> small = GenerateSevenClusters(1, 0.5);
+  Result<Dataset2D> large = GenerateSevenClusters(1, 2.0);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_GT(large->size(), 3 * small->size());
+  EXPECT_FALSE(GenerateSevenClusters(1, 0.0).ok());
+}
+
+TEST(SevenClustersTest, GroupsHaveUnevenSizes) {
+  Result<Dataset2D> data = GenerateSevenClusters(9);
+  ASSERT_TRUE(data.ok());
+  std::vector<std::size_t> sizes(7, 0);
+  for (int l : data->ground_truth) ++sizes[static_cast<std::size_t>(l)];
+  const auto [min_it, max_it] =
+      std::minmax_element(sizes.begin(), sizes.end());
+  EXPECT_GT(*max_it, 2 * *min_it);  // the k-means-unfriendly contrast
+}
+
+// -------------------------------------------------- categorical tables
+
+TEST(SyntheticCategoricalTest, ShapeAndMissing) {
+  SyntheticCategoricalOptions options;
+  options.num_rows = 200;
+  options.cardinalities = {2, 3, 4};
+  options.num_latent_groups = 2;
+  options.missing_cells = 17;
+  options.seed = 3;
+  Result<SyntheticCategoricalData> data = GenerateCategorical(options);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->table.num_rows(), 200u);
+  EXPECT_EQ(data->table.num_attributes(), 3u);
+  EXPECT_EQ(data->table.CountMissing(), 17u);
+  EXPECT_EQ(data->latent_groups.size(), 200u);
+  for (std::size_t a = 0; a < 3; ++a) {
+    EXPECT_LE(data->table.attribute_cardinality(a),
+              options.cardinalities[a]);
+  }
+}
+
+TEST(SyntheticCategoricalTest, GroupWeightsSkewSizes) {
+  SyntheticCategoricalOptions options;
+  options.num_rows = 2000;
+  options.cardinalities = {4, 4};
+  options.num_latent_groups = 2;
+  options.group_weights = {0.9, 0.1};
+  options.seed = 5;
+  Result<SyntheticCategoricalData> data = GenerateCategorical(options);
+  ASSERT_TRUE(data.ok());
+  const std::size_t group0 = static_cast<std::size_t>(
+      std::count(data->latent_groups.begin(), data->latent_groups.end(), 0));
+  EXPECT_GT(group0, 1650u);
+  EXPECT_LT(group0, 1950u);
+}
+
+TEST(SyntheticCategoricalTest, GroupToClassMapsLabels) {
+  SyntheticCategoricalOptions options;
+  options.num_rows = 100;
+  options.cardinalities = {2};
+  options.num_latent_groups = 4;
+  options.group_to_class = {0, 1, 0, 1};
+  options.seed = 7;
+  Result<SyntheticCategoricalData> data = GenerateCategorical(options);
+  ASSERT_TRUE(data.ok());
+  for (std::size_t r = 0; r < 100; ++r) {
+    EXPECT_EQ(data->table.class_labels()[r],
+              options.group_to_class[static_cast<std::size_t>(
+                  data->latent_groups[r])]);
+  }
+}
+
+TEST(SyntheticCategoricalTest, Validation) {
+  SyntheticCategoricalOptions options;
+  options.num_rows = 0;
+  EXPECT_FALSE(GenerateCategorical(options).ok());
+  options.num_rows = 10;
+  options.cardinalities = {};
+  EXPECT_FALSE(GenerateCategorical(options).ok());
+  options.cardinalities = {2};
+  options.num_latent_groups = 0;
+  EXPECT_FALSE(GenerateCategorical(options).ok());
+  options.num_latent_groups = 2;
+  options.group_to_class = {0};
+  EXPECT_FALSE(GenerateCategorical(options).ok());
+  options.group_to_class = {};
+  options.missing_cells = 100;  // > 10 cells
+  EXPECT_FALSE(GenerateCategorical(options).ok());
+}
+
+TEST(VotesLikeTest, MatchesPublishedSchema) {
+  Result<SyntheticCategoricalData> data = MakeVotesLike(1);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->table.num_rows(), 435u);
+  EXPECT_EQ(data->table.num_attributes(), 16u);
+  EXPECT_EQ(data->table.CountMissing(), 288u);
+  EXPECT_EQ(data->table.num_classes(), 2u);
+  for (std::size_t a = 0; a < 16; ++a) {
+    EXPECT_LE(data->table.attribute_cardinality(a), 2u);
+  }
+}
+
+TEST(MushroomsLikeTest, MatchesPublishedSchema) {
+  Result<SyntheticCategoricalData> data = MakeMushroomsLike(1);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->table.num_rows(), 8124u);
+  EXPECT_EQ(data->table.num_attributes(), 22u);
+  EXPECT_EQ(data->table.CountMissing(), 2480u);
+  EXPECT_EQ(data->table.num_classes(), 2u);
+  // Class balance near the published 3916 poisonous / 4208 edible.
+  const std::size_t edible = static_cast<std::size_t>(std::count(
+      data->table.class_labels().begin(), data->table.class_labels().end(),
+      1));
+  EXPECT_GT(edible, 3700u);
+  EXPECT_LT(edible, 4700u);
+}
+
+TEST(CensusLikeTest, MatchesPublishedSchema) {
+  Result<SyntheticCategoricalData> data = MakeCensusLike(1, 5000);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->table.num_rows(), 5000u);
+  EXPECT_EQ(data->table.num_attributes(), 8u);
+  EXPECT_EQ(data->table.num_classes(), 2u);
+  // Income class imbalance around 24%.
+  const auto high = static_cast<double>(std::count(
+      data->table.class_labels().begin(), data->table.class_labels().end(),
+      1));
+  EXPECT_GT(high / 5000.0, 0.08);
+  EXPECT_LT(high / 5000.0, 0.45);
+}
+
+}  // namespace
+}  // namespace clustagg

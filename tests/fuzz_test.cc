@@ -1,0 +1,112 @@
+// Deterministic pseudo-fuzzing of the parsers and of option validation:
+// random byte soup and random near-valid inputs must produce either a
+// valid result or an error Status — never a crash or an invariant
+// violation. Seeds are fixed, so failures reproduce.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "io/clustering_io.h"
+#include "io/csv.h"
+
+namespace clustagg {
+namespace {
+
+std::string RandomBytes(Rng* rng, std::size_t max_len) {
+  const std::size_t len = rng->NextBounded(max_len + 1);
+  std::string out;
+  out.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    out.push_back(static_cast<char>(rng->NextBounded(256)));
+  }
+  return out;
+}
+
+std::string RandomLabelish(Rng* rng, std::size_t max_tokens) {
+  static const char* kTokens[] = {"0",  "1",    "17", "?",   "-1",
+                                  "#x", "9e9",  "",   " ",   "\t",
+                                  "\n", "0x1f", "2 3", "999999999999"};
+  std::string out;
+  const std::size_t tokens = rng->NextBounded(max_tokens + 1);
+  for (std::size_t i = 0; i < tokens; ++i) {
+    out += kTokens[rng->NextBounded(std::size(kTokens))];
+    out += rng->NextBernoulli(0.3) ? "\n" : " ";
+  }
+  return out;
+}
+
+class ParserFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParserFuzzTest, ParseClusteringNeverCrashesOnByteSoup) {
+  Rng rng(GetParam() * 7919 + 1);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::string input = RandomBytes(&rng, 256);
+    Result<Clustering> c = ParseClustering(input);
+    if (c.ok()) {
+      // Whatever parsed must be a valid clustering.
+      EXPECT_TRUE(c->Validate().ok());
+      EXPECT_GT(c->size(), 0u);
+    }
+  }
+}
+
+TEST_P(ParserFuzzTest, ParseClusteringRoundTripsWhenValid) {
+  Rng rng(GetParam() * 104729 + 3);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::string input = RandomLabelish(&rng, 20);
+    Result<Clustering> c = ParseClustering(input);
+    if (!c.ok()) continue;
+    Result<Clustering> again = ParseClustering(FormatClustering(*c));
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(again->labels(), c->labels());
+  }
+}
+
+TEST_P(ParserFuzzTest, ParseCsvNeverCrashesOnByteSoup) {
+  Rng rng(GetParam() * 15485863 + 5);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::string input = RandomBytes(&rng, 512);
+    CsvOptions options;
+    options.has_header = rng.NextBernoulli(0.5);
+    if (rng.NextBernoulli(0.3)) options.class_column = "a";
+    Result<CsvDataset> d = ParseCategoricalCsv(input, options);
+    if (d.ok()) {
+      EXPECT_GT(d->table.num_rows(), 0u);
+      EXPECT_GT(d->table.num_attributes(), 0u);
+    }
+  }
+}
+
+TEST_P(ParserFuzzTest, ParseCsvStructuredSoup) {
+  Rng rng(GetParam() * 32452843 + 7);
+  static const char* kCells[] = {"a", "b", "?", "", "NA", "x,y", "0"};
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string input;
+    const std::size_t rows = 1 + rng.NextBounded(6);
+    const std::size_t cols = 1 + rng.NextBounded(4);
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        if (c > 0) input += ',';
+        input += kCells[rng.NextBounded(std::size(kCells))];
+      }
+      input += '\n';
+    }
+    CsvOptions options;
+    options.has_header = rng.NextBernoulli(0.5);
+    Result<CsvDataset> d = ParseCategoricalCsv(input, options);
+    if (d.ok()) {
+      // Decoded tables are internally consistent.
+      for (std::size_t a = 0; a < d->table.num_attributes(); ++a) {
+        EXPECT_EQ(d->value_names[a].size(),
+                  d->table.attribute_cardinality(a));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzzTest, ::testing::Range(1, 6));
+
+}  // namespace
+}  // namespace clustagg

@@ -1,0 +1,213 @@
+// Tests for the generic agglomerative (nearest-neighbor-chain) engine:
+// agreement with a brute-force greedy reference for every linkage,
+// monotone merge heights, and dendrogram cutting.
+
+#include <algorithm>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/hierarchy.h"
+
+namespace clustagg {
+namespace {
+
+SymmetricMatrix<double> RandomDistances(std::size_t n, uint64_t seed) {
+  Rng rng(seed);
+  SymmetricMatrix<double> m(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      m.Set(i, j, rng.NextDouble());
+    }
+  }
+  return m;
+}
+
+/// Brute-force greedy agglomerative clustering: repeatedly merge the
+/// globally closest pair, recomputing distances from the Lance-Williams
+/// recurrences the slow way. Returns the flat clustering after exactly
+/// `merges` merges.
+Clustering GreedyReference(SymmetricMatrix<double> dist, Linkage linkage,
+                           std::size_t merges) {
+  const std::size_t n = dist.size();
+  std::vector<bool> active(n, true);
+  std::vector<double> sizes(n, 1.0);
+  std::vector<Clustering::Label> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    labels[i] = static_cast<Clustering::Label>(i);
+  }
+  for (std::size_t step = 0; step < merges; ++step) {
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t ba = 0;
+    std::size_t bb = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!active[i]) continue;
+      for (std::size_t j = i + 1; j < n; ++j) {
+        if (!active[j]) continue;
+        if (dist(i, j) < best) {
+          best = dist(i, j);
+          ba = i;
+          bb = j;
+        }
+      }
+    }
+    const double dab = dist(ba, bb);
+    for (std::size_t k = 0; k < n; ++k) {
+      if (!active[k] || k == ba || k == bb) continue;
+      double updated = 0.0;
+      switch (linkage) {
+        case Linkage::kSingle:
+          updated = std::min(dist(ba, k), dist(bb, k));
+          break;
+        case Linkage::kComplete:
+          updated = std::max(dist(ba, k), dist(bb, k));
+          break;
+        case Linkage::kAverage:
+          updated = (sizes[ba] * dist(ba, k) + sizes[bb] * dist(bb, k)) /
+                    (sizes[ba] + sizes[bb]);
+          break;
+        case Linkage::kWard:
+          updated = ((sizes[ba] + sizes[k]) * dist(ba, k) +
+                     (sizes[bb] + sizes[k]) * dist(bb, k) -
+                     sizes[k] * dab) /
+                    (sizes[ba] + sizes[bb] + sizes[k]);
+          break;
+      }
+      dist.Set(ba, k, updated);
+    }
+    sizes[ba] += sizes[bb];
+    active[bb] = false;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (labels[v] == static_cast<Clustering::Label>(bb)) {
+        labels[v] = static_cast<Clustering::Label>(ba);
+      }
+    }
+  }
+  return Clustering(std::move(labels)).Normalized();
+}
+
+class LinkageSweepTest
+    : public ::testing::TestWithParam<std::tuple<Linkage, int>> {};
+
+TEST_P(LinkageSweepTest, NnChainMatchesGreedyReference) {
+  const auto [linkage, seed] = GetParam();
+  const std::size_t n = 16;
+  const SymmetricMatrix<double> dist = RandomDistances(n, seed);
+
+  Result<Dendrogram> dendrogram = AgglomerateFull(dist, linkage);
+  ASSERT_TRUE(dendrogram.ok());
+  ASSERT_EQ(dendrogram->merges.size(), n - 1);
+
+  // Same flat clustering at every k.
+  for (std::size_t k = 1; k <= n; ++k) {
+    const Clustering reference = GreedyReference(dist, linkage, n - k);
+    Result<Clustering> cut = dendrogram->CutAtK(k);
+    ASSERT_TRUE(cut.ok());
+    EXPECT_TRUE(cut->SamePartition(reference))
+        << LinkageName(linkage) << " seed=" << seed << " k=" << k;
+  }
+}
+
+TEST_P(LinkageSweepTest, HeightsAreNonDecreasing) {
+  const auto [linkage, seed] = GetParam();
+  Result<Dendrogram> dendrogram =
+      AgglomerateFull(RandomDistances(20, seed + 100), linkage);
+  ASSERT_TRUE(dendrogram.ok());
+  for (std::size_t i = 1; i < dendrogram->merges.size(); ++i) {
+    EXPECT_GE(dendrogram->merges[i].height,
+              dendrogram->merges[i - 1].height - 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLinkages, LinkageSweepTest,
+    ::testing::Combine(::testing::Values(Linkage::kSingle,
+                                         Linkage::kComplete,
+                                         Linkage::kAverage, Linkage::kWard),
+                       ::testing::Range(1, 6)));
+
+TEST(HierarchyTest, SingleElement) {
+  Result<Dendrogram> d =
+      AgglomerateFull(SymmetricMatrix<double>(1), Linkage::kAverage);
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(d->merges.empty());
+  EXPECT_EQ(d->CutAtHeight(0.5).NumClusters(), 1u);
+}
+
+TEST(HierarchyTest, EmptyIsRejected) {
+  EXPECT_FALSE(
+      AgglomerateFull(SymmetricMatrix<double>(0), Linkage::kAverage).ok());
+}
+
+TEST(HierarchyTest, CutAtKValidatesRange) {
+  Result<Dendrogram> d =
+      AgglomerateFull(RandomDistances(5, 1), Linkage::kAverage);
+  ASSERT_TRUE(d.ok());
+  EXPECT_FALSE(d->CutAtK(0).ok());
+  EXPECT_FALSE(d->CutAtK(6).ok());
+  EXPECT_EQ((*d->CutAtK(5)).NumClusters(), 5u);
+  EXPECT_EQ((*d->CutAtK(1)).NumClusters(), 1u);
+}
+
+TEST(HierarchyTest, CutAtHeightThresholdIsExclusive) {
+  // Two points at distance exactly 0.5 must NOT merge at threshold 0.5
+  // (the paper merges only when the average distance is < 1/2).
+  SymmetricMatrix<double> dist(2);
+  dist.Set(0, 1, 0.5);
+  Result<Dendrogram> d = AgglomerateFull(dist, Linkage::kAverage);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->CutAtHeight(0.5).NumClusters(), 2u);
+  EXPECT_EQ(d->CutAtHeight(0.51).NumClusters(), 1u);
+}
+
+TEST(HierarchyTest, WellSeparatedGroupsCutCorrectly) {
+  // Three tight groups with large inter-group distances.
+  const std::size_t n = 9;
+  SymmetricMatrix<double> dist(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      dist.Set(i, j, (i / 3 == j / 3) ? 0.05 : 0.9);
+    }
+  }
+  for (Linkage linkage : {Linkage::kSingle, Linkage::kComplete,
+                          Linkage::kAverage, Linkage::kWard}) {
+    Result<Dendrogram> d = AgglomerateFull(dist, linkage);
+    ASSERT_TRUE(d.ok());
+    Result<Clustering> cut = d->CutAtK(3);
+    ASSERT_TRUE(cut.ok());
+    const Clustering expected({0, 0, 0, 1, 1, 1, 2, 2, 2});
+    EXPECT_TRUE(cut->SamePartition(expected)) << LinkageName(linkage);
+  }
+}
+
+TEST(HierarchyTest, InitialSizesAffectAverageLinkage) {
+  // With leaf weights, average linkage weights the Lance-Williams update:
+  // merge {0,1} first (closest), then the distance from the merged
+  // cluster to 2 is (w0*d02 + w1*d12) / (w0+w1).
+  SymmetricMatrix<double> dist(3);
+  dist.Set(0, 1, 0.1);
+  dist.Set(0, 2, 0.2);
+  dist.Set(1, 2, 0.8);
+  Result<Dendrogram> d =
+      AgglomerateFull(dist, Linkage::kAverage, {3.0, 1.0, 1.0});
+  ASSERT_TRUE(d.ok());
+  ASSERT_EQ(d->merges.size(), 2u);
+  EXPECT_NEAR(d->merges[1].height, (3.0 * 0.2 + 1.0 * 0.8) / 4.0, 1e-12);
+}
+
+TEST(HierarchyTest, InitialSizesValidated) {
+  EXPECT_FALSE(
+      AgglomerateFull(RandomDistances(4, 2), Linkage::kAverage, {1.0, 2.0})
+          .ok());
+}
+
+TEST(HierarchyTest, LinkageNames) {
+  EXPECT_STREQ(LinkageName(Linkage::kSingle), "single");
+  EXPECT_STREQ(LinkageName(Linkage::kComplete), "complete");
+  EXPECT_STREQ(LinkageName(Linkage::kAverage), "average");
+  EXPECT_STREQ(LinkageName(Linkage::kWard), "ward");
+}
+
+}  // namespace
+}  // namespace clustagg

@@ -1,0 +1,234 @@
+// Tests for the io module: label-file parsing/formatting and categorical
+// CSV decoding.
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "categorical/attribute_clusterings.h"
+#include "core/aggregator.h"
+#include "io/clustering_io.h"
+#include "io/csv.h"
+
+namespace clustagg {
+namespace {
+
+// ------------------------------------------------------------ labels
+
+TEST(ClusteringIoTest, ParseSimple) {
+  Result<Clustering> c = ParseClustering("0 0 1 1 2 2");
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->labels(),
+            (std::vector<Clustering::Label>{0, 0, 1, 1, 2, 2}));
+}
+
+TEST(ClusteringIoTest, ParseMultilineWithCommentsAndMissing) {
+  Result<Clustering> c = ParseClustering(
+      "# clustering with a missing label\n"
+      "0 1\n"
+      "? 2\t3\r\n");
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->size(), 5u);
+  EXPECT_FALSE(c->has_label(2));
+  EXPECT_EQ(c->label(4), 3);
+}
+
+TEST(ClusteringIoTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(ParseClustering("0 1 two").ok());
+  EXPECT_FALSE(ParseClustering("-3 1").ok());
+  EXPECT_FALSE(ParseClustering("").ok());
+  EXPECT_FALSE(ParseClustering("# only a comment\n").ok());
+  EXPECT_FALSE(ParseClustering("99999999999999999999").ok());
+}
+
+TEST(ClusteringIoTest, FormatRoundTrips) {
+  const Clustering original({4, 4, Clustering::kMissing, 0});
+  Result<Clustering> round = ParseClustering(FormatClustering(original));
+  ASSERT_TRUE(round.ok());
+  EXPECT_EQ(round->labels(), original.labels());
+}
+
+TEST(ClusteringIoTest, FileRoundTrip) {
+  std::string path = ::testing::TempDir();
+  path += "/clustagg_io_test.labels";
+  const Clustering original({0, 1, 1, Clustering::kMissing, 2});
+  ASSERT_TRUE(WriteClusteringFile(path, original).ok());
+  Result<Clustering> read = ReadClusteringFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->labels(), original.labels());
+  std::remove(path.c_str());
+}
+
+TEST(ClusteringIoTest, ReadMissingFileFails) {
+  Result<Clustering> c = ReadClusteringFile("/nonexistent/nope.labels");
+  ASSERT_FALSE(c.ok());
+  EXPECT_EQ(c.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ClusteringIoTest, ReadClusteringSetValidatesSizes) {
+  const std::string dir = ::testing::TempDir();
+  std::string p1 = dir;
+  p1 += "/cs_a.labels";
+  std::string p2 = dir;
+  p2 += "/cs_b.labels";
+  ASSERT_TRUE(WriteClusteringFile(p1, Clustering({0, 1, 1})).ok());
+  ASSERT_TRUE(WriteClusteringFile(p2, Clustering({0, 1})).ok());
+  EXPECT_FALSE(ReadClusteringSet({p1, p2}).ok());
+  EXPECT_FALSE(ReadClusteringSet({}).ok());
+  ASSERT_TRUE(WriteClusteringFile(p2, Clustering({0, 0, 1})).ok());
+  Result<ClusteringSet> set = ReadClusteringSet({p1, p2});
+  ASSERT_TRUE(set.ok());
+  EXPECT_EQ(set->num_clusterings(), 2u);
+  std::remove(p1.c_str());
+  std::remove(p2.c_str());
+}
+
+// --------------------------------------------------------------- CSV
+
+TEST(CsvTest, ParsesHeaderAndDictionaries) {
+  CsvOptions options;
+  options.class_column = "label";
+  Result<CsvDataset> d = ParseCategoricalCsv(
+      "color,shape,label\n"
+      "red,round,pos\n"
+      "blue,round,neg\n"
+      "red,square,pos\n",
+      options);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->table.num_rows(), 3u);
+  EXPECT_EQ(d->table.num_attributes(), 2u);
+  EXPECT_EQ(d->column_names,
+            (std::vector<std::string>{"color", "shape"}));
+  // Dictionary order = first appearance.
+  EXPECT_EQ(d->value_names[0],
+            (std::vector<std::string>{"red", "blue"}));
+  EXPECT_EQ(d->value_names[1],
+            (std::vector<std::string>{"round", "square"}));
+  EXPECT_EQ(d->class_names, (std::vector<std::string>{"pos", "neg"}));
+  EXPECT_EQ(d->table.value(0, 0), 0);
+  EXPECT_EQ(d->table.value(1, 0), 1);
+  EXPECT_EQ(d->table.class_labels(),
+            (std::vector<std::int32_t>{0, 1, 0}));
+}
+
+TEST(CsvTest, MissingTokens) {
+  Result<CsvDataset> d = ParseCategoricalCsv(
+      "a,b\n"
+      "x,?\n"
+      "NA,y\n"
+      ",z\n");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->table.CountMissing(), 3u);
+  EXPECT_FALSE(d->table.has_value(0, 1));
+  EXPECT_FALSE(d->table.has_value(1, 0));
+  EXPECT_FALSE(d->table.has_value(2, 0));
+}
+
+TEST(CsvTest, NoHeaderUsesPositionalNames) {
+  CsvOptions options;
+  options.has_header = false;
+  Result<CsvDataset> d = ParseCategoricalCsv("x,y\nx,z\n", options);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->table.num_rows(), 2u);
+  EXPECT_EQ(d->column_names, (std::vector<std::string>{"0", "1"}));
+}
+
+TEST(CsvTest, CustomDelimiter) {
+  CsvOptions options;
+  options.delimiter = ';';
+  Result<CsvDataset> d = ParseCategoricalCsv("a;b\n1;2\n", options);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->table.num_attributes(), 2u);
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  EXPECT_FALSE(ParseCategoricalCsv("a,b\n1\n").ok());
+}
+
+TEST(CsvTest, RejectsUnknownClassColumn) {
+  CsvOptions options;
+  options.class_column = "nope";
+  EXPECT_FALSE(ParseCategoricalCsv("a,b\n1,2\n", options).ok());
+}
+
+TEST(CsvTest, RejectsMissingClassLabel) {
+  CsvOptions options;
+  options.class_column = "b";
+  EXPECT_FALSE(ParseCategoricalCsv("a,b\n1,?\n", options).ok());
+}
+
+TEST(CsvTest, RejectsEmptyInput) {
+  EXPECT_FALSE(ParseCategoricalCsv("").ok());
+}
+
+TEST(CsvTest, WindowsLineEndings) {
+  Result<CsvDataset> d = ParseCategoricalCsv("a,b\r\nx,y\r\n");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->table.num_rows(), 1u);
+  EXPECT_EQ(d->value_names[1], (std::vector<std::string>{"y"}));
+}
+
+TEST(CsvTest, FormatRoundTrips) {
+  CsvOptions options;
+  options.class_column = "cls";
+  Result<CsvDataset> d = ParseCategoricalCsv(
+      "f1,f2,cls\n"
+      "a,p,yes\n"
+      "b,?,no\n",
+      options);
+  ASSERT_TRUE(d.ok());
+  const std::string csv = FormatCategoricalCsv(*d);
+  // The class column is re-emitted under the canonical name "class".
+  CsvOptions round_options;
+  round_options.class_column = "class";
+  Result<CsvDataset> round = ParseCategoricalCsv(csv, round_options);
+  ASSERT_TRUE(round.ok());
+  EXPECT_EQ(round->table.num_rows(), d->table.num_rows());
+  EXPECT_EQ(round->table.num_attributes(), d->table.num_attributes());
+  EXPECT_EQ(round->table.CountMissing(), d->table.CountMissing());
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t a = 0; a < 2; ++a) {
+      EXPECT_EQ(round->table.value(r, a), d->table.value(r, a));
+    }
+  }
+  EXPECT_EQ(round->table.class_labels(), d->table.class_labels());
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  std::string path = ::testing::TempDir();
+  path += "/clustagg_csv_test.csv";
+  {
+    std::ofstream out(path);
+    out << "a,b\nx,y\nx,z\n";
+  }
+  Result<CsvDataset> d = ReadCategoricalCsv(path);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->table.num_rows(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, EndToEndAggregationFromCsv) {
+  // The categorical pipeline straight from CSV text.
+  Result<CsvDataset> d = ParseCategoricalCsv(
+      "a,b,c\n"
+      "x,p,0\n"
+      "x,p,0\n"
+      "x,p,1\n"
+      "y,q,2\n"
+      "y,q,2\n"
+      "y,q,3\n");
+  ASSERT_TRUE(d.ok());
+  Result<ClusteringSet> input = AttributeClusterings(d->table);
+  ASSERT_TRUE(input.ok());
+  AggregatorOptions options;
+  Result<AggregationResult> result = Aggregate(*input, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->clustering.NumClusters(), 2u);
+  EXPECT_TRUE(result->clustering.SameCluster(0, 2));
+  EXPECT_TRUE(result->clustering.SameCluster(3, 5));
+  EXPECT_FALSE(result->clustering.SameCluster(0, 3));
+}
+
+}  // namespace
+}  // namespace clustagg

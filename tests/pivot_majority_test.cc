@@ -1,0 +1,189 @@
+// Tests for the CC-PIVOT extension and the MAJORITY co-association
+// baseline.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/clustering_set.h"
+#include "core/correlation_instance.h"
+#include "core/exact.h"
+#include "core/majority.h"
+#include "core/pivot.h"
+
+namespace clustagg {
+namespace {
+
+ClusteringSet Figure1Input() {
+  return *ClusteringSet::Create({
+      Clustering({0, 0, 1, 1, 2, 2}),
+      Clustering({0, 1, 0, 1, 2, 3}),
+      Clustering({0, 1, 0, 1, 2, 2}),
+  });
+}
+
+ClusteringSet NoisyPlanted(std::size_t n, std::size_t m, std::size_t k,
+                           double noise, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Clustering> clusterings;
+  for (std::size_t i = 0; i < m; ++i) {
+    std::vector<Clustering::Label> labels(n);
+    for (std::size_t v = 0; v < n; ++v) {
+      labels[v] = rng.NextBernoulli(noise)
+                      ? static_cast<Clustering::Label>(rng.NextBounded(k))
+                      : static_cast<Clustering::Label>(v % k);
+    }
+    clusterings.emplace_back(std::move(labels));
+  }
+  return *ClusteringSet::Create(std::move(clusterings));
+}
+
+const Clustering kFigure1Optimum({0, 1, 0, 1, 2, 2});
+
+// --------------------------------------------------------------- PIVOT
+
+TEST(PivotTest, SolvesFigure1) {
+  const CorrelationInstance instance =
+      CorrelationInstance::FromClusterings(Figure1Input());
+  Result<Clustering> c = PivotClusterer().Run(instance);
+  ASSERT_TRUE(c.ok());
+  EXPECT_TRUE(c->SamePartition(kFigure1Optimum));
+}
+
+TEST(PivotTest, UnanimousInputsRecovered) {
+  const Clustering truth({0, 0, 1, 1, 2, 2, 2});
+  const ClusteringSet input = *ClusteringSet::Create({truth, truth});
+  const CorrelationInstance instance =
+      CorrelationInstance::FromClusterings(input);
+  Result<Clustering> c = PivotClusterer().Run(instance);
+  ASSERT_TRUE(c.ok());
+  EXPECT_TRUE(c->SamePartition(truth));
+}
+
+TEST(PivotTest, OptionValidation) {
+  const CorrelationInstance instance =
+      CorrelationInstance::FromClusterings(Figure1Input());
+  PivotOptions options;
+  options.repetitions = 0;
+  EXPECT_FALSE(PivotClusterer(options).Run(instance).ok());
+  options.repetitions = 1;
+  options.join_threshold = 1.5;
+  EXPECT_FALSE(PivotClusterer(options).Run(instance).ok());
+}
+
+TEST(PivotTest, EmptyInstance) {
+  Result<Clustering> c = PivotClusterer().Run(CorrelationInstance());
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->size(), 0u);
+}
+
+TEST(PivotTest, MoreRepetitionsNeverWorse) {
+  const CorrelationInstance instance = CorrelationInstance::FromClusterings(
+      NoisyPlanted(40, 5, 4, 0.3, 17));
+  PivotOptions one;
+  one.repetitions = 1;
+  one.seed = 9;
+  PivotOptions many = one;
+  many.repetitions = 16;
+  Result<Clustering> c1 = PivotClusterer(one).Run(instance);
+  Result<Clustering> c16 = PivotClusterer(many).Run(instance);
+  ASSERT_TRUE(c1.ok());
+  ASSERT_TRUE(c16.ok());
+  // Repetition r=1 of the 16 uses the same stream start, so the best of
+  // 16 cannot be worse.
+  EXPECT_LE(*instance.Cost(*c16), *instance.Cost(*c1) + 1e-9);
+}
+
+TEST(PivotTest, DeterministicForFixedSeed) {
+  const CorrelationInstance instance = CorrelationInstance::FromClusterings(
+      NoisyPlanted(30, 4, 3, 0.2, 5));
+  PivotOptions options;
+  options.seed = 77;
+  Result<Clustering> a = PivotClusterer(options).Run(instance);
+  Result<Clustering> b = PivotClusterer(options).Run(instance);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->labels(), b->labels());
+}
+
+class PivotRatioTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PivotRatioTest, WithinExpectedApproximationOnSmallInstances) {
+  const ClusteringSet input =
+      NoisyPlanted(10, 5, 3, 0.35, GetParam() * 53 + 1);
+  const CorrelationInstance instance =
+      CorrelationInstance::FromClusterings(input);
+  Result<Clustering> opt = ExactClusterer().Run(instance);
+  ASSERT_TRUE(opt.ok());
+  const double opt_cost = *instance.Cost(*opt);
+  if (opt_cost == 0.0) return;
+  Result<Clustering> c = PivotClusterer().Run(instance);
+  ASSERT_TRUE(c.ok());
+  // Expected ratio is 5 for weighted instances; with 8 repetitions the
+  // realized ratio on these instances is far smaller. Loose bound to
+  // catch regressions only (fixed seeds, no flake).
+  EXPECT_LE(*instance.Cost(*c), 5.0 * opt_cost + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PivotRatioTest, ::testing::Range(1, 11));
+
+// ------------------------------------------------------------- MAJORITY
+
+TEST(MajorityTest, SolvesFigure1) {
+  const CorrelationInstance instance =
+      CorrelationInstance::FromClusterings(Figure1Input());
+  Result<Clustering> c = MajorityClusterer().Run(instance);
+  ASSERT_TRUE(c.ok());
+  EXPECT_TRUE(c->SamePartition(kFigure1Optimum));
+}
+
+TEST(MajorityTest, OptionValidation) {
+  const CorrelationInstance instance =
+      CorrelationInstance::FromClusterings(Figure1Input());
+  MajorityOptions options;
+  options.link_threshold = -0.1;
+  EXPECT_FALSE(MajorityClusterer(options).Run(instance).ok());
+}
+
+TEST(MajorityTest, ChainsMergeThroughTransitivity) {
+  // A path of close pairs with distant endpoints: majority linking
+  // chains everything together, paying heavily for the distant pairs —
+  // the failure mode the correlation-clustering objective avoids.
+  SymmetricMatrix<float> m(4, 1.0f);
+  m.Set(0, 1, 0.1f);
+  m.Set(1, 2, 0.1f);
+  m.Set(2, 3, 0.1f);
+  // 0-2, 0-3, 1-3 stay at distance 1.
+  const CorrelationInstance instance =
+      *CorrelationInstance::FromDistances(m);
+  Result<Clustering> majority = MajorityClusterer().Run(instance);
+  ASSERT_TRUE(majority.ok());
+  EXPECT_EQ(majority->NumClusters(), 1u);  // chained into one cluster
+
+  // The exact optimum splits the chain and is strictly cheaper.
+  Result<Clustering> opt = ExactClusterer().Run(instance);
+  ASSERT_TRUE(opt.ok());
+  EXPECT_GT(opt->NumClusters(), 1u);
+  EXPECT_GT(*instance.Cost(*majority), *instance.Cost(*opt));
+}
+
+TEST(MajorityTest, ThresholdZeroGivesSingletonsOnNoisyData) {
+  const CorrelationInstance instance = CorrelationInstance::FromClusterings(
+      NoisyPlanted(20, 5, 3, 0.4, 3));
+  MajorityOptions options;
+  options.link_threshold = 0.0;
+  Result<Clustering> c = MajorityClusterer(options).Run(instance);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->NumClusters(), 20u);
+}
+
+TEST(MajorityTest, UnanimousInputsRecovered) {
+  const Clustering truth({0, 1, 1, 2, 2, 2});
+  const ClusteringSet input = *ClusteringSet::Create({truth, truth, truth});
+  const CorrelationInstance instance =
+      CorrelationInstance::FromClusterings(input);
+  Result<Clustering> c = MajorityClusterer().Run(instance);
+  ASSERT_TRUE(c.ok());
+  EXPECT_TRUE(c->SamePartition(truth));
+}
+
+}  // namespace
+}  // namespace clustagg

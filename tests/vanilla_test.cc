@@ -1,0 +1,211 @@
+// Tests for the vanilla clustering substrate: k-means and hierarchical
+// linkage clustering of 2D points.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "eval/metrics.h"
+#include "vanilla/dataset2d.h"
+#include "vanilla/hierarchical.h"
+#include "vanilla/kmeans.h"
+
+namespace clustagg {
+namespace {
+
+/// Three well-separated blobs of `per` points each.
+std::vector<Point2D> ThreeBlobs(std::size_t per, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point2D> points;
+  const Point2D centers[3] = {{0.0, 0.0}, {10.0, 0.0}, {5.0, 10.0}};
+  for (const Point2D& c : centers) {
+    for (std::size_t i = 0; i < per; ++i) {
+      points.push_back({c.x + 0.3 * rng.NextGaussian(),
+                        c.y + 0.3 * rng.NextGaussian()});
+    }
+  }
+  return points;
+}
+
+Clustering BlobTruth(std::size_t per) {
+  std::vector<Clustering::Label> labels(3 * per);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    labels[i] = static_cast<Clustering::Label>(i / per);
+  }
+  return Clustering(std::move(labels));
+}
+
+TEST(Dataset2DTest, Distances) {
+  const Point2D a{0.0, 0.0};
+  const Point2D b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(SquaredDistance(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(EuclideanDistance(a, b), 5.0);
+}
+
+TEST(Dataset2DTest, PairwiseMatrix) {
+  const std::vector<Point2D> points = {{0, 0}, {1, 0}, {0, 2}};
+  const auto plain = PairwiseEuclidean(points);
+  EXPECT_DOUBLE_EQ(plain(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(plain(0, 2), 2.0);
+  EXPECT_DOUBLE_EQ(plain(1, 2), std::sqrt(5.0));
+  const auto squared = PairwiseEuclidean(points, /*squared=*/true);
+  EXPECT_DOUBLE_EQ(squared(1, 2), 5.0);
+}
+
+// ---------------------------------------------------------------- KMeans
+
+TEST(KMeansTest, SeparatesBlobs) {
+  const auto points = ThreeBlobs(50, 1);
+  KMeansOptions options;
+  options.k = 3;
+  options.seed = 2;
+  options.restarts = 3;
+  Result<KMeansResult> r = KMeans(points, options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->clustering.NumClusters(), 3u);
+  Result<double> ari = AdjustedRandIndex(r->clustering, BlobTruth(50));
+  EXPECT_DOUBLE_EQ(*ari, 1.0);
+}
+
+TEST(KMeansTest, InertiaDecreasesWithK) {
+  const auto points = ThreeBlobs(40, 3);
+  double last = 1e300;
+  for (std::size_t k = 1; k <= 4; ++k) {
+    KMeansOptions options;
+    options.k = k;
+    options.seed = 7;
+    options.restarts = 4;
+    Result<KMeansResult> r = KMeans(points, options);
+    ASSERT_TRUE(r.ok());
+    EXPECT_LT(r->inertia, last + 1e-9);
+    last = r->inertia;
+  }
+}
+
+TEST(KMeansTest, KEqualsOne) {
+  const auto points = ThreeBlobs(10, 5);
+  KMeansOptions options;
+  options.k = 1;
+  Result<KMeansResult> r = KMeans(points, options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->clustering.NumClusters(), 1u);
+  // Centroid must be the mean.
+  double mx = 0.0;
+  double my = 0.0;
+  for (const Point2D& p : points) {
+    mx += p.x;
+    my += p.y;
+  }
+  mx /= static_cast<double>(points.size());
+  my /= static_cast<double>(points.size());
+  EXPECT_NEAR(r->centroids[0].x, mx, 1e-9);
+  EXPECT_NEAR(r->centroids[0].y, my, 1e-9);
+}
+
+TEST(KMeansTest, KEqualsNGivesZeroInertia) {
+  const auto points = ThreeBlobs(4, 9);  // 12 distinct points
+  KMeansOptions options;
+  options.k = points.size();
+  options.max_iterations = 50;
+  Result<KMeansResult> r = KMeans(points, options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->inertia, 0.0, 1e-12);
+}
+
+TEST(KMeansTest, ValidatesOptions) {
+  const auto points = ThreeBlobs(5, 11);
+  KMeansOptions options;
+  options.k = 0;
+  EXPECT_FALSE(KMeans(points, options).ok());
+  options.k = points.size() + 1;
+  EXPECT_FALSE(KMeans(points, options).ok());
+  options.k = 2;
+  options.restarts = 0;
+  EXPECT_FALSE(KMeans(points, options).ok());
+}
+
+TEST(KMeansTest, DeterministicForFixedSeed) {
+  const auto points = ThreeBlobs(30, 13);
+  KMeansOptions options;
+  options.k = 3;
+  options.seed = 99;
+  Result<KMeansResult> a = KMeans(points, options);
+  Result<KMeansResult> b = KMeans(points, options);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->clustering.labels(), b->clustering.labels());
+  EXPECT_DOUBLE_EQ(a->inertia, b->inertia);
+}
+
+TEST(KMeansTest, DuplicatePointsDoNotCrash) {
+  std::vector<Point2D> points(20, Point2D{1.0, 1.0});
+  points.resize(25, Point2D{5.0, 5.0});
+  KMeansOptions options;
+  options.k = 2;
+  Result<KMeansResult> r = KMeans(points, options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LE(r->clustering.NumClusters(), 2u);
+}
+
+// ---------------------------------------------------------- Hierarchical
+
+class LinkageBlobTest : public ::testing::TestWithParam<Linkage> {};
+
+TEST_P(LinkageBlobTest, SeparatesBlobsAtK3) {
+  const auto points = ThreeBlobs(30, 17);
+  HierarchicalOptions options;
+  options.linkage = GetParam();
+  options.k = 3;
+  Result<Clustering> c = HierarchicalCluster(points, options);
+  ASSERT_TRUE(c.ok());
+  EXPECT_TRUE(c->SamePartition(BlobTruth(30)))
+      << LinkageName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLinkages, LinkageBlobTest,
+                         ::testing::Values(Linkage::kSingle,
+                                           Linkage::kComplete,
+                                           Linkage::kAverage,
+                                           Linkage::kWard));
+
+TEST(HierarchicalTest, SingleLinkageFollowsChains) {
+  // A chain of near points plus one far point: single linkage at k=2
+  // keeps the chain together; complete linkage at k=2 breaks it.
+  std::vector<Point2D> points;
+  for (int i = 0; i < 10; ++i) {
+    points.push_back({static_cast<double>(i), 0.0});
+  }
+  points.push_back({100.0, 0.0});
+
+  HierarchicalOptions single;
+  single.linkage = Linkage::kSingle;
+  single.k = 2;
+  Result<Clustering> c = HierarchicalCluster(points, single);
+  ASSERT_TRUE(c.ok());
+  const auto sizes = c->ClusterSizes();
+  EXPECT_EQ(std::max(sizes[0], sizes[1]), 10u);
+}
+
+TEST(HierarchicalTest, RejectsEmptyAndBadK) {
+  EXPECT_FALSE(HierarchicalCluster({}, {}).ok());
+  const auto points = ThreeBlobs(5, 19);
+  HierarchicalOptions options;
+  options.k = 0;
+  EXPECT_FALSE(HierarchicalCluster(points, options).ok());
+  options.k = points.size() + 1;
+  EXPECT_FALSE(HierarchicalCluster(points, options).ok());
+}
+
+TEST(HierarchicalTest, DendrogramReusableAcrossCuts) {
+  const auto points = ThreeBlobs(20, 23);
+  Result<Dendrogram> d = BuildDendrogram(points, Linkage::kAverage);
+  ASSERT_TRUE(d.ok());
+  for (std::size_t k = 1; k <= 6; ++k) {
+    Result<Clustering> cut = d->CutAtK(k);
+    ASSERT_TRUE(cut.ok());
+    EXPECT_EQ(cut->NumClusters(), k);
+  }
+}
+
+}  // namespace
+}  // namespace clustagg

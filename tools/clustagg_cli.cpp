@@ -1,0 +1,335 @@
+// clustagg — command-line front end for the clustering-aggregation
+// library.
+//
+// Subcommands:
+//   aggregate  aggregate label files (or a categorical CSV) into one
+//              clustering
+//   eval       compare two label files (Rand, adjusted Rand, NMI,
+//              disagreement distance)
+//   gen        write one of the paper's synthetic datasets to disk
+//   help       this text
+//
+// Examples:
+//   clustagg aggregate --algorithm localsearch c1.labels c2.labels
+//       c3.labels --out aggregate.labels
+//   clustagg aggregate --csv mushrooms.csv --class-column class
+//       --algorithm agglomerative --report
+//   clustagg eval truth.labels predicted.labels
+//   clustagg gen votes --seed 7 --out votes.csv
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "clustagg/clustagg.h"
+#include "io/clustering_io.h"
+#include "io/csv.h"
+
+namespace {
+
+using namespace clustagg;
+
+/// Minimal flag parser: --name value pairs plus positional arguments.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) == 0) {
+        std::string name = arg.substr(2);
+        if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+          flags_[name] = argv[++i];
+        } else {
+          flags_[name] = "";  // boolean flag
+        }
+      } else {
+        positional_.push_back(std::move(arg));
+      }
+    }
+  }
+
+  bool Has(const std::string& name) const { return flags_.count(name) > 0; }
+
+  std::string Get(const std::string& name,
+                  const std::string& fallback = "") const {
+    auto it = flags_.find(name);
+    return it == flags_.end() ? fallback : it->second;
+  }
+
+  double GetDouble(const std::string& name, double fallback) const {
+    auto it = flags_.find(name);
+    return it == flags_.end() ? fallback : std::atof(it->second.c_str());
+  }
+
+  long long GetInt(const std::string& name, long long fallback) const {
+    auto it = flags_.find(name);
+    return it == flags_.end() ? fallback : std::atoll(it->second.c_str());
+  }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+std::optional<AggregationAlgorithm> ParseAlgorithm(const std::string& name) {
+  static const std::map<std::string, AggregationAlgorithm> kNames = {
+      {"best", AggregationAlgorithm::kBestClustering},
+      {"balls", AggregationAlgorithm::kBalls},
+      {"agglomerative", AggregationAlgorithm::kAgglomerative},
+      {"furthest", AggregationAlgorithm::kFurthest},
+      {"localsearch", AggregationAlgorithm::kLocalSearch},
+      {"pivot", AggregationAlgorithm::kPivot},
+      {"annealing", AggregationAlgorithm::kAnnealing},
+      {"majority", AggregationAlgorithm::kMajority},
+      {"exact", AggregationAlgorithm::kExact},
+  };
+  auto it = kNames.find(name);
+  if (it == kNames.end()) return std::nullopt;
+  return it->second;
+}
+
+int CmdAggregate(const Args& args) {
+  // Assemble the input clusterings.
+  Result<ClusteringSet> input = [&]() -> Result<ClusteringSet> {
+    if (args.Has("csv")) {
+      CsvOptions csv;
+      csv.class_column = args.Get("class-column");
+      if (args.Has("delimiter")) csv.delimiter = args.Get("delimiter")[0];
+      if (args.Has("no-header")) csv.has_header = false;
+      Result<CsvDataset> dataset =
+          ReadCategoricalCsv(args.Get("csv"), csv);
+      if (!dataset.ok()) return dataset.status();
+      return AttributeClusterings(dataset->table);
+    }
+    if (args.Has("weights")) {
+      // --weights w1,w2,... parallel to the label files.
+      std::vector<Clustering> clusterings;
+      for (const std::string& path : args.positional()) {
+        Result<Clustering> c = ReadClusteringFile(path);
+        if (!c.ok()) return c.status();
+        clusterings.push_back(std::move(*c));
+      }
+      std::vector<double> weights;
+      const std::string spec = args.Get("weights");
+      std::size_t start = 0;
+      while (start <= spec.size()) {
+        const std::size_t comma = spec.find(',', start);
+        const std::string token =
+            spec.substr(start, comma == std::string::npos
+                                   ? std::string::npos
+                                   : comma - start);
+        if (!token.empty()) weights.push_back(std::atof(token.c_str()));
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+      return ClusteringSet::Create(std::move(clusterings),
+                                   std::move(weights));
+    }
+    return ReadClusteringSet(args.positional());
+  }();
+  if (!input.ok()) return Fail(input.status());
+
+  AggregatorOptions options;
+  const std::string algorithm = args.Get("algorithm", "agglomerative");
+  if (auto parsed = ParseAlgorithm(algorithm)) {
+    options.algorithm = *parsed;
+  } else {
+    std::fprintf(stderr,
+                 "error: unknown algorithm '%s' (expected best, balls, "
+                 "agglomerative, furthest, localsearch, pivot, annealing, majority, "
+                 "exact)\n",
+                 algorithm.c_str());
+    return 1;
+  }
+  options.balls.alpha = args.GetDouble("alpha", 0.4);
+  options.refine_with_local_search = args.Has("refine");
+  options.sampling_size =
+      static_cast<std::size_t>(args.GetInt("sample", 0));
+  options.sampling.seed =
+      static_cast<std::uint64_t>(args.GetInt("seed", 1));
+  if (args.Get("missing") == "ignore") {
+    options.missing.policy = MissingValuePolicy::kIgnore;
+  }
+  options.missing.coin_together_probability =
+      args.GetDouble("coin-p", 0.5);
+
+  Result<AggregationResult> result = Aggregate(*input, options);
+  if (!result.ok()) return Fail(result.status());
+
+  std::fprintf(stderr,
+               "aggregated %zu clusterings of %zu objects with %s: "
+               "%zu clusters, D(C) = %.1f\n",
+               input->num_clusterings(), input->num_objects(),
+               AggregationAlgorithmName(options.algorithm),
+               result->clustering.NumClusters(),
+               result->total_disagreements);
+  if (args.Has("report")) {
+    std::fprintf(stderr, "lower bound on D = %.1f\n",
+                 DisagreementLowerBound(*input, options.missing));
+    const auto sizes = result->clustering.ClusterSizes();
+    for (std::size_t c = 0; c < sizes.size(); ++c) {
+      std::fprintf(stderr, "  cluster %zu: %zu objects\n", c, sizes[c]);
+    }
+  }
+
+  const std::string out = args.Get("out");
+  if (!out.empty()) {
+    if (Status s = WriteClusteringFile(out, result->clustering); !s.ok()) {
+      return Fail(s);
+    }
+    std::fprintf(stderr, "wrote %s\n", out.c_str());
+  } else {
+    std::fputs(FormatClustering(result->clustering).c_str(), stdout);
+  }
+  return 0;
+}
+
+int CmdEval(const Args& args) {
+  if (args.positional().size() != 2) {
+    std::fprintf(stderr,
+                 "usage: clustagg eval <truth.labels> <candidate.labels>\n");
+    return 1;
+  }
+  Result<Clustering> a = ReadClusteringFile(args.positional()[0]);
+  if (!a.ok()) return Fail(a.status());
+  Result<Clustering> b = ReadClusteringFile(args.positional()[1]);
+  if (!b.ok()) return Fail(b.status());
+
+  Result<std::uint64_t> d = DisagreementDistance(*a, *b);
+  if (!d.ok()) return Fail(d.status());
+  Result<double> rand = RandIndex(*a, *b);
+  Result<double> ari = AdjustedRandIndex(*a, *b);
+  Result<double> nmi = NormalizedMutualInformation(*a, *b);
+  std::printf("objects:              %zu\n", a->size());
+  std::printf("clusters:             %zu vs %zu\n", a->NumClusters(),
+              b->NumClusters());
+  std::printf("disagreement d(a,b):  %llu\n",
+              static_cast<unsigned long long>(*d));
+  std::printf("rand index:           %.4f\n", *rand);
+  std::printf("adjusted rand index:  %.4f\n", *ari);
+  std::printf("normalized MI:        %.4f\n", *nmi);
+  return 0;
+}
+
+int CmdGen(const Args& args) {
+  if (args.positional().empty()) {
+    std::fprintf(stderr,
+                 "usage: clustagg gen <votes|mushrooms|census|gaussian> "
+                 "[--seed N] [--rows N] [--out file]\n");
+    return 1;
+  }
+  const std::string kind = args.positional()[0];
+  const auto seed = static_cast<std::uint64_t>(args.GetInt("seed", 1));
+  const std::string out = args.Get("out", kind + ".csv");
+
+  Result<SyntheticCategoricalData> data = [&]() {
+    if (kind == "votes") return MakeVotesLike(seed);
+    if (kind == "mushrooms") return MakeMushroomsLike(seed);
+    if (kind == "census") {
+      return MakeCensusLike(
+          seed, static_cast<std::size_t>(args.GetInt("rows", 32561)));
+    }
+    return Result<SyntheticCategoricalData>(Status::InvalidArgument(
+        "unknown dataset '" + kind +
+        "' (expected votes, mushrooms, census, gaussian)"));
+  }();
+  if (kind == "gaussian") {
+    GaussianMixtureOptions gen;
+    gen.num_clusters = static_cast<std::size_t>(args.GetInt("clusters", 5));
+    gen.points_per_cluster =
+        static_cast<std::size_t>(args.GetInt("rows", 500)) /
+        gen.num_clusters;
+    gen.seed = seed;
+    Result<Dataset2D> points = GenerateGaussianMixture(gen);
+    if (!points.ok()) return Fail(points.status());
+    std::FILE* f = std::fopen(out.c_str(), "w");
+    if (f == nullptr) {
+      return Fail(Status::InvalidArgument("cannot open " + out));
+    }
+    std::fprintf(f, "x,y,cluster\n");
+    for (std::size_t i = 0; i < points->size(); ++i) {
+      std::fprintf(f, "%.6f,%.6f,%d\n", points->points[i].x,
+                   points->points[i].y, points->ground_truth[i]);
+    }
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %zu points to %s\n", points->size(),
+                 out.c_str());
+    return 0;
+  }
+  if (!data.ok()) return Fail(data.status());
+
+  // Serialize with plain numeric codes (the generators have no string
+  // dictionaries).
+  CsvDataset dataset;
+  dataset.table = std::move(data->table);
+  for (std::size_t a = 0; a < dataset.table.num_attributes(); ++a) {
+    std::string col = "a";
+    col += std::to_string(a);
+    dataset.column_names.push_back(std::move(col));
+  }
+  for (std::size_t c = 0; c < dataset.table.num_classes(); ++c) {
+    std::string cls = "class";
+    cls += std::to_string(c);
+    dataset.class_names.push_back(std::move(cls));
+  }
+  std::FILE* f = std::fopen(out.c_str(), "w");
+  if (f == nullptr) {
+    return Fail(Status::InvalidArgument("cannot open " + out));
+  }
+  const std::string csv = FormatCategoricalCsv(dataset);
+  std::fwrite(csv.data(), 1, csv.size(), f);
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %zu rows to %s\n",
+               dataset.table.num_rows(), out.c_str());
+  return 0;
+}
+
+int CmdHelp() {
+  std::puts(
+      "clustagg — clustering aggregation (Gionis, Mannila, Tsaparas; "
+      "ICDE 2005)\n"
+      "\n"
+      "subcommands:\n"
+      "  aggregate [files...] [--csv FILE [--class-column NAME]]\n"
+      "            [--algorithm best|balls|agglomerative|furthest|\n"
+      "             localsearch|pivot|annealing|majority|exact]\n"
+      "            [--alpha X] [--refine] [--sample N] [--seed N]\n"
+      "            [--missing coin|ignore] [--coin-p P]\n"
+      "            [--weights w1,w2,...]\n"
+      "            [--out FILE] [--report]\n"
+      "      aggregate label files (one clustering per file, labels\n"
+      "      whitespace-separated, '?' = missing) or the attribute\n"
+      "      clusterings of a categorical CSV.\n"
+      "  eval <truth.labels> <candidate.labels>\n"
+      "      rand / adjusted rand / NMI / disagreement distance.\n"
+      "  gen <votes|mushrooms|census|gaussian> [--seed N] [--rows N]\n"
+      "      [--out FILE]\n"
+      "      write one of the paper's synthetic datasets.\n"
+      "  help\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return CmdHelp();
+  const std::string command = argv[1];
+  const Args args(argc, argv, 2);
+  if (command == "aggregate") return CmdAggregate(args);
+  if (command == "eval") return CmdEval(args);
+  if (command == "gen") return CmdGen(args);
+  if (command == "help" || command == "--help") return CmdHelp();
+  std::fprintf(stderr, "error: unknown command '%s'\n", command.c_str());
+  CmdHelp();
+  return 1;
+}

@@ -1,0 +1,98 @@
+// Distance-backend comparison harness.
+//
+// Part 1 measures parallel dense construction (n = 4096, m = 9) at 1, 2,
+// 4, and 8 threads — the row-partitioned builder should scale
+// near-linearly with cores.
+//
+// Part 2 runs a full (non-sampled) LOCALSEARCH under the lazy backend at
+// a size where the dense matrix would not be built (default n = 50000:
+// ~1.25e9 pairs, ~5 GB as floats). The lazy backend keeps O(n*m) memory,
+// so the whole run fits in a few hundred MB.
+//
+// Usage: bench_backends [n_lazy] (default 50000; pass a smaller n for a
+// quick smoke run).
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "clustagg/clustagg.h"
+#include "common/check.h"
+#include "common/parallel.h"
+#include "common/stopwatch.h"
+
+namespace {
+
+using namespace clustagg;
+
+ClusteringSet PlantedInput(std::size_t n, std::size_t m, std::size_t k,
+                           double noise, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Clustering> clusterings;
+  for (std::size_t i = 0; i < m; ++i) {
+    std::vector<Clustering::Label> labels(n);
+    for (std::size_t v = 0; v < n; ++v) {
+      labels[v] = static_cast<Clustering::Label>(
+          rng.NextBernoulli(noise) ? rng.NextBounded(k) : v % k);
+    }
+    clusterings.emplace_back(std::move(labels));
+  }
+  Result<ClusteringSet> set = ClusteringSet::Create(std::move(clusterings));
+  CLUSTAGG_CHECK_OK(set.status());
+  return *std::move(set);
+}
+
+void DenseConstructionScaling() {
+  const std::size_t n = 4096;
+  const std::size_t m = 9;
+  std::printf("dense construction, n = %zu, m = %zu\n", n, m);
+  const ClusteringSet input = PlantedInput(n, m, 8, 0.2, 2);
+  double serial_seconds = 0.0;
+  for (std::size_t threads : {1, 2, 4, 8}) {
+    Stopwatch watch;
+    Result<CorrelationInstance> instance = CorrelationInstance::Build(
+        input, {}, {DistanceBackend::kDense, threads});
+    CLUSTAGG_CHECK_OK(instance.status());
+    const double seconds = watch.ElapsedSeconds();
+    if (threads == 1) serial_seconds = seconds;
+    std::printf("  threads = %zu: %.3f s (speedup %.2fx)\n", threads,
+                seconds, serial_seconds / seconds);
+  }
+}
+
+void LazyLocalSearch(std::size_t n) {
+  const std::size_t m = 9;
+  std::printf("\nfull LOCALSEARCH under the lazy backend, n = %zu, "
+              "m = %zu (dense would need %.1f GB)\n",
+              n, m,
+              static_cast<double>(n) * (static_cast<double>(n) - 1.0) / 2.0 *
+                  sizeof(float) / 1e9);
+  const ClusteringSet input = PlantedInput(n, m, 32, 0.2, 3);
+  Stopwatch watch;
+  Result<CorrelationInstance> instance =
+      CorrelationInstance::Build(input, {}, {DistanceBackend::kLazy, 0});
+  CLUSTAGG_CHECK_OK(instance.status());
+  std::printf("  lazy build: %.3f s\n", watch.ElapsedSeconds());
+
+  // Random init with ~sqrt(n) clusters keeps the move table O(n^1.5)
+  // instead of the O(n^2) a singleton start would allocate.
+  LocalSearchOptions options;
+  options.init = LocalSearchOptions::Init::kRandom;
+  options.max_passes = 2;
+  const LocalSearchClusterer clusterer(options);
+  watch.Restart();
+  Result<Clustering> result = clusterer.Run(*instance);
+  CLUSTAGG_CHECK_OK(result.status());
+  std::printf("  LOCALSEARCH (2 passes): %.3f s, %zu clusters\n",
+              watch.ElapsedSeconds(), result->NumClusters());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("hardware threads: %zu\n\n", ResolveThreadCount(0));
+  DenseConstructionScaling();
+  const std::size_t n_lazy =
+      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 50000;
+  LazyLocalSearch(n_lazy);
+  return 0;
+}

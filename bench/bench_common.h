@@ -100,9 +100,13 @@ inline TableRow ScoreRow(const std::string& name, const Clustering& c,
 
 /// Runs the paper's five aggregation algorithms (BALLS at the practical
 /// alpha = 0.4, as in Tables 2 and 3) and returns one scored row each.
+/// The distance backend and thread count are forwarded to every run so
+/// the harnesses can compare dense vs. lazy and serial vs. parallel.
 inline std::vector<TableRow> RunAggregationRows(
     const ClusteringSet& input,
-    const std::vector<std::int32_t>& class_labels) {
+    const std::vector<std::int32_t>& class_labels,
+    DistanceBackend backend = DistanceBackend::kDense,
+    std::size_t num_threads = 0) {
   std::vector<TableRow> rows;
   const struct {
     AggregationAlgorithm algorithm;
@@ -118,6 +122,8 @@ inline std::vector<TableRow> RunAggregationRows(
     AggregatorOptions options;
     options.algorithm = config.algorithm;
     options.balls.alpha = 0.4;
+    options.backend = backend;
+    options.num_threads = num_threads;
     Stopwatch watch;
     Result<AggregationResult> result = Aggregate(input, options);
     CLUSTAGG_CHECK_OK(result.status());

@@ -75,6 +75,34 @@ void BM_BuildInstance(benchmark::State& state) {
 }
 BENCHMARK(BM_BuildInstance)->Range(64, 1024);
 
+// Parallel dense construction at the acceptance point (n = 4096, m = 9):
+// the speedup of Arg(4) over Arg(1) is the scaling claim for the
+// row-partitioned builder.
+void BM_BuildInstanceDense(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  const ClusteringSet input = PlantedInput(4096, 9, 8, 0.2, 2);
+  for (auto _ : state) {
+    Result<CorrelationInstance> instance = CorrelationInstance::Build(
+        input, {}, {DistanceBackend::kDense, threads});
+    CLUSTAGG_CHECK_OK(instance.status());
+    benchmark::DoNotOptimize(instance);
+  }
+}
+BENCHMARK(BM_BuildInstanceDense)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_BuildInstanceLazy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const ClusteringSet input = PlantedInput(n, 9, 8, 0.2, 2);
+  for (auto _ : state) {
+    Result<CorrelationInstance> instance = CorrelationInstance::Build(
+        input, {}, {DistanceBackend::kLazy, 1});
+    CLUSTAGG_CHECK_OK(instance.status());
+    benchmark::DoNotOptimize(instance);
+  }
+}
+BENCHMARK(BM_BuildInstanceLazy)->Range(1024, 65536);
+
 template <typename ClustererT>
 void RunAlgorithm(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

@@ -1,3 +1,5 @@
 # CMake package config for clustagg: find_package(clustagg) provides the
 # imported target clustagg::clustagg.
+include(CMakeFindDependencyMacro)
+find_dependency(Threads)
 include("${CMAKE_CURRENT_LIST_DIR}/clustaggTargets.cmake")

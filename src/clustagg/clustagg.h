@@ -25,6 +25,7 @@
 #include "core/clustering_set.h"
 #include "core/correlation_instance.h"
 #include "core/disagreement.h"
+#include "core/distance_source.h"
 #include "core/exact.h"
 #include "core/hierarchy.h"
 #include "core/lower_bound.h"

@@ -1,0 +1,64 @@
+#ifndef CLUSTAGG_COMMON_PARALLEL_H_
+#define CLUSTAGG_COMMON_PARALLEL_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace clustagg {
+
+/// Resolves a user-facing thread-count knob: 0 means one thread per
+/// hardware core (at least 1).
+inline std::size_t ResolveThreadCount(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+/// Thread count actually worth using for `rows` units of row-sized work.
+/// Small inputs stay serial so that hot per-candidate loops (n in the
+/// tens) never pay thread-spawn latency.
+inline std::size_t EffectiveRowThreads(std::size_t rows,
+                                       std::size_t resolved) {
+  constexpr std::size_t kMinRowsForThreads = 128;
+  if (rows < kMinRowsForThreads) return 1;
+  return std::min(resolved == 0 ? std::size_t{1} : resolved, rows);
+}
+
+/// Runs fn(row, thread_id) for every row in [0, rows). Rows are handed
+/// out dynamically in chunks (row work shrinks along a packed triangle),
+/// so the schedule is load-balanced. Callers must keep fn's writes
+/// disjoint per row; results are then independent of the schedule, which
+/// is what makes every parallel reduction in the library deterministic
+/// across thread counts. Serial (thread_id 0) when num_threads <= 1.
+template <typename Fn>
+void ParallelForRows(std::size_t rows, std::size_t num_threads, Fn&& fn) {
+  if (rows == 0) return;
+  if (num_threads > rows) num_threads = rows;
+  if (num_threads <= 1) {
+    for (std::size_t u = 0; u < rows; ++u) fn(u, std::size_t{0});
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  const std::size_t chunk =
+      std::max<std::size_t>(1, rows / (num_threads * 8));
+  auto worker = [&](std::size_t thread_id) {
+    for (;;) {
+      const std::size_t begin = next.fetch_add(chunk);
+      if (begin >= rows) return;
+      const std::size_t end = std::min(rows, begin + chunk);
+      for (std::size_t u = begin; u < end; ++u) fn(u, thread_id);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(num_threads - 1);
+  for (std::size_t t = 1; t < num_threads; ++t) pool.emplace_back(worker, t);
+  worker(0);
+  for (std::thread& t : pool) t.join();
+}
+
+}  // namespace clustagg
+
+#endif  // CLUSTAGG_COMMON_PARALLEL_H_

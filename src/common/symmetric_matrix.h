@@ -2,10 +2,14 @@
 #define CLUSTAGG_COMMON_SYMMETRIC_MATRIX_H_
 
 #include <cstddef>
+#include <limits>
+#include <new>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "common/check.h"
+#include "common/status.h"
 
 namespace clustagg {
 
@@ -25,6 +29,42 @@ class SymmetricMatrix {
   /// diagonal reads returning `diagonal`.
   explicit SymmetricMatrix(std::size_t n, T fill = T{}, T diagonal = T{})
       : n_(n), diagonal_(diagonal), data_(PackedSize(n), fill) {}
+
+  /// Validating factory: fails with Status::ResourceExhausted when the
+  /// packed triangle n(n-1)/2 overflows std::size_t (in entries or in
+  /// bytes) or when the allocator refuses it, instead of throwing
+  /// std::bad_alloc. Use this for sizes that come from data: a dense
+  /// matrix over the Figure-5 scalability datasets (n = 1M) would ask
+  /// for ~2 TB.
+  static Result<SymmetricMatrix<T>> Create(std::size_t n, T fill = T{},
+                                           T diagonal = T{}) {
+    if (n > 1) {
+      constexpr std::size_t kMax = std::numeric_limits<std::size_t>::max();
+      // n(n-1)/2 without intermediate overflow: one of the two factors
+      // is even, halve it first.
+      const std::size_t a = (n % 2 == 0) ? n / 2 : n;
+      const std::size_t b = (n % 2 == 0) ? n - 1 : (n - 1) / 2;
+      if (b > kMax / a) {
+        return Status::ResourceExhausted(
+            "packed symmetric matrix of " + std::to_string(n) +
+            " objects overflows the addressable triangle size");
+      }
+      if (a * b > kMax / sizeof(T)) {
+        return Status::ResourceExhausted(
+            "packed symmetric matrix of " + std::to_string(n) +
+            " objects overflows the addressable byte size");
+      }
+    }
+    try {
+      return SymmetricMatrix<T>(n, fill, diagonal);
+    } catch (const std::bad_alloc&) {
+      return Status::ResourceExhausted(
+          "cannot allocate the packed symmetric matrix for " +
+          std::to_string(n) + " objects (" +
+          std::to_string(PackedSize(n)) + " entries); use the lazy "
+          "distance backend or SAMPLING for instances this large");
+    }
+  }
 
   std::size_t size() const { return n_; }
   bool empty() const { return n_ == 0; }
@@ -46,6 +86,14 @@ class SymmetricMatrix {
   /// (i, j) with i < j, row-major: (0,1), (0,2), ..., (0,n-1), (1,2), ...
   const std::vector<T>& packed() const { return data_; }
   std::vector<T>& packed() { return data_; }
+
+  /// Offset of entry (i, j), i != j, inside packed(). Row i's entries
+  /// (i, i+1) .. (i, n-1) are contiguous starting at PackedIndex(i, i+1),
+  /// which lets bulk row readers and parallel row writers address slices
+  /// directly.
+  std::size_t PackedIndex(std::size_t i, std::size_t j) const {
+    return Index(i, j);
+  }
 
  private:
   static std::size_t PackedSize(std::size_t n) {

@@ -1,6 +1,9 @@
 #include "core/agglomerative.h"
 
 #include <utility>
+#include <vector>
+
+#include "common/parallel.h"
 
 namespace clustagg {
 
@@ -9,15 +12,34 @@ Result<Clustering> AgglomerativeClusterer::Run(
   const std::size_t n = instance.size();
   if (n == 0) return Clustering();
 
-  // Widen the packed float matrix to double for the Lance-Williams
-  // updates (average-linkage accumulates weighted means).
-  SymmetricMatrix<double> working(n);
-  {
-    const auto& packed = instance.matrix().packed();
+  // The Lance-Williams updates mutate a double matrix in place
+  // (average-linkage accumulates weighted means), so agglomeration is
+  // inherently O(n^2) memory whatever the instance backend.
+  Result<SymmetricMatrix<double>> working_result =
+      SymmetricMatrix<double>::Create(n);
+  if (!working_result.ok()) return working_result.status();
+  SymmetricMatrix<double> working = std::move(working_result).value();
+  if (const SymmetricMatrix<float>* dense = instance.dense_matrix()) {
+    // Widen the packed float matrix to double.
+    const auto& packed = dense->packed();
     auto& out = working.packed();
     for (std::size_t i = 0; i < packed.size(); ++i) {
       out[i] = static_cast<double>(packed[i]);
     }
+  } else {
+    // Materialize the lazy rows in parallel; each row of the triangle is
+    // a disjoint slice of the packed store.
+    auto& out = working.packed();
+    const std::size_t threads = EffectiveRowThreads(
+        n, ResolveThreadCount(instance.num_threads()));
+    std::vector<std::vector<double>> rows(threads, std::vector<double>(n));
+    ParallelForRows(n, threads, [&](std::size_t u, std::size_t tid) {
+      if (u + 1 >= n) return;
+      std::vector<double>& row = rows[tid];
+      instance.FillRow(u, row);
+      double* tail = out.data() + working.PackedIndex(u, u + 1);
+      for (std::size_t v = u + 1; v < n; ++v) tail[v - u - 1] = row[v];
+    });
   }
 
   Result<Dendrogram> dendrogram =

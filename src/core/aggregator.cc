@@ -90,10 +90,14 @@ Result<AggregationResult> Aggregate(const ClusteringSet& input,
       SamplingOptions sampling = options.sampling;
       sampling.sample_size = options.sampling_size;
       sampling.missing = options.missing;
+      sampling.source.backend = options.backend;
+      sampling.source.num_threads = options.num_threads;
       return SamplingAggregate(input, **clusterer, sampling);
     }
-    const CorrelationInstance instance =
-        CorrelationInstance::FromClusterings(input, options.missing);
+    Result<CorrelationInstance> built = CorrelationInstance::Build(
+        input, options.missing, {options.backend, options.num_threads});
+    if (!built.ok()) return built.status();
+    const CorrelationInstance& instance = *built;
     Result<Clustering> result = (*clusterer)->Run(instance);
     if (!result.ok()) return result.status();
     if (options.refine_with_local_search &&

@@ -56,6 +56,16 @@ struct AggregatorOptions {
   /// Missing-value policy for building the correlation instance.
   MissingValueOptions missing;
 
+  /// Distance backend carrying the instance: kDense materializes the
+  /// packed O(n^2/2) matrix (fastest for repeated queries), kLazy keeps
+  /// only O(n*m) label columns and recomputes X_uv on demand (removes the
+  /// quadratic memory floor). Both produce identical results.
+  DistanceBackend backend = DistanceBackend::kDense;
+
+  /// Threads for parallel dense construction and the instance's parallel
+  /// reductions. 0 means one per hardware core.
+  std::size_t num_threads = 0;
+
   /// Post-process the result with LOCALSEARCH (Section 4 recommends it as
   /// a refinement step; not applied when the algorithm already is
   /// LOCALSEARCH or EXACT).

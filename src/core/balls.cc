@@ -29,14 +29,18 @@ Result<Clustering> BallsClusterer::Run(
   std::vector<Clustering::Label> labels(n, Clustering::kMissing);
   Clustering::Label next_label = 0;
   std::vector<std::size_t> ball;
+  std::vector<double> row(n);
   for (std::size_t u : order) {
     if (labels[u] != Clustering::kMissing) continue;
     // Gather the ball: unclustered vertices within distance 1/2 of u.
+    // One bulk row query per ball center keeps the lazy backend at one
+    // O(n m) pass per opened cluster.
+    instance.FillRow(u, row);
     ball.clear();
     double total = 0.0;
     for (std::size_t v = 0; v < n; ++v) {
       if (v == u || labels[v] != Clustering::kMissing) continue;
-      const double x = instance.distance(u, v);
+      const double x = row[v];
       if (x <= 0.5) {
         ball.push_back(v);
         total += x;

@@ -4,7 +4,25 @@
 #include <cmath>
 #include <string>
 
+#include "common/check.h"
+#include "common/parallel.h"
+
 namespace clustagg {
+
+namespace {
+
+/// Threads worth spawning for this instance's row-parallel reductions.
+std::size_t ReductionThreads(std::size_t rows, std::size_t requested) {
+  return EffectiveRowThreads(rows, ResolveThreadCount(requested));
+}
+
+/// Scratch rows, one per thread, for backends without O(1) row access.
+std::vector<std::vector<double>> ThreadRows(std::size_t threads,
+                                            std::size_t n) {
+  return std::vector<std::vector<double>>(threads, std::vector<double>(n));
+}
+
+}  // namespace
 
 Result<CorrelationInstance> CorrelationInstance::FromDistances(
     SymmetricMatrix<float> distances) {
@@ -15,36 +33,46 @@ Result<CorrelationInstance> CorrelationInstance::FromDistances(
           std::to_string(x));
     }
   }
-  return CorrelationInstance(std::move(distances));
+  return FromSource(
+      std::make_shared<const DenseDistanceSource>(std::move(distances)));
+}
+
+Result<CorrelationInstance> CorrelationInstance::Build(
+    const ClusteringSet& input, const MissingValueOptions& missing,
+    const DistanceSourceOptions& options) {
+  Result<std::shared_ptr<const DistanceSource>> source =
+      BuildDistanceSource(input, missing, options);
+  if (!source.ok()) return source.status();
+  return CorrelationInstance(std::move(source).value(), options.num_threads);
+}
+
+Result<CorrelationInstance> CorrelationInstance::BuildSubset(
+    const ClusteringSet& input, const std::vector<std::size_t>& subset,
+    const MissingValueOptions& missing, const DistanceSourceOptions& options) {
+  Result<std::shared_ptr<const DistanceSource>> source =
+      BuildDistanceSourceSubset(input, subset, missing, options);
+  if (!source.ok()) return source.status();
+  return CorrelationInstance(std::move(source).value(), options.num_threads);
+}
+
+CorrelationInstance CorrelationInstance::FromSource(
+    std::shared_ptr<const DistanceSource> source, std::size_t num_threads) {
+  return CorrelationInstance(std::move(source), num_threads);
 }
 
 CorrelationInstance CorrelationInstance::FromClusterings(
     const ClusteringSet& input, const MissingValueOptions& missing) {
-  const std::size_t n = input.num_objects();
-  SymmetricMatrix<float> distances(n);
-  for (std::size_t u = 0; u < n; ++u) {
-    for (std::size_t v = u + 1; v < n; ++v) {
-      distances.Set(u, v,
-                    static_cast<float>(input.PairwiseDistance(u, v, missing)));
-    }
-  }
-  return CorrelationInstance(std::move(distances));
+  Result<CorrelationInstance> instance = Build(input, missing);
+  CLUSTAGG_CHECK_OK(instance.status());
+  return std::move(instance).value();
 }
 
 CorrelationInstance CorrelationInstance::FromClusteringsSubset(
     const ClusteringSet& input, const std::vector<std::size_t>& subset,
     const MissingValueOptions& missing) {
-  const std::size_t n = subset.size();
-  SymmetricMatrix<float> distances(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = i + 1; j < n; ++j) {
-      distances.Set(
-          i, j,
-          static_cast<float>(
-              input.PairwiseDistance(subset[i], subset[j], missing)));
-    }
-  }
-  return CorrelationInstance(std::move(distances));
+  Result<CorrelationInstance> instance = BuildSubset(input, subset, missing);
+  CLUSTAGG_CHECK_OK(instance.status());
+  return std::move(instance).value();
 }
 
 Result<double> CorrelationInstance::Cost(const Clustering& candidate) const {
@@ -58,35 +86,110 @@ Result<double> CorrelationInstance::Cost(const Clustering& candidate) const {
     return Status::InvalidArgument(
         "candidate clustering must be complete (no missing labels)");
   }
-  double cost = 0.0;
-  for (std::size_t u = 0; u < n; ++u) {
-    for (std::size_t v = u + 1; v < n; ++v) {
-      const double x = distances_(u, v);
-      cost += candidate.label(u) == candidate.label(v) ? x : 1.0 - x;
-    }
+  if (n == 0) return 0.0;
+
+  // Each row's pairs (u, v > u) are summed sequentially in ascending v
+  // into row_cost[u]; the rows are then reduced in ascending u. Both
+  // orders are fixed, so the result is bit-identical for every thread
+  // count and backend.
+  std::vector<double> row_cost(n, 0.0);
+  const std::size_t threads = ReductionThreads(n, num_threads_);
+  if (dense_ != nullptr) {
+    const std::vector<float>& packed = dense_->packed();
+    ParallelForRows(n, threads, [&](std::size_t u, std::size_t) {
+      if (u + 1 >= n) return;
+      const float* tail = packed.data() + dense_->PackedIndex(u, u + 1);
+      const Clustering::Label lu = candidate.label(u);
+      double cost = 0.0;
+      for (std::size_t v = u + 1; v < n; ++v) {
+        const double x = tail[v - u - 1];
+        cost += lu == candidate.label(v) ? x : 1.0 - x;
+      }
+      row_cost[u] = cost;
+    });
+  } else {
+    std::vector<std::vector<double>> rows = ThreadRows(threads, n);
+    ParallelForRows(n, threads, [&](std::size_t u, std::size_t tid) {
+      if (u + 1 >= n) return;
+      std::vector<double>& row = rows[tid];
+      source_->FillRow(u, row);
+      const Clustering::Label lu = candidate.label(u);
+      double cost = 0.0;
+      for (std::size_t v = u + 1; v < n; ++v) {
+        const double x = row[v];
+        cost += lu == candidate.label(v) ? x : 1.0 - x;
+      }
+      row_cost[u] = cost;
+    });
   }
+  double cost = 0.0;
+  for (double c : row_cost) cost += c;
   return cost;
 }
 
 double CorrelationInstance::LowerBound() const {
-  double bound = 0.0;
-  for (float x : distances_.packed()) {
-    bound += std::min<double>(x, 1.0 - static_cast<double>(x));
+  const std::size_t n = size();
+  if (n == 0) return 0.0;
+  std::vector<double> row_bound(n, 0.0);
+  const std::size_t threads = ReductionThreads(n, num_threads_);
+  if (dense_ != nullptr) {
+    const std::vector<float>& packed = dense_->packed();
+    ParallelForRows(n, threads, [&](std::size_t u, std::size_t) {
+      if (u + 1 >= n) return;
+      const float* tail = packed.data() + dense_->PackedIndex(u, u + 1);
+      double bound = 0.0;
+      for (std::size_t v = u + 1; v < n; ++v) {
+        const float x = tail[v - u - 1];
+        bound += std::min<double>(x, 1.0 - static_cast<double>(x));
+      }
+      row_bound[u] = bound;
+    });
+  } else {
+    std::vector<std::vector<double>> rows = ThreadRows(threads, n);
+    ParallelForRows(n, threads, [&](std::size_t u, std::size_t tid) {
+      if (u + 1 >= n) return;
+      std::vector<double>& row = rows[tid];
+      source_->FillRow(u, row);
+      double bound = 0.0;
+      for (std::size_t v = u + 1; v < n; ++v) {
+        bound += std::min(row[v], 1.0 - row[v]);
+      }
+      row_bound[u] = bound;
+    });
   }
+  double bound = 0.0;
+  for (double b : row_bound) bound += b;
   return bound;
 }
 
 std::vector<double> CorrelationInstance::TotalIncidentWeights() const {
   const std::size_t n = size();
   std::vector<double> weights(n, 0.0);
-  std::size_t idx = 0;
-  const std::vector<float>& packed = distances_.packed();
-  for (std::size_t u = 0; u < n; ++u) {
-    for (std::size_t v = u + 1; v < n; ++v) {
-      const double x = packed[idx++];
-      weights[u] += x;
-      weights[v] += x;
-    }
+  if (n == 0) return weights;
+  // weights[u] sums its full row in ascending v, the same association
+  // order the serial packed scan produced (pairs (v, u), v < u, arrive
+  // before pairs (u, v), v > u).
+  const std::size_t threads = ReductionThreads(n, num_threads_);
+  if (dense_ != nullptr) {
+    ParallelForRows(n, threads, [&](std::size_t u, std::size_t) {
+      double total = 0.0;
+      for (std::size_t v = 0; v < u; ++v) total += (*dense_)(v, u);
+      if (u + 1 < n) {
+        const float* tail =
+            dense_->packed().data() + dense_->PackedIndex(u, u + 1);
+        for (std::size_t v = u + 1; v < n; ++v) total += tail[v - u - 1];
+      }
+      weights[u] = total;
+    });
+  } else {
+    std::vector<std::vector<double>> rows = ThreadRows(threads, n);
+    ParallelForRows(n, threads, [&](std::size_t u, std::size_t tid) {
+      std::vector<double>& row = rows[tid];
+      source_->FillRow(u, row);
+      double total = 0.0;
+      for (std::size_t v = 0; v < n; ++v) total += row[v];
+      weights[u] = total;
+    });
   }
   return weights;
 }
@@ -99,8 +202,7 @@ bool CorrelationInstance::SatisfiesTriangleInequality(
       if (v == u) continue;
       for (std::size_t w = u + 1; w < n; ++w) {
         if (w == v) continue;
-        if (distances_(u, w) >
-            distances_(u, v) + distances_(v, w) + tolerance) {
+        if (distance(u, w) > distance(u, v) + distance(v, w) + tolerance) {
           return false;
         }
       }

@@ -2,12 +2,16 @@
 #define CLUSTAGG_CORE_CORRELATION_INSTANCE_H_
 
 #include <cstddef>
+#include <memory>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
 #include "common/symmetric_matrix.h"
 #include "core/clustering.h"
 #include "core/clustering_set.h"
+#include "core/distance_source.h"
 
 namespace clustagg {
 
@@ -19,9 +23,12 @@ namespace clustagg {
 /// Instances built from a ClusteringSet additionally satisfy the triangle
 /// inequality on X, the property the BALLS analysis relies on.
 ///
-/// Storage is a packed symmetric float matrix: X values derived from m
-/// clusterings are multiples of 1/m (m small), so float is ample, and the
-/// Mushrooms-scale instance (n = 8124) fits in ~130 MB.
+/// The instance is a thin owner over a pluggable DistanceSource: dense
+/// (packed float matrix, O(n^2/2) memory, O(1) queries) or lazy (O(n*m)
+/// memory, O(m) queries). Both backends answer bit-identically, so every
+/// algorithm produces the same output whichever one carries the data.
+/// Whole-instance reductions (Cost, LowerBound, TotalIncidentWeights) run
+/// row-parallel with a deterministic, thread-count-independent summation.
 class CorrelationInstance {
  public:
   CorrelationInstance() = default;
@@ -32,25 +39,53 @@ class CorrelationInstance {
 
   /// Builds the instance summarizing a set of input clusterings:
   /// X_uv = (expected) fraction of clusterings separating u and v under
-  /// the missing-value policy. O(m n^2).
-  static CorrelationInstance FromClusterings(
-      const ClusteringSet& input, const MissingValueOptions& missing = {});
+  /// the missing-value policy, carried by the backend chosen in
+  /// `options`. Dense construction is O(m n^2 / threads) and fails with
+  /// ResourceExhausted when the triangle cannot be allocated; lazy
+  /// construction is O(n m).
+  static Result<CorrelationInstance> Build(
+      const ClusteringSet& input, const MissingValueOptions& missing = {},
+      const DistanceSourceOptions& options = {});
 
   /// Same, restricted to the given objects: object i of the instance is
   /// subset[i]. Used by the SAMPLING algorithm.
+  static Result<CorrelationInstance> BuildSubset(
+      const ClusteringSet& input, const std::vector<std::size_t>& subset,
+      const MissingValueOptions& missing = {},
+      const DistanceSourceOptions& options = {});
+
+  /// Wraps an already-built source. num_threads seeds the parallel
+  /// reductions (0 = one per hardware core).
+  static CorrelationInstance FromSource(
+      std::shared_ptr<const DistanceSource> source,
+      std::size_t num_threads = 0);
+
+  /// Legacy dense builders, kept for callers predating the pluggable
+  /// backends. CHECK-fail if the dense matrix cannot be allocated; prefer
+  /// Build for sizes that come from data.
+  static CorrelationInstance FromClusterings(
+      const ClusteringSet& input, const MissingValueOptions& missing = {});
   static CorrelationInstance FromClusteringsSubset(
       const ClusteringSet& input, const std::vector<std::size_t>& subset,
       const MissingValueOptions& missing = {});
 
-  std::size_t size() const { return distances_.size(); }
+  std::size_t size() const { return source_ ? source_->size() : 0; }
 
-  /// X_uv (0 when u == v).
+  /// X_uv (0 when u == v). Inlined O(1) matrix read under the dense
+  /// backend, O(m) recomputation under the lazy one.
   double distance(std::size_t u, std::size_t v) const {
-    return distances_(u, v);
+    if (dense_ != nullptr) return (*dense_)(u, v);
+    return source_->distance(u, v);
+  }
+
+  /// Bulk query: writes X_uv into row[v] for every v in [0, n).
+  void FillRow(std::size_t u, std::span<double> row) const {
+    source_->FillRow(u, row);
   }
 
   /// Correlation-clustering cost of a complete candidate partition.
-  /// O(n^2).
+  /// O(n^2 / threads) dense, O(m n^2 / threads) lazy; identical result
+  /// for every backend and thread count.
   Result<double> Cost(const Clustering& candidate) const;
 
   /// Per-pair lower bound on the optimal cost: every unordered pair
@@ -60,20 +95,42 @@ class CorrelationInstance {
   double LowerBound() const;
 
   /// Total incident weight sum_v X_uv of each vertex; the BALLS algorithm
-  /// sorts vertices by this. O(n^2).
+  /// sorts vertices by this. O(n^2 / threads) dense.
   std::vector<double> TotalIncidentWeights() const;
 
   /// Exhaustively verifies X_uw <= X_uv + X_vw for all triples, within
   /// `tolerance`. O(n^3) — test helper for small instances.
   bool SatisfiesTriangleInequality(double tolerance = 1e-6) const;
 
-  const SymmetricMatrix<float>& matrix() const { return distances_; }
+  /// The backing source (nullptr for a default-constructed instance).
+  const DistanceSource* source() const { return source_.get(); }
+  std::shared_ptr<const DistanceSource> shared_source() const {
+    return source_;
+  }
+
+  /// The packed matrix when the backend is dense, nullptr otherwise.
+  const SymmetricMatrix<float>* dense_matrix() const { return dense_; }
+
+  /// "dense" or "lazy".
+  const char* backend_name() const {
+    return source_ ? source_->name() : "dense";
+  }
+
+  /// The thread knob this instance was built with (0 = hardware
+  /// concurrency), reused by its parallel reductions.
+  std::size_t num_threads() const { return num_threads_; }
 
  private:
-  explicit CorrelationInstance(SymmetricMatrix<float> distances)
-      : distances_(std::move(distances)) {}
+  CorrelationInstance(std::shared_ptr<const DistanceSource> source,
+                      std::size_t num_threads)
+      : source_(std::move(source)),
+        dense_(source_ ? source_->dense_matrix() : nullptr),
+        num_threads_(num_threads) {}
 
-  SymmetricMatrix<float> distances_;
+  std::shared_ptr<const DistanceSource> source_;
+  /// Borrowed from source_ when dense: devirtualized hot-path reads.
+  const SymmetricMatrix<float>* dense_ = nullptr;
+  std::size_t num_threads_ = 0;
 };
 
 }  // namespace clustagg

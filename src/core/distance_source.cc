@@ -1,0 +1,233 @@
+#include "core/distance_source.h"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/parallel.h"
+#include "core/clustering.h"
+
+namespace clustagg {
+
+namespace internal {
+
+/// Per-clustering label columns, hoisted once at build time so that
+/// distance queries never re-walk Clustering objects or re-resolve the
+/// missing-value policy setup per pair. labels[i * n + v] is the label of
+/// object v (in source index space) under input clustering i.
+struct DistanceColumns {
+  std::size_t n = 0;
+  std::size_t m = 0;
+  std::vector<Clustering::Label> labels;
+  std::vector<double> weights;
+  double total_weight = 0.0;
+  MissingValueOptions missing;
+};
+
+}  // namespace internal
+
+namespace {
+
+internal::DistanceColumns MakeColumns(const ClusteringSet& input,
+                                      const std::vector<std::size_t>* subset,
+                                      const MissingValueOptions& missing) {
+  internal::DistanceColumns cols;
+  cols.n = subset != nullptr ? subset->size() : input.num_objects();
+  cols.m = input.num_clusterings();
+  cols.missing = missing;
+  cols.total_weight = input.total_weight();
+  cols.weights.resize(cols.m);
+  cols.labels.resize(cols.m * cols.n);
+  for (std::size_t i = 0; i < cols.m; ++i) {
+    cols.weights[i] = input.weight(i);
+    const Clustering& c = input.clustering(i);
+    Clustering::Label* out = cols.labels.data() + i * cols.n;
+    for (std::size_t v = 0; v < cols.n; ++v) {
+      out[v] = c.label(subset != nullptr ? (*subset)[v] : v);
+    }
+  }
+  return cols;
+}
+
+/// X_uv over the hoisted columns. The loop order and accumulation match
+/// ClusteringSet::PairwiseDistance exactly so both backends (and the
+/// legacy serial builder) agree to the last bit.
+double ColumnDistance(const internal::DistanceColumns& cols, std::size_t u,
+                      std::size_t v) {
+  if (u == v) return 0.0;
+  double disagreeing = 0.0;
+  double opinionated = 0.0;
+  for (std::size_t i = 0; i < cols.m; ++i) {
+    const Clustering::Label lu = cols.labels[i * cols.n + u];
+    const Clustering::Label lv = cols.labels[i * cols.n + v];
+    if (lu == Clustering::kMissing || lv == Clustering::kMissing) continue;
+    opinionated += cols.weights[i];
+    if (lu != lv) disagreeing += cols.weights[i];
+  }
+  switch (cols.missing.policy) {
+    case MissingValuePolicy::kRandomCoin:
+      disagreeing += (cols.total_weight - opinionated) *
+                     (1.0 - cols.missing.coin_together_probability);
+      return disagreeing / cols.total_weight;
+    case MissingValuePolicy::kIgnore:
+      if (opinionated == 0.0) return 0.5;
+      return disagreeing / opinionated;
+  }
+  CLUSTAGG_CHECK(false);
+  return 0.0;
+}
+
+Result<std::shared_ptr<const DenseDistanceSource>> BuildDenseFromColumns(
+    const internal::DistanceColumns& cols, std::size_t num_threads) {
+  Result<SymmetricMatrix<float>> matrix =
+      SymmetricMatrix<float>::Create(cols.n);
+  if (!matrix.ok()) return matrix.status();
+  SymmetricMatrix<float> distances = std::move(matrix).value();
+  const std::size_t n = cols.n;
+  std::vector<float>& packed = distances.packed();
+  const std::size_t threads =
+      EffectiveRowThreads(n, ResolveThreadCount(num_threads));
+  // Rows of the triangle are disjoint contiguous slices of the packed
+  // store, so every thread writes its own memory and the result is
+  // schedule-independent.
+  ParallelForRows(n, threads, [&](std::size_t u, std::size_t) {
+    if (u + 1 >= n) return;
+    float* row = packed.data() + distances.PackedIndex(u, u + 1);
+    for (std::size_t v = u + 1; v < n; ++v) {
+      row[v - u - 1] = static_cast<float>(ColumnDistance(cols, u, v));
+    }
+  });
+  return std::make_shared<const DenseDistanceSource>(std::move(distances));
+}
+
+}  // namespace
+
+const char* DistanceBackendName(DistanceBackend backend) {
+  switch (backend) {
+    case DistanceBackend::kDense:
+      return "dense";
+    case DistanceBackend::kLazy:
+      return "lazy";
+  }
+  CLUSTAGG_CHECK(false);
+  return "unknown";
+}
+
+void DistanceSource::FillRow(std::size_t u, std::span<double> row) const {
+  const std::size_t n = size();
+  CLUSTAGG_CHECK(u < n && row.size() >= n);
+  for (std::size_t v = 0; v < n; ++v) row[v] = distance(u, v);
+}
+
+Result<std::shared_ptr<const DenseDistanceSource>> DenseDistanceSource::Build(
+    const ClusteringSet& input, const MissingValueOptions& missing,
+    std::size_t num_threads) {
+  return BuildDenseFromColumns(MakeColumns(input, nullptr, missing),
+                               num_threads);
+}
+
+Result<std::shared_ptr<const DenseDistanceSource>>
+DenseDistanceSource::BuildSubset(const ClusteringSet& input,
+                                 const std::vector<std::size_t>& subset,
+                                 const MissingValueOptions& missing,
+                                 std::size_t num_threads) {
+  for (std::size_t v : subset) CLUSTAGG_CHECK(v < input.num_objects());
+  return BuildDenseFromColumns(MakeColumns(input, &subset, missing),
+                               num_threads);
+}
+
+void DenseDistanceSource::FillRow(std::size_t u, std::span<double> row) const {
+  const std::size_t n = distances_.size();
+  CLUSTAGG_CHECK(u < n && row.size() >= n);
+  for (std::size_t v = 0; v < u; ++v) row[v] = distances_(v, u);
+  row[u] = 0.0;
+  if (u + 1 < n) {
+    const float* tail =
+        distances_.packed().data() + distances_.PackedIndex(u, u + 1);
+    for (std::size_t v = u + 1; v < n; ++v) row[v] = tail[v - u - 1];
+  }
+}
+
+LazyDistanceSource::LazyDistanceSource(
+    std::unique_ptr<internal::DistanceColumns> columns)
+    : columns_(std::move(columns)) {}
+
+LazyDistanceSource::~LazyDistanceSource() = default;
+
+Result<std::shared_ptr<const LazyDistanceSource>> LazyDistanceSource::Build(
+    const ClusteringSet& input, const MissingValueOptions& missing) {
+  return std::shared_ptr<const LazyDistanceSource>(
+      new LazyDistanceSource(std::make_unique<internal::DistanceColumns>(
+          MakeColumns(input, nullptr, missing))));
+}
+
+Result<std::shared_ptr<const LazyDistanceSource>>
+LazyDistanceSource::BuildSubset(const ClusteringSet& input,
+                                const std::vector<std::size_t>& subset,
+                                const MissingValueOptions& missing) {
+  for (std::size_t v : subset) CLUSTAGG_CHECK(v < input.num_objects());
+  return std::shared_ptr<const LazyDistanceSource>(
+      new LazyDistanceSource(std::make_unique<internal::DistanceColumns>(
+          MakeColumns(input, &subset, missing))));
+}
+
+std::size_t LazyDistanceSource::size() const { return columns_->n; }
+
+double LazyDistanceSource::distance(std::size_t u, std::size_t v) const {
+  CLUSTAGG_CHECK(u < columns_->n && v < columns_->n);
+  // Round through float so dense and lazy answers are bit-identical.
+  return static_cast<float>(ColumnDistance(*columns_, u, v));
+}
+
+void LazyDistanceSource::FillRow(std::size_t u, std::span<double> row) const {
+  const internal::DistanceColumns& cols = *columns_;
+  const std::size_t n = cols.n;
+  CLUSTAGG_CHECK(u < n && row.size() >= n);
+  for (std::size_t v = 0; v < n; ++v) {
+    row[v] = static_cast<float>(ColumnDistance(cols, u, v));
+  }
+}
+
+Result<std::shared_ptr<const DistanceSource>> BuildDistanceSource(
+    const ClusteringSet& input, const MissingValueOptions& missing,
+    const DistanceSourceOptions& options) {
+  switch (options.backend) {
+    case DistanceBackend::kDense: {
+      Result<std::shared_ptr<const DenseDistanceSource>> dense =
+          DenseDistanceSource::Build(input, missing, options.num_threads);
+      if (!dense.ok()) return dense.status();
+      return std::shared_ptr<const DistanceSource>(std::move(dense).value());
+    }
+    case DistanceBackend::kLazy: {
+      Result<std::shared_ptr<const LazyDistanceSource>> lazy =
+          LazyDistanceSource::Build(input, missing);
+      if (!lazy.ok()) return lazy.status();
+      return std::shared_ptr<const DistanceSource>(std::move(lazy).value());
+    }
+  }
+  return Status::Internal("unknown distance backend");
+}
+
+Result<std::shared_ptr<const DistanceSource>> BuildDistanceSourceSubset(
+    const ClusteringSet& input, const std::vector<std::size_t>& subset,
+    const MissingValueOptions& missing, const DistanceSourceOptions& options) {
+  switch (options.backend) {
+    case DistanceBackend::kDense: {
+      Result<std::shared_ptr<const DenseDistanceSource>> dense =
+          DenseDistanceSource::BuildSubset(input, subset, missing,
+                                           options.num_threads);
+      if (!dense.ok()) return dense.status();
+      return std::shared_ptr<const DistanceSource>(std::move(dense).value());
+    }
+    case DistanceBackend::kLazy: {
+      Result<std::shared_ptr<const LazyDistanceSource>> lazy =
+          LazyDistanceSource::BuildSubset(input, subset, missing);
+      if (!lazy.ok()) return lazy.status();
+      return std::shared_ptr<const DistanceSource>(std::move(lazy).value());
+    }
+  }
+  return Status::Internal("unknown distance backend");
+}
+
+}  // namespace clustagg

@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "common/symmetric_matrix.h"
+
 namespace clustagg {
 
 namespace {
@@ -16,15 +18,23 @@ namespace {
 class ExactSearch {
  public:
   explicit ExactSearch(const CorrelationInstance& instance)
-      : instance_(instance), n_(instance.size()), labels_(n_, 0),
+      : n_(instance.size()), local_(n_), labels_(n_, 0),
         best_labels_(n_, 0) {
+    // The search re-reads every pair exponentially many times, so
+    // prefetch a local dense copy whatever the instance backend (the
+    // solver is capped to tiny n, so this is a few hundred bytes).
+    for (std::size_t u = 0; u < n_; ++u) {
+      for (std::size_t v = u + 1; v < n_; ++v) {
+        local_.Set(u, v, static_cast<float>(instance.distance(u, v)));
+      }
+    }
     // remaining_lb_[i]: lower bound on the cost of all pairs with at
     // least one endpoint >= i (every pair costs at least min(X, 1-X)).
     remaining_lb_.assign(n_ + 1, 0.0);
     for (std::size_t i = n_; i-- > 0;) {
       double row = 0.0;
       for (std::size_t u = 0; u < i; ++u) {
-        const double x = instance_.distance(u, i);
+        const double x = local_(u, i);
         row += std::min(x, 1.0 - x);
       }
       remaining_lb_[i] = remaining_lb_[i + 1] + row;
@@ -56,15 +66,15 @@ class ExactSearch {
       labels_[i] = c;
       double delta = 0.0;
       for (std::size_t u = 0; u < i; ++u) {
-        const double x = instance_.distance(u, i);
+        const double x = local_(u, i);
         delta += labels_[u] == c ? x : 1.0 - x;
       }
       Recurse(i + 1, c == used ? used + 1 : used, partial + delta);
     }
   }
 
-  const CorrelationInstance& instance_;
   std::size_t n_;
+  SymmetricMatrix<float> local_;
   std::vector<std::size_t> labels_;
   std::vector<std::size_t> best_labels_;
   std::vector<double> remaining_lb_;

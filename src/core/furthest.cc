@@ -1,9 +1,11 @@
 #include "core/furthest.h"
 
 #include <limits>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace clustagg {
 
@@ -11,16 +13,16 @@ namespace {
 
 /// Assigns every object to the nearest center (ties to the earliest
 /// center) and returns the resulting clustering with labels = center
-/// ranks.
-Clustering AssignToCenters(const CorrelationInstance& instance,
-                           const std::vector<std::size_t>& centers) {
-  const std::size_t n = instance.size();
+/// ranks. center_rows[c] is the cached distance row of the c-th center,
+/// so no backend queries happen here.
+Clustering AssignToCenters(
+    std::size_t n, const std::vector<std::vector<double>>& center_rows) {
   std::vector<Clustering::Label> labels(n);
   for (std::size_t v = 0; v < n; ++v) {
     std::size_t best = 0;
     double best_dist = std::numeric_limits<double>::infinity();
-    for (std::size_t c = 0; c < centers.size(); ++c) {
-      const double d = instance.distance(v, centers[c]);
+    for (std::size_t c = 0; c < center_rows.size(); ++c) {
+      const double d = center_rows[c][v];
       if (d < best_dist) {
         best_dist = d;
         best = c;
@@ -29,6 +31,46 @@ Clustering AssignToCenters(const CorrelationInstance& instance,
     labels[v] = static_cast<Clustering::Label>(best);
   }
   return Clustering(std::move(labels));
+}
+
+/// The lexicographically-first pair (u, v), u < v, maximizing X_uv.
+/// Row-parallel: each row keeps its first-maximizing column, and the rows
+/// are combined in ascending u with a strict comparison, reproducing the
+/// serial scan whatever the thread count.
+std::pair<std::size_t, std::size_t> FurthestPair(
+    const CorrelationInstance& instance) {
+  const std::size_t n = instance.size();
+  std::vector<double> row_max(n, -1.0);
+  std::vector<std::size_t> row_arg(n, 0);
+  const std::size_t threads =
+      EffectiveRowThreads(n, ResolveThreadCount(instance.num_threads()));
+  std::vector<std::vector<double>> rows(threads, std::vector<double>(n));
+  ParallelForRows(n, threads, [&](std::size_t u, std::size_t tid) {
+    if (u + 1 >= n) return;
+    std::vector<double>& row = rows[tid];
+    instance.FillRow(u, row);
+    double best = -1.0;
+    std::size_t arg = u + 1;
+    for (std::size_t v = u + 1; v < n; ++v) {
+      if (row[v] > best) {
+        best = row[v];
+        arg = v;
+      }
+    }
+    row_max[u] = best;
+    row_arg[u] = arg;
+  });
+  std::size_t c1 = 0;
+  std::size_t c2 = 1;
+  double max_dist = -1.0;
+  for (std::size_t u = 0; u + 1 < n; ++u) {
+    if (row_max[u] > max_dist) {
+      max_dist = row_max[u];
+      c1 = u;
+      c2 = row_arg[u];
+    }
+  }
+  return {c1, c2};
 }
 
 }  // namespace
@@ -50,32 +92,24 @@ Result<Clustering> FurthestClusterer::Run(
   if (n == 1 || max_centers < 2) return best_clustering;
 
   // Seed with the furthest pair.
-  std::size_t c1 = 0;
-  std::size_t c2 = 1;
-  double max_dist = -1.0;
-  for (std::size_t u = 0; u < n; ++u) {
-    for (std::size_t v = u + 1; v < n; ++v) {
-      const double d = instance.distance(u, v);
-      if (d > max_dist) {
-        max_dist = d;
-        c1 = u;
-        c2 = v;
-      }
-    }
-  }
+  const auto [c1, c2] = FurthestPair(instance);
   std::vector<std::size_t> centers = {c1, c2};
+  // One bulk row query per promoted center; every later pass (assignment,
+  // furthest-first updates) reads the cache instead of the backend.
+  std::vector<std::vector<double>> center_rows(2, std::vector<double>(n));
+  instance.FillRow(c1, center_rows[0]);
+  instance.FillRow(c2, center_rows[1]);
   // min distance from each object to the current center set, for the
   // furthest-first traversal.
   std::vector<double> min_dist(n);
   std::vector<bool> is_center(n, false);
   is_center[c1] = is_center[c2] = true;
   for (std::size_t v = 0; v < n; ++v) {
-    min_dist[v] =
-        std::min(instance.distance(v, c1), instance.distance(v, c2));
+    min_dist[v] = std::min(center_rows[0][v], center_rows[1][v]);
   }
 
   for (;;) {
-    Clustering candidate = AssignToCenters(instance, centers);
+    Clustering candidate = AssignToCenters(n, center_rows);
     Result<double> cost = instance.Cost(candidate);
     CLUSTAGG_CHECK(cost.ok());
     if (*cost < *best_cost) {
@@ -101,8 +135,11 @@ Result<Clustering> FurthestClusterer::Run(
     if (next == n) break;  // every object is a center
     centers.push_back(next);
     is_center[next] = true;
+    center_rows.emplace_back(n);
+    instance.FillRow(next, center_rows.back());
+    const std::vector<double>& next_row = center_rows.back();
     for (std::size_t v = 0; v < n; ++v) {
-      min_dist[v] = std::min(min_dist[v], instance.distance(v, next));
+      min_dist[v] = std::min(min_dist[v], next_row[v]);
     }
   }
   return best_clustering.Normalized();

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "core/clustering.h"
 #include "core/correlation_instance.h"
 
@@ -23,7 +24,7 @@ class MoveState {
       static_cast<std::size_t>(-1);
 
   MoveState(const CorrelationInstance& instance, const Clustering& initial)
-      : instance_(instance), n_(instance.size()) {
+      : instance_(instance), n_(instance.size()), row_buf_(n_) {
     const Clustering norm = initial.Normalized();
     const std::size_t k = norm.NumClusters();
     assignment_.resize(n_);
@@ -34,13 +35,20 @@ class MoveState {
       assignment_[v] = c;
       ++sizes_[c];
     }
-    for (std::size_t v = 0; v < n_; ++v) {
-      const std::size_t c = assignment_[v];
-      std::vector<double>& row = m_[c];
-      for (std::size_t u = 0; u < n_; ++u) {
-        if (u != v) row[u] += instance_.distance(u, v);
+    // Column u of every M row is owned by exactly one task, so rows of
+    // the distance source can be consumed in parallel; each m_[c][u]
+    // still accumulates its members in ascending v, the serial order,
+    // making the table bit-identical for every thread count.
+    const std::size_t threads =
+        EffectiveRowThreads(n_, ResolveThreadCount(instance.num_threads()));
+    std::vector<std::vector<double>> rows(threads, std::vector<double>(n_));
+    ParallelForRows(n_, threads, [&](std::size_t u, std::size_t tid) {
+      std::vector<double>& row = rows[tid];
+      instance_.FillRow(u, row);
+      for (std::size_t v = 0; v < n_; ++v) {
+        if (v != u) m_[assignment_[v]][u] += row[v];
       }
-    }
+    });
   }
 
   std::size_t num_objects() const { return n_; }
@@ -122,6 +130,9 @@ class MoveState {
   std::size_t Apply(std::size_t v, std::size_t target) {
     const std::size_t current = assignment_[v];
     if (target == current) return current;
+    // One bulk row query serves both M-row updates: under the lazy
+    // backend this halves the O(n m) recomputation per applied move.
+    instance_.FillRow(v, row_buf_);
     const std::size_t relocated_from = RemoveFromCluster(v, current);
     if (target == kSingletonTarget) {
       sizes_.push_back(0);
@@ -150,15 +161,15 @@ class MoveState {
     return static_cast<double>(sizes_[j]) - (j == current ? 1.0 : 0.0);
   }
 
-  /// Removes v from slot c. If c empties, the last slot is moved into c
-  /// and its old index is returned; otherwise returns a sentinel
-  /// matching no slot.
+  /// Removes v from slot c using the distances staged in row_buf_. If c
+  /// empties, the last slot is moved into c and its old index is
+  /// returned; otherwise returns a sentinel matching no slot.
   std::size_t RemoveFromCluster(std::size_t v, std::size_t c) {
     CLUSTAGG_CHECK(sizes_[c] > 0);
     --sizes_[c];
     std::vector<double>& row = m_[c];
     for (std::size_t u = 0; u < n_; ++u) {
-      if (u != v) row[u] -= instance_.distance(u, v);
+      if (u != v) row[u] -= row_buf_[u];
     }
     std::size_t relocated_from = sizes_.size();
     if (sizes_[c] == 0) {
@@ -182,7 +193,7 @@ class MoveState {
     ++sizes_[c];
     std::vector<double>& row = m_[c];
     for (std::size_t u = 0; u < n_; ++u) {
-      if (u != v) row[u] += instance_.distance(u, v);
+      if (u != v) row[u] += row_buf_[u];
     }
   }
 
@@ -192,6 +203,8 @@ class MoveState {
   std::vector<std::size_t> sizes_;
   // m_[c][v] = M(v, C_c) = sum of distances from v to the members of C_c.
   std::vector<std::vector<double>> m_;
+  // Scratch row of X_v* for the move being applied.
+  std::vector<double> row_buf_;
 };
 
 }  // namespace clustagg::internal

@@ -1,6 +1,7 @@
 #include "core/majority.h"
 
 #include <string>
+#include <vector>
 
 #include "common/union_find.h"
 
@@ -13,9 +14,11 @@ Result<Clustering> MajorityClusterer::Run(
   }
   const std::size_t n = instance.size();
   UnionFind uf(n);
+  std::vector<double> row(n);
   for (std::size_t u = 0; u < n; ++u) {
+    instance.FillRow(u, row);
     for (std::size_t v = u + 1; v < n; ++v) {
-      if (instance.distance(u, v) < options_.link_threshold) {
+      if (row[v] < options_.link_threshold) {
         uf.Union(u, v);
       }
     }

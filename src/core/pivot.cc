@@ -11,18 +11,23 @@ namespace clustagg {
 namespace {
 
 Clustering PivotOnce(const CorrelationInstance& instance,
-                     double join_threshold, Rng* rng) {
+                     double join_threshold, Rng* rng,
+                     std::vector<double>* row_buf) {
   const std::size_t n = instance.size();
   std::vector<Clustering::Label> labels(n, Clustering::kMissing);
   std::vector<std::size_t> order = rng->Permutation(n);
   Clustering::Label next = 0;
+  std::vector<double>& row = *row_buf;
   for (std::size_t pivot : order) {
     if (labels[pivot] != Clustering::kMissing) continue;
     const Clustering::Label cluster = next++;
     labels[pivot] = cluster;
+    // One bulk row query per pivot: O(n m) per opened cluster under the
+    // lazy backend instead of per candidate.
+    instance.FillRow(pivot, row);
     for (std::size_t v = 0; v < n; ++v) {
       if (labels[v] != Clustering::kMissing || v == pivot) continue;
-      if (instance.distance(pivot, v) < join_threshold) {
+      if (row[v] < join_threshold) {
         labels[v] = cluster;
       }
     }
@@ -47,9 +52,10 @@ Result<Clustering> PivotClusterer::Run(
   Clustering best;
   double best_cost = 0.0;
   bool first = true;
+  std::vector<double> row_buf(n);
   for (std::size_t r = 0; r < options_.repetitions; ++r) {
     Clustering candidate =
-        PivotOnce(instance, options_.join_threshold, &rng);
+        PivotOnce(instance, options_.join_threshold, &rng, &row_buf);
     Result<double> cost = instance.Cost(candidate);
     CLUSTAGG_CHECK(cost.ok());
     if (first || *cost < best_cost) {

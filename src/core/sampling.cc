@@ -133,10 +133,11 @@ Result<Clustering> SamplingAggregate(const ClusteringSet& input,
   std::vector<std::size_t> sample = rng.SampleWithoutReplacement(n,
                                                                  sample_size);
   std::sort(sample.begin(), sample.end());
-  const CorrelationInstance sample_instance =
-      CorrelationInstance::FromClusteringsSubset(input, sample,
-                                                 options.missing);
-  Result<Clustering> sample_clustering = base.Run(sample_instance);
+  Result<CorrelationInstance> sample_instance =
+      CorrelationInstance::BuildSubset(input, sample, options.missing,
+                                       options.source);
+  if (!sample_instance.ok()) return sample_instance.status();
+  Result<Clustering> sample_clustering = base.Run(*sample_instance);
   if (!sample_clustering.ok()) return sample_clustering.status();
   if (stats != nullptr) stats->sample_phase_seconds = watch.ElapsedSeconds();
   watch.Restart();
@@ -228,10 +229,11 @@ Result<Clustering> SamplingAggregate(const ClusteringSet& input,
         std::max<std::size_t>(2 * sample_size, 2000);
     if (singleton_objects.size() >= 2 &&
         singleton_objects.size() <= quadratic_cap) {
-      const CorrelationInstance singleton_instance =
-          CorrelationInstance::FromClusteringsSubset(input, singleton_objects,
-                                                     options.missing);
-      Result<Clustering> reclustered = base.Run(singleton_instance);
+      Result<CorrelationInstance> singleton_instance =
+          CorrelationInstance::BuildSubset(input, singleton_objects,
+                                           options.missing, options.source);
+      if (!singleton_instance.ok()) return singleton_instance.status();
+      Result<Clustering> reclustered = base.Run(*singleton_instance);
       if (!reclustered.ok()) return reclustered.status();
       ApplySubClustering(*reclustered, singleton_objects, &final_labels,
                          &next_label);

@@ -8,6 +8,7 @@
 #include "core/clusterer.h"
 #include "core/clustering.h"
 #include "core/clustering_set.h"
+#include "core/distance_source.h"
 
 namespace clustagg {
 
@@ -33,6 +34,12 @@ struct SamplingOptions {
 
   /// Missing-value policy used when computing on-the-fly distances.
   MissingValueOptions missing;
+
+  /// Backend and thread count for the quadratic sample (and singleton
+  /// re-clustering) instances. The sample is small by design, so dense is
+  /// almost always right; the knob exists so a caller can run the whole
+  /// pipeline matrix-free.
+  DistanceSourceOptions source;
 };
 
 /// Diagnostics from a SAMPLING run (used by the Figure 5 benches).

@@ -20,3 +20,35 @@ endif()
 if(NOT out MATCHES "adjusted rand index:  1.0000")
   message(FATAL_ERROR "self-evaluation should be ARI 1.0, got: ${out}")
 endif()
+
+# Lazy-backend path: same aggregation through --backend lazy --threads 4
+# must report the chosen backend and produce the exact clustering the
+# dense run wrote.
+execute_process(COMMAND ${CLI} aggregate --csv ${WORK}/votes.csv
+                --class-column class --algorithm furthest
+                --backend lazy --threads 4 --report
+                --out ${WORK}/agg_lazy.labels
+                RESULT_VARIABLE rc ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "lazy aggregate failed: ${rc}")
+endif()
+if(NOT err MATCHES "distance backend = lazy, threads = 4")
+  message(FATAL_ERROR "report should name the lazy backend, got: ${err}")
+endif()
+execute_process(COMMAND ${CLI} eval ${WORK}/agg.labels ${WORK}/agg_lazy.labels
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "dense-vs-lazy eval failed: ${rc}")
+endif()
+if(NOT out MATCHES "adjusted rand index:  1.0000")
+  message(FATAL_ERROR "dense and lazy backends should produce identical "
+                      "clusterings, got: ${out}")
+endif()
+
+# Unknown backend must be rejected.
+execute_process(COMMAND ${CLI} aggregate --csv ${WORK}/votes.csv
+                --class-column class --backend bogus
+                RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "unknown backend should fail")
+endif()

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "clustagg/clustagg.h"
+#include "common/parallel.h"
 #include "io/clustering_io.h"
 #include "io/csv.h"
 
@@ -162,6 +163,17 @@ int CmdAggregate(const Args& args) {
   }
   options.missing.coin_together_probability =
       args.GetDouble("coin-p", 0.5);
+  const std::string backend = args.Get("backend", "dense");
+  if (backend == "lazy") {
+    options.backend = DistanceBackend::kLazy;
+  } else if (backend != "dense") {
+    std::fprintf(stderr,
+                 "error: unknown backend '%s' (expected dense or lazy)\n",
+                 backend.c_str());
+    return 1;
+  }
+  options.num_threads =
+      static_cast<std::size_t>(args.GetInt("threads", 0));
 
   Result<AggregationResult> result = Aggregate(*input, options);
   if (!result.ok()) return Fail(result.status());
@@ -174,6 +186,9 @@ int CmdAggregate(const Args& args) {
                result->clustering.NumClusters(),
                result->total_disagreements);
   if (args.Has("report")) {
+    std::fprintf(stderr, "distance backend = %s, threads = %zu\n",
+                 DistanceBackendName(options.backend),
+                 ResolveThreadCount(options.num_threads));
     std::fprintf(stderr, "lower bound on D = %.1f\n",
                  DisagreementLowerBound(*input, options.missing));
     const auto sizes = result->clustering.ClusterSizes();
@@ -305,11 +320,15 @@ int CmdHelp() {
       "             localsearch|pivot|annealing|majority|exact]\n"
       "            [--alpha X] [--refine] [--sample N] [--seed N]\n"
       "            [--missing coin|ignore] [--coin-p P]\n"
+      "            [--backend dense|lazy] [--threads N]\n"
       "            [--weights w1,w2,...]\n"
       "            [--out FILE] [--report]\n"
       "      aggregate label files (one clustering per file, labels\n"
       "      whitespace-separated, '?' = missing) or the attribute\n"
-      "      clusterings of a categorical CSV.\n"
+      "      clusterings of a categorical CSV. --backend dense (default)\n"
+      "      materializes the O(n^2/2) distance matrix in parallel;\n"
+      "      --backend lazy keeps O(n*m) memory and recomputes distances\n"
+      "      on demand. --threads 0 (default) = one per hardware core.\n"
       "  eval <truth.labels> <candidate.labels>\n"
       "      rand / adjusted rand / NMI / disagreement distance.\n"
       "  gen <votes|mushrooms|census|gaussian> [--seed N] [--rows N]\n"

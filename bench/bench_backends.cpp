@@ -50,7 +50,7 @@ void DenseConstructionScaling() {
   for (std::size_t threads : {1, 2, 4, 8}) {
     Stopwatch watch;
     Result<CorrelationInstance> instance = CorrelationInstance::Build(
-        input, {}, {DistanceBackend::kDense, threads});
+        input, {}, {DistanceBackend::kDense, threads, {}});
     CLUSTAGG_CHECK_OK(instance.status());
     const double seconds = watch.ElapsedSeconds();
     if (threads == 1) serial_seconds = seconds;
@@ -69,7 +69,7 @@ void LazyLocalSearch(std::size_t n) {
   const ClusteringSet input = PlantedInput(n, m, 32, 0.2, 3);
   Stopwatch watch;
   Result<CorrelationInstance> instance =
-      CorrelationInstance::Build(input, {}, {DistanceBackend::kLazy, 0});
+      CorrelationInstance::Build(input, {}, {DistanceBackend::kLazy, 0, {}});
   CLUSTAGG_CHECK_OK(instance.status());
   std::printf("  lazy build: %.3f s\n", watch.ElapsedSeconds());
 

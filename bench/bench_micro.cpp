@@ -83,7 +83,7 @@ void BM_BuildInstanceDense(benchmark::State& state) {
   const ClusteringSet input = PlantedInput(4096, 9, 8, 0.2, 2);
   for (auto _ : state) {
     Result<CorrelationInstance> instance = CorrelationInstance::Build(
-        input, {}, {DistanceBackend::kDense, threads});
+        input, {}, {DistanceBackend::kDense, threads, {}});
     CLUSTAGG_CHECK_OK(instance.status());
     benchmark::DoNotOptimize(instance);
   }
@@ -96,7 +96,7 @@ void BM_BuildInstanceLazy(benchmark::State& state) {
   const ClusteringSet input = PlantedInput(n, 9, 8, 0.2, 2);
   for (auto _ : state) {
     Result<CorrelationInstance> instance = CorrelationInstance::Build(
-        input, {}, {DistanceBackend::kLazy, 1});
+        input, {}, {DistanceBackend::kLazy, 1, {}});
     CLUSTAGG_CHECK_OK(instance.status());
     benchmark::DoNotOptimize(instance);
   }

@@ -7,6 +7,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/run_context.h"
+
 namespace clustagg {
 
 /// Resolves a user-facing thread-count knob: 0 means one thread per
@@ -57,6 +59,57 @@ void ParallelForRows(std::size_t rows, std::size_t num_threads, Fn&& fn) {
   for (std::size_t t = 1; t < num_threads; ++t) pool.emplace_back(worker, t);
   worker(0);
   for (std::thread& t : pool) t.join();
+}
+
+/// Cooperative variant: polls `run` once per claimed chunk (serial mode:
+/// every chunk of 16 rows) and stops handing out rows when it fires.
+/// Each processed row charges one work unit against the run's iteration
+/// budget. Returns true when every row was processed, false when the
+/// loop was interrupted — interrupted results are *partial* and the
+/// caller must either discard them or fall back to a degraded answer.
+/// fn has the same disjoint-writes contract as ParallelForRows.
+template <typename Fn>
+bool ParallelForRowsCancellable(std::size_t rows, std::size_t num_threads,
+                                const RunContext& run, Fn&& fn) {
+  if (run.unlimited()) {
+    ParallelForRows(rows, num_threads, std::forward<Fn>(fn));
+    return true;
+  }
+  if (rows == 0) return true;
+  if (num_threads > rows) num_threads = rows;
+  std::atomic<bool> stopped{false};
+  if (num_threads <= 1) {
+    for (std::size_t u = 0; u < rows; ++u) {
+      if (u % 16 == 0) {
+        run.ChargeIterations(std::min<std::size_t>(16, rows - u));
+        if (run.ShouldStop()) return false;
+      }
+      fn(u, std::size_t{0});
+    }
+    return true;
+  }
+  std::atomic<std::size_t> next{0};
+  const std::size_t chunk =
+      std::max<std::size_t>(1, rows / (num_threads * 8));
+  auto worker = [&](std::size_t thread_id) {
+    for (;;) {
+      if (run.ShouldStop()) {
+        stopped.store(true, std::memory_order_relaxed);
+        return;
+      }
+      const std::size_t begin = next.fetch_add(chunk);
+      if (begin >= rows) return;
+      const std::size_t end = std::min(rows, begin + chunk);
+      run.ChargeIterations(end - begin);
+      for (std::size_t u = begin; u < end; ++u) fn(u, thread_id);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(num_threads - 1);
+  for (std::size_t t = 1; t < num_threads; ++t) pool.emplace_back(worker, t);
+  worker(0);
+  for (std::thread& t : pool) t.join();
+  return !stopped.load(std::memory_order_relaxed);
 }
 
 }  // namespace clustagg

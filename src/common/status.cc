@@ -16,8 +16,32 @@ const char* StatusCodeName(StatusCode code) {
       return "ResourceExhausted";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
+}
+
+int ExitCodeForStatus(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return 0;
+    case StatusCode::kInvalidArgument:
+      return 2;
+    case StatusCode::kFailedPrecondition:
+      return 3;
+    case StatusCode::kResourceExhausted:
+      return 4;
+    case StatusCode::kInternal:
+      return 5;
+    case StatusCode::kCancelled:
+      return 6;
+    case StatusCode::kDeadlineExceeded:
+      return 7;
+  }
+  return 5;
 }
 
 std::string Status::ToString() const {

@@ -27,10 +27,23 @@ enum class StatusCode {
   kResourceExhausted,
   /// An internal invariant was violated; indicates a library bug.
   kInternal,
+  /// The operation was cooperatively cancelled via a RunContext. Only
+  /// used by paths that must abandon (no usable partial result); budgeted
+  /// runs normally *degrade* to a best-so-far result instead of failing.
+  kCancelled,
+  /// A RunContext wall-clock deadline or iteration budget fired on a path
+  /// that must abandon instead of degrade.
+  kDeadlineExceeded,
 };
 
 /// Returns a stable human-readable name ("OK", "InvalidArgument", ...).
 const char* StatusCodeName(StatusCode code);
+
+/// Process exit code for a status code, used by the CLI: 0=OK,
+/// 2=InvalidArgument, 3=FailedPrecondition, 4=ResourceExhausted,
+/// 5=Internal, 6=Cancelled, 7=DeadlineExceeded. (1 is left to generic
+/// usage errors.)
+int ExitCodeForStatus(StatusCode code);
 
 /// Lightweight success-or-error value, modeled after the Status idiom used
 /// by production storage engines. Cheap to copy in the OK case.
@@ -57,6 +70,12 @@ class Status {
   }
   static Status Internal(std::string message) {
     return Status(StatusCode::kInternal, std::move(message));
+  }
+  static Status Cancelled(std::string message) {
+    return Status(StatusCode::kCancelled, std::move(message));
+  }
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,5 +1,6 @@
 #include "core/agglomerative.h"
 
+#include <algorithm>
 #include <utility>
 #include <vector>
 
@@ -7,20 +8,28 @@
 
 namespace clustagg {
 
-Result<Clustering> AgglomerativeClusterer::Run(
-    const CorrelationInstance& instance) const {
+Result<ClustererRun> AgglomerativeClusterer::RunControlled(
+    const CorrelationInstance& instance, const RunContext& run) const {
   const std::size_t n = instance.size();
-  if (n == 0) return Clustering();
+  if (n == 0) return ClustererRun{Clustering(), RunOutcome::kConverged};
 
   // The Lance-Williams updates mutate a double matrix in place
   // (average-linkage accumulates weighted means), so agglomeration is
   // inherently O(n^2) memory whatever the instance backend.
+  if (n > 1 &&
+      run.SimulateAllocationFailure(n * (n - 1) / 2 * sizeof(double))) {
+    return Status::ResourceExhausted(
+        "simulated allocation failure for the agglomerative working "
+        "matrix (" + std::to_string(n) + " objects)");
+  }
   Result<SymmetricMatrix<double>> working_result =
       SymmetricMatrix<double>::Create(n);
   if (!working_result.ok()) return working_result.status();
   SymmetricMatrix<double> working = std::move(working_result).value();
+  bool materialized = true;
   if (const SymmetricMatrix<float>* dense = instance.dense_matrix()) {
-    // Widen the packed float matrix to double.
+    // Widen the packed float matrix to double. Cheap (one pass over the
+    // triangle), so no polling needed.
     const auto& packed = dense->packed();
     auto& out = working.packed();
     for (std::size_t i = 0; i < packed.size(); ++i) {
@@ -28,30 +37,49 @@ Result<Clustering> AgglomerativeClusterer::Run(
     }
   } else {
     // Materialize the lazy rows in parallel; each row of the triangle is
-    // a disjoint slice of the packed store.
+    // a disjoint slice of the packed store. This is the O(n^2 m) part,
+    // so it polls.
     auto& out = working.packed();
     const std::size_t threads = EffectiveRowThreads(
         n, ResolveThreadCount(instance.num_threads()));
     std::vector<std::vector<double>> rows(threads, std::vector<double>(n));
-    ParallelForRows(n, threads, [&](std::size_t u, std::size_t tid) {
-      if (u + 1 >= n) return;
-      std::vector<double>& row = rows[tid];
-      instance.FillRow(u, row);
-      double* tail = out.data() + working.PackedIndex(u, u + 1);
-      for (std::size_t v = u + 1; v < n; ++v) tail[v - u - 1] = row[v];
-    });
+    materialized = ParallelForRowsCancellable(
+        n, threads, run, [&](std::size_t u, std::size_t tid) {
+          if (u + 1 >= n) return;
+          std::vector<double>& row = rows[tid];
+          instance.FillRow(u, row);
+          double* tail = out.data() + working.PackedIndex(u, u + 1);
+          for (std::size_t v = u + 1; v < n; ++v) tail[v - u - 1] = row[v];
+        });
+  }
+  if (!materialized) {
+    // A half-filled working matrix would merge on garbage distances;
+    // the pre-merge state (all singletons) is the valid best-so-far.
+    RunOutcome outcome = run.Poll();
+    if (outcome == RunOutcome::kConverged) {
+      outcome = RunOutcome::kDeadlineExceeded;
+    }
+    return ClustererRun{Clustering::AllSingletons(n), outcome};
   }
 
-  Result<Dendrogram> dendrogram =
-      AgglomerateFull(std::move(working), Linkage::kAverage);
+  RunOutcome outcome = RunOutcome::kConverged;
+  Result<Dendrogram> dendrogram = AgglomerateFull(
+      std::move(working), Linkage::kAverage, {}, run, &outcome);
   if (!dendrogram.ok()) return dendrogram.status();
 
   if (options_.target_clusters > 0) {
-    Result<Clustering> cut = dendrogram->CutAtK(options_.target_clusters);
+    // On a partial dendrogram the requested k may be unreachable; cut as
+    // deep as the performed merges allow.
+    const std::size_t min_k =
+        dendrogram->num_leaves - dendrogram->merges.size();
+    Result<Clustering> cut =
+        dendrogram->CutAtK(std::max(options_.target_clusters, min_k));
     if (!cut.ok()) return cut.status();
-    return cut->Normalized();
+    return ClustererRun{cut->Normalized(), outcome};
   }
-  return dendrogram->CutAtHeight(options_.merge_threshold).Normalized();
+  return ClustererRun{
+      dendrogram->CutAtHeight(options_.merge_threshold).Normalized(),
+      outcome};
 }
 
 }  // namespace clustagg

@@ -38,7 +38,15 @@ class AgglomerativeClusterer final : public CorrelationClusterer {
 
   std::string name() const override { return "AGGLOMERATIVE"; }
 
-  Result<Clustering> Run(const CorrelationInstance& instance) const override;
+  /// Polls `run` while materializing the working matrix and once per
+  /// merge. An interrupt mid-merge cuts the partial dendrogram — a valid
+  /// partition that simply stopped agglomerating early (in
+  /// target_clusters mode the cut is clamped to the merges actually
+  /// performed, so the result may have more clusters than asked). An
+  /// interrupt during matrix materialization returns all singletons, the
+  /// state before any merge.
+  Result<ClustererRun> RunControlled(const CorrelationInstance& instance,
+                                     const RunContext& run) const override;
 
   const AgglomerativeOptions& options() const { return options_; }
 

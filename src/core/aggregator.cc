@@ -1,5 +1,6 @@
 #include "core/aggregator.h"
 
+#include <string>
 #include <utility>
 
 #include "core/best_clustering.h"
@@ -69,43 +70,110 @@ Result<std::unique_ptr<CorrelationClusterer>> MakeClusterer(
 Result<AggregationResult> Aggregate(const ClusteringSet& input,
                                     const AggregatorOptions& options) {
   AggregationResult out;
+  const RunContext& run = options.run;
 
   if (options.algorithm == AggregationAlgorithm::kBestClustering) {
-    Result<BestClusteringResult> best = BestClustering(input,
-                                                       options.missing);
+    Result<BestClusteringResult> best =
+        BestClustering(input, options.missing, run);
     if (!best.ok()) return best.status();
     out.clustering = std::move(best->clustering);
     out.total_disagreements = best->total_disagreements;
+    out.outcome = best->outcome;
     return out;
   }
 
+  // Degradation 1: the exact solver beyond its tractable size would be a
+  // hard ResourceExhausted; aggregation callers prefer a good answer over
+  // none, so swap in BALLS polished by LOCALSEARCH (the paper's
+  // recommended refinement) and record the substitution.
+  AggregatorOptions effective = options;
+  if (options.allow_fallbacks &&
+      options.algorithm == AggregationAlgorithm::kExact &&
+      input.num_objects() > options.exact.max_objects) {
+    effective.algorithm = AggregationAlgorithm::kBalls;
+    effective.refine_with_local_search = true;
+    out.fallbacks.push_back(
+        "EXACT is intractable at n=" + std::to_string(input.num_objects()) +
+        " (max " + std::to_string(options.exact.max_objects) +
+        "); fell back to BALLS + LOCALSEARCH refinement");
+    out.outcome = MergeOutcomes(out.outcome, RunOutcome::kFellBack);
+  }
+
   Result<std::unique_ptr<CorrelationClusterer>> clusterer =
-      MakeClusterer(options);
+      MakeClusterer(effective);
   if (!clusterer.ok()) return clusterer.status();
 
-  const bool use_sampling = options.sampling_size > 0 &&
-                            options.algorithm != AggregationAlgorithm::kExact;
+  const bool use_sampling =
+      effective.sampling_size > 0 &&
+      effective.algorithm != AggregationAlgorithm::kExact;
   Result<Clustering> clustering = [&]() -> Result<Clustering> {
     if (use_sampling) {
-      SamplingOptions sampling = options.sampling;
-      sampling.sample_size = options.sampling_size;
-      sampling.missing = options.missing;
-      sampling.source.backend = options.backend;
-      sampling.source.num_threads = options.num_threads;
-      return SamplingAggregate(input, **clusterer, sampling);
+      SamplingOptions sampling = effective.sampling;
+      sampling.sample_size = effective.sampling_size;
+      sampling.missing = effective.missing;
+      sampling.source.backend = effective.backend;
+      sampling.source.num_threads = effective.num_threads;
+      Result<ClustererRun> sampled = SamplingAggregateControlled(
+          input, **clusterer, run, sampling);
+      if (!sampled.ok()) return sampled.status();
+      out.outcome = MergeOutcomes(out.outcome, sampled->outcome);
+      return std::move(sampled->clustering);
     }
-    Result<CorrelationInstance> built = CorrelationInstance::Build(
-        input, options.missing, {options.backend, options.num_threads});
-    if (!built.ok()) return built.status();
+
+    DistanceSourceOptions source_options{effective.backend,
+                                         effective.num_threads, run};
+    Result<CorrelationInstance> built =
+        CorrelationInstance::Build(input, effective.missing, source_options);
+    if (!built.ok() && effective.backend == DistanceBackend::kDense &&
+        effective.allow_fallbacks &&
+        built.status().code() == StatusCode::kResourceExhausted) {
+      // Degradation 2: the dense O(n^2/2) matrix did not fit (really, or
+      // via an injected fault). The lazy backend answers bit-identically
+      // from O(n m) memory, just slower per query.
+      out.fallbacks.push_back(
+          "dense backend allocation failed; retried with lazy backend");
+      out.outcome = MergeOutcomes(out.outcome, RunOutcome::kFellBack);
+      source_options.backend = DistanceBackend::kLazy;
+      built =
+          CorrelationInstance::Build(input, effective.missing, source_options);
+    }
+    if (!built.ok()) {
+      if (RunContext::IsInterrupt(built.status())) {
+        // Degradation 3: the budget fired while the instance was still
+        // being built; no distances → nothing was merged yet, so the
+        // all-singletons partition is the honest best-so-far.
+        out.fallbacks.push_back(
+            "budget fired during instance construction; returning the "
+            "all-singletons partition");
+        out.outcome = MergeOutcomes(
+            out.outcome, RunContext::OutcomeFromInterrupt(built.status()));
+        return Clustering::AllSingletons(input.num_objects());
+      }
+      return built.status();
+    }
     const CorrelationInstance& instance = *built;
-    Result<Clustering> result = (*clusterer)->Run(instance);
+    Result<ClustererRun> result = (*clusterer)->RunControlled(instance, run);
     if (!result.ok()) return result.status();
-    if (options.refine_with_local_search &&
-        options.algorithm != AggregationAlgorithm::kLocalSearch) {
-      LocalSearchClusterer refiner(options.local_search);
-      return refiner.RunFrom(instance, *result);
+    out.outcome = MergeOutcomes(out.outcome, result->outcome);
+    if (effective.refine_with_local_search &&
+        effective.algorithm != AggregationAlgorithm::kLocalSearch) {
+      if (out.outcome == RunOutcome::kCancelled ||
+          out.outcome == RunOutcome::kDeadlineExceeded) {
+        // Degradation 4: no budget left for the polish; ship the
+        // unrefined clustering.
+        out.fallbacks.push_back(
+            "budget fired before LOCALSEARCH refinement; returning the "
+            "unrefined clustering");
+        return std::move(result->clustering);
+      }
+      LocalSearchClusterer refiner(effective.local_search);
+      Result<ClustererRun> refined =
+          refiner.RunFromControlled(instance, result->clustering, run);
+      if (!refined.ok()) return refined.status();
+      out.outcome = MergeOutcomes(out.outcome, refined->outcome);
+      return std::move(refined->clustering);
     }
-    return result;
+    return std::move(result->clustering);
   }();
   if (!clustering.ok()) return clustering.status();
 

@@ -3,7 +3,9 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "common/run_context.h"
 #include "common/status.h"
 #include "core/agglomerative.h"
 #include "core/annealing.h"
@@ -76,6 +78,22 @@ struct AggregatorOptions {
   /// kBestClustering and kExact.
   std::size_t sampling_size = 0;
   SamplingOptions sampling;
+
+  /// Wall-clock / iteration budget, cancellation flag, and fault hooks
+  /// for the whole pipeline (instance build, clustering, refinement).
+  /// Default: unlimited. When the budget fires the pipeline returns the
+  /// best valid clustering reached so far, tagged in the result, instead
+  /// of an error. Final scoring (TotalDisagreements) runs outside the
+  /// budget: the coin-policy path is O(m (n + K^2)) and a report without
+  /// E_D would be useless.
+  RunContext run;
+
+  /// Allow the graceful-degradation chain: dense-backend allocation
+  /// failure retries on the lazy backend, and EXACT beyond its tractable
+  /// size falls back to BALLS + LOCALSEARCH refinement. Each taken
+  /// fallback is recorded in AggregationResult::fallbacks. Off = those
+  /// conditions stay hard errors.
+  bool allow_fallbacks = true;
 };
 
 /// Result of an aggregation run.
@@ -84,6 +102,14 @@ struct AggregationResult {
   /// Total (expected) disagreements D(C) with the inputs — the E_D
   /// reported in the paper's tables.
   double total_disagreements = 0.0;
+  /// How the run ended: kConverged normally; kDeadlineExceeded /
+  /// kCancelled when the budget cut it short (clustering is then the best
+  /// found so far); kFellBack when a degradation fallback was taken but
+  /// the run otherwise completed.
+  RunOutcome outcome = RunOutcome::kConverged;
+  /// Human-readable notes, one per degradation taken (e.g.
+  /// "dense backend allocation failed; retried with lazy backend").
+  std::vector<std::string> fallbacks;
 };
 
 /// Instantiates the requested correlation clusterer (not

@@ -2,14 +2,15 @@
 
 #include <cmath>
 #include <string>
+#include <utility>
 
 #include "common/rng.h"
 #include "core/internal/move_state.h"
 
 namespace clustagg {
 
-Result<Clustering> AnnealingClusterer::Run(
-    const CorrelationInstance& instance) const {
+Result<ClustererRun> AnnealingClusterer::RunControlled(
+    const CorrelationInstance& instance, const RunContext& run) const {
   if (options_.cooling <= 0.0 || options_.cooling >= 1.0) {
     return Status::InvalidArgument("cooling must lie in (0, 1)");
   }
@@ -17,11 +18,22 @@ Result<Clustering> AnnealingClusterer::Run(
     return Status::InvalidArgument("moves_per_temperature must be >= 1");
   }
   const std::size_t n = instance.size();
-  if (n == 0) return Clustering();
-  if (n == 1) return Clustering::SingleCluster(1);
+  if (n == 0) return ClustererRun{Clustering(), RunOutcome::kConverged};
+  if (n == 1) {
+    return ClustererRun{Clustering::SingleCluster(1), RunOutcome::kConverged};
+  }
 
   Rng rng(options_.seed);
-  internal::MoveState state(instance, Clustering::AllSingletons(n));
+  bool state_built = false;
+  internal::MoveState state(instance, Clustering::AllSingletons(n), run,
+                            &state_built);
+  if (!state_built) {
+    RunOutcome outcome = run.Poll();
+    if (outcome == RunOutcome::kConverged) {
+      outcome = RunOutcome::kDeadlineExceeded;
+    }
+    return ClustererRun{Clustering::AllSingletons(n), outcome};
+  }
 
   // Propose: relocate a random object to a random other cluster or to a
   // fresh singleton.
@@ -52,9 +64,15 @@ Result<Clustering> AnnealingClusterer::Run(
   double temperature =
       options_.initial_temperature_factor * mean_abs_delta;
 
+  RunOutcome outcome = RunOutcome::kConverged;
   for (std::size_t level = 0; level < options_.max_levels; ++level) {
+    if ((outcome = run.Poll()) != RunOutcome::kConverged) break;
     std::size_t accepted = 0;
     for (std::size_t i = 0; i < options_.moves_per_temperature; ++i) {
+      if (i % 64 == 63) {
+        run.ChargeIterations(64);
+        if ((outcome = run.Poll()) != RunOutcome::kConverged) break;
+      }
       std::size_t v;
       std::size_t target;
       propose(&v, &target);
@@ -65,6 +83,7 @@ Result<Clustering> AnnealingClusterer::Run(
         ++accepted;
       }
     }
+    if (outcome != RunOutcome::kConverged) break;
     const double rate =
         static_cast<double>(accepted) /
         static_cast<double>(options_.moves_per_temperature);
@@ -72,20 +91,27 @@ Result<Clustering> AnnealingClusterer::Run(
     temperature *= options_.cooling;
   }
 
-  if (options_.final_descent) {
+  if (options_.final_descent && outcome == RunOutcome::kConverged) {
     // Greedy polish: the annealed state is usually one short descent
-    // away from its local optimum.
+    // away from its local optimum. Each applied move only lowers the
+    // cost, so stopping mid-descent is safe.
     bool any_move = true;
     std::size_t passes = 0;
     while (any_move && passes < 100) {
+      if ((outcome = run.Poll()) != RunOutcome::kConverged) break;
       any_move = false;
       for (std::size_t v = 0; v < n; ++v) {
+        if (v % 64 == 63) {
+          run.ChargeIterations(64);
+          if ((outcome = run.Poll()) != RunOutcome::kConverged) break;
+        }
         any_move |= state.TryImproveBest(v, 1e-7);
       }
+      if (outcome != RunOutcome::kConverged) break;
       ++passes;
     }
   }
-  return state.ToClustering();
+  return ClustererRun{state.ToClustering(), outcome};
 }
 
 }  // namespace clustagg

@@ -43,7 +43,13 @@ class AnnealingClusterer final : public CorrelationClusterer {
 
   std::string name() const override { return "ANNEALING"; }
 
-  Result<Clustering> Run(const CorrelationInstance& instance) const override;
+  /// Polls `run` every 64 proposals, per temperature level, and per
+  /// final-descent pass. The walk's state is a valid partition at every
+  /// step, so an interrupt returns it as-is (skipping the remaining
+  /// cooling and polish); an interrupt during the up-front M-table build
+  /// returns all singletons, the walk's starting point.
+  Result<ClustererRun> RunControlled(const CorrelationInstance& instance,
+                                     const RunContext& run) const override;
 
   const AnnealingOptions& options() const { return options_; }
 

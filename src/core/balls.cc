@@ -3,27 +3,37 @@
 #include <algorithm>
 #include <numeric>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace clustagg {
 
-Result<Clustering> BallsClusterer::Run(
-    const CorrelationInstance& instance) const {
+Result<ClustererRun> BallsClusterer::RunControlled(
+    const CorrelationInstance& instance, const RunContext& run) const {
   if (options_.alpha < 0.0 || options_.alpha > 0.5) {
     return Status::InvalidArgument(
         "BALLS alpha must lie in [0, 0.5], got " +
         std::to_string(options_.alpha));
   }
   const std::size_t n = instance.size();
+  RunOutcome outcome = RunOutcome::kConverged;
 
   std::vector<std::size_t> order(n);
   std::iota(order.begin(), order.end(), std::size_t{0});
   if (options_.sort_by_incident_weight) {
-    const std::vector<double> weights = instance.TotalIncidentWeights();
-    std::stable_sort(order.begin(), order.end(),
-                     [&](std::size_t a, std::size_t b) {
-                       return weights[a] < weights[b];
-                     });
+    Result<std::vector<double>> weights = instance.TotalIncidentWeights(run);
+    if (weights.ok()) {
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return (*weights)[a] < (*weights)[b];
+                       });
+    } else if (RunContext::IsInterrupt(weights.status())) {
+      // Partial incident weights would give a schedule-dependent order;
+      // degrade to deterministic index order instead.
+      outcome = RunContext::OutcomeFromInterrupt(weights.status());
+    } else {
+      return weights.status();
+    }
   }
 
   std::vector<Clustering::Label> labels(n, Clustering::kMissing);
@@ -32,6 +42,16 @@ Result<Clustering> BallsClusterer::Run(
   std::vector<double> row(n);
   for (std::size_t u : order) {
     if (labels[u] != Clustering::kMissing) continue;
+    run.ChargeIterations(1);
+    if (outcome == RunOutcome::kConverged) {
+      outcome = run.Poll();
+    }
+    if (outcome != RunOutcome::kConverged) {
+      // Budget fired: every vertex still unclustered becomes a singleton,
+      // the same shape BALLS gives vertices whose ball fails the test.
+      labels[u] = next_label++;
+      continue;
+    }
     // Gather the ball: unclustered vertices within distance 1/2 of u.
     // One bulk row query per ball center keeps the lazy backend at one
     // O(n m) pass per opened cluster.
@@ -55,7 +75,7 @@ Result<Clustering> BallsClusterer::Run(
     // Otherwise u stays a singleton and the ball members remain available
     // to later vertices.
   }
-  return Clustering(std::move(labels)).Normalized();
+  return ClustererRun{Clustering(std::move(labels)).Normalized(), outcome};
 }
 
 }  // namespace clustagg

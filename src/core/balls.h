@@ -35,7 +35,13 @@ class BallsClusterer final : public CorrelationClusterer {
 
   std::string name() const override { return "BALLS"; }
 
-  Result<Clustering> Run(const CorrelationInstance& instance) const override;
+  /// Polls `run` once per ball center. When the budget fires mid-pass the
+  /// vertices not yet absorbed into a ball become singletons, which is
+  /// exactly what BALLS itself does to vertices that fail the alpha test —
+  /// the result is always a valid partition. An interrupted incident-
+  /// weight sort degrades to index order.
+  Result<ClustererRun> RunControlled(const CorrelationInstance& instance,
+                                     const RunContext& run) const override;
 
   const BallsOptions& options() const { return options_; }
 

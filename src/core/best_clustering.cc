@@ -4,9 +4,23 @@ namespace clustagg {
 
 Result<BestClusteringResult> BestClustering(
     const ClusteringSet& input, const MissingValueOptions& missing) {
+  return BestClustering(input, missing, RunContext());
+}
+
+Result<BestClusteringResult> BestClustering(const ClusteringSet& input,
+                                            const MissingValueOptions& missing,
+                                            const RunContext& run) {
   BestClusteringResult best;
   bool first = true;
   for (std::size_t i = 0; i < input.num_clusterings(); ++i) {
+    // The first candidate is scored unconditionally so the result always
+    // holds a valid scored clustering; the budget can only trim how many
+    // of the remaining inputs get compared.
+    if (!first) {
+      run.ChargeIterations(1);
+      best.outcome = run.Poll();
+      if (best.outcome != RunOutcome::kConverged) break;
+    }
     Clustering candidate = input.clustering(i).WithMissingAsSingletons();
     Result<double> d = input.TotalDisagreements(candidate, missing);
     if (!d.ok()) return d.status();

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 
+#include "common/run_context.h"
 #include "common/status.h"
 #include "core/clustering.h"
 #include "core/clustering_set.h"
@@ -18,6 +19,9 @@ struct BestClusteringResult {
   Clustering clustering;
   /// Its total (expected) disagreement D(C) with the inputs.
   double total_disagreements = 0.0;
+  /// kConverged when every input was scored; otherwise the budget fired
+  /// and `clustering` is the best of the inputs scored so far.
+  RunOutcome outcome = RunOutcome::kConverged;
 };
 
 /// The BESTCLUSTERING algorithm (Section 4): returns the input clustering
@@ -27,8 +31,14 @@ struct BestClusteringResult {
 /// is non-intuitive and rarely good in practice. Inputs with missing
 /// labels are completed by turning each missing object into a singleton
 /// before being scored as candidates.
+///
+/// The budgeted overload polls `run` between candidates (the first input
+/// is always scored, so the result is always a valid, scored clustering).
 Result<BestClusteringResult> BestClustering(
     const ClusteringSet& input, const MissingValueOptions& missing = {});
+Result<BestClusteringResult> BestClustering(const ClusteringSet& input,
+                                            const MissingValueOptions& missing,
+                                            const RunContext& run);
 
 }  // namespace clustagg
 

@@ -2,12 +2,23 @@
 #define CLUSTAGG_CORE_CLUSTERER_H_
 
 #include <string>
+#include <utility>
 
+#include "common/run_context.h"
 #include "common/status.h"
 #include "core/clustering.h"
 #include "core/correlation_instance.h"
 
 namespace clustagg {
+
+/// A budgeted clustering run: the (complete, normalized) partition plus
+/// how the run ended. Whatever the outcome, `clustering` is a valid
+/// clustering of the whole instance — a deadline or cancellation yields
+/// the best partition found so far, never an error.
+struct ClustererRun {
+  Clustering clustering;
+  RunOutcome outcome = RunOutcome::kConverged;
+};
 
 /// Interface for correlation-clustering algorithms: everything that can
 /// take a distance matrix X and return a partition. All the paper's
@@ -21,10 +32,23 @@ class CorrelationClusterer {
   /// Algorithm name as used in the paper's tables (e.g. "AGGLOMERATIVE").
   virtual std::string name() const = 0;
 
-  /// Clusters the instance. The result is a complete clustering of
-  /// instance.size() objects with normalized labels.
-  virtual Result<Clustering> Run(const CorrelationInstance& instance) const
-      = 0;
+  /// Unlimited-budget convenience: clusters the instance to convergence.
+  /// The result is a complete clustering of instance.size() objects with
+  /// normalized labels.
+  Result<Clustering> Run(const CorrelationInstance& instance) const {
+    Result<ClustererRun> run = RunControlled(instance, RunContext());
+    if (!run.ok()) return run.status();
+    return std::move(run->clustering);
+  }
+
+  /// Budgeted run: polls `run` at bounded intervals (per pass, per opened
+  /// cluster, per few thousand search nodes) and, when the deadline /
+  /// iteration budget / cancellation fires, returns the best valid
+  /// clustering found so far tagged with the outcome. Error statuses are
+  /// reserved for invalid options or instances — a fired budget is not an
+  /// error.
+  virtual Result<ClustererRun> RunControlled(
+      const CorrelationInstance& instance, const RunContext& run) const = 0;
 };
 
 }  // namespace clustagg

@@ -22,6 +22,14 @@ std::vector<std::vector<double>> ThreadRows(std::size_t threads,
   return std::vector<std::vector<double>>(threads, std::vector<double>(n));
 }
 
+/// The interrupt status after ParallelForRowsCancellable returned false.
+Status InterruptStatus(const RunContext& run) {
+  const RunOutcome outcome = run.Poll();
+  return outcome == RunOutcome::kConverged
+             ? Status::DeadlineExceeded("run interrupted")
+             : run.StopStatus(outcome);
+}
+
 }  // namespace
 
 Result<CorrelationInstance> CorrelationInstance::FromDistances(
@@ -75,7 +83,8 @@ CorrelationInstance CorrelationInstance::FromClusteringsSubset(
   return std::move(instance).value();
 }
 
-Result<double> CorrelationInstance::Cost(const Clustering& candidate) const {
+Result<double> CorrelationInstance::Cost(const Clustering& candidate,
+                                         const RunContext& run) const {
   const std::size_t n = size();
   if (candidate.size() != n) {
     return Status::InvalidArgument(
@@ -94,75 +103,96 @@ Result<double> CorrelationInstance::Cost(const Clustering& candidate) const {
   // count and backend.
   std::vector<double> row_cost(n, 0.0);
   const std::size_t threads = ReductionThreads(n, num_threads_);
+  bool completed;
   if (dense_ != nullptr) {
     const std::vector<float>& packed = dense_->packed();
-    ParallelForRows(n, threads, [&](std::size_t u, std::size_t) {
-      if (u + 1 >= n) return;
-      const float* tail = packed.data() + dense_->PackedIndex(u, u + 1);
-      const Clustering::Label lu = candidate.label(u);
-      double cost = 0.0;
-      for (std::size_t v = u + 1; v < n; ++v) {
-        const double x = tail[v - u - 1];
-        cost += lu == candidate.label(v) ? x : 1.0 - x;
-      }
-      row_cost[u] = cost;
-    });
+    completed = ParallelForRowsCancellable(
+        n, threads, run, [&](std::size_t u, std::size_t) {
+          if (u + 1 >= n) return;
+          const float* tail = packed.data() + dense_->PackedIndex(u, u + 1);
+          const Clustering::Label lu = candidate.label(u);
+          double cost = 0.0;
+          for (std::size_t v = u + 1; v < n; ++v) {
+            const double x = tail[v - u - 1];
+            cost += lu == candidate.label(v) ? x : 1.0 - x;
+          }
+          row_cost[u] = cost;
+        });
   } else {
     std::vector<std::vector<double>> rows = ThreadRows(threads, n);
-    ParallelForRows(n, threads, [&](std::size_t u, std::size_t tid) {
-      if (u + 1 >= n) return;
-      std::vector<double>& row = rows[tid];
-      source_->FillRow(u, row);
-      const Clustering::Label lu = candidate.label(u);
-      double cost = 0.0;
-      for (std::size_t v = u + 1; v < n; ++v) {
-        const double x = row[v];
-        cost += lu == candidate.label(v) ? x : 1.0 - x;
-      }
-      row_cost[u] = cost;
-    });
+    completed = ParallelForRowsCancellable(
+        n, threads, run, [&](std::size_t u, std::size_t tid) {
+          if (u + 1 >= n) return;
+          std::vector<double>& row = rows[tid];
+          source_->FillRow(u, row);
+          const Clustering::Label lu = candidate.label(u);
+          double cost = 0.0;
+          for (std::size_t v = u + 1; v < n; ++v) {
+            const double x = row[v];
+            cost += lu == candidate.label(v) ? x : 1.0 - x;
+          }
+          row_cost[u] = cost;
+        });
   }
+  if (!completed) return InterruptStatus(run);
   double cost = 0.0;
   for (double c : row_cost) cost += c;
   return cost;
 }
 
 double CorrelationInstance::LowerBound() const {
+  Result<double> bound = LowerBound(RunContext());
+  CLUSTAGG_CHECK(bound.ok());
+  return *bound;
+}
+
+Result<double> CorrelationInstance::LowerBound(const RunContext& run) const {
   const std::size_t n = size();
   if (n == 0) return 0.0;
   std::vector<double> row_bound(n, 0.0);
   const std::size_t threads = ReductionThreads(n, num_threads_);
+  bool completed;
   if (dense_ != nullptr) {
     const std::vector<float>& packed = dense_->packed();
-    ParallelForRows(n, threads, [&](std::size_t u, std::size_t) {
-      if (u + 1 >= n) return;
-      const float* tail = packed.data() + dense_->PackedIndex(u, u + 1);
-      double bound = 0.0;
-      for (std::size_t v = u + 1; v < n; ++v) {
-        const float x = tail[v - u - 1];
-        bound += std::min<double>(x, 1.0 - static_cast<double>(x));
-      }
-      row_bound[u] = bound;
-    });
+    completed = ParallelForRowsCancellable(
+        n, threads, run, [&](std::size_t u, std::size_t) {
+          if (u + 1 >= n) return;
+          const float* tail = packed.data() + dense_->PackedIndex(u, u + 1);
+          double bound = 0.0;
+          for (std::size_t v = u + 1; v < n; ++v) {
+            const float x = tail[v - u - 1];
+            bound += std::min<double>(x, 1.0 - static_cast<double>(x));
+          }
+          row_bound[u] = bound;
+        });
   } else {
     std::vector<std::vector<double>> rows = ThreadRows(threads, n);
-    ParallelForRows(n, threads, [&](std::size_t u, std::size_t tid) {
-      if (u + 1 >= n) return;
-      std::vector<double>& row = rows[tid];
-      source_->FillRow(u, row);
-      double bound = 0.0;
-      for (std::size_t v = u + 1; v < n; ++v) {
-        bound += std::min(row[v], 1.0 - row[v]);
-      }
-      row_bound[u] = bound;
-    });
+    completed = ParallelForRowsCancellable(
+        n, threads, run, [&](std::size_t u, std::size_t tid) {
+          if (u + 1 >= n) return;
+          std::vector<double>& row = rows[tid];
+          source_->FillRow(u, row);
+          double bound = 0.0;
+          for (std::size_t v = u + 1; v < n; ++v) {
+            bound += std::min(row[v], 1.0 - row[v]);
+          }
+          row_bound[u] = bound;
+        });
   }
+  if (!completed) return InterruptStatus(run);
   double bound = 0.0;
   for (double b : row_bound) bound += b;
   return bound;
 }
 
 std::vector<double> CorrelationInstance::TotalIncidentWeights() const {
+  Result<std::vector<double>> weights = TotalIncidentWeights(RunContext());
+  CLUSTAGG_CHECK(weights.ok());
+  return std::move(weights).value();
+}
+
+Result<std::vector<double>> CorrelationInstance::TotalIncidentWeights(
+    const RunContext& run) const {
   const std::size_t n = size();
   std::vector<double> weights(n, 0.0);
   if (n == 0) return weights;
@@ -170,27 +200,31 @@ std::vector<double> CorrelationInstance::TotalIncidentWeights() const {
   // order the serial packed scan produced (pairs (v, u), v < u, arrive
   // before pairs (u, v), v > u).
   const std::size_t threads = ReductionThreads(n, num_threads_);
+  bool completed;
   if (dense_ != nullptr) {
-    ParallelForRows(n, threads, [&](std::size_t u, std::size_t) {
-      double total = 0.0;
-      for (std::size_t v = 0; v < u; ++v) total += (*dense_)(v, u);
-      if (u + 1 < n) {
-        const float* tail =
-            dense_->packed().data() + dense_->PackedIndex(u, u + 1);
-        for (std::size_t v = u + 1; v < n; ++v) total += tail[v - u - 1];
-      }
-      weights[u] = total;
-    });
+    completed = ParallelForRowsCancellable(
+        n, threads, run, [&](std::size_t u, std::size_t) {
+          double total = 0.0;
+          for (std::size_t v = 0; v < u; ++v) total += (*dense_)(v, u);
+          if (u + 1 < n) {
+            const float* tail =
+                dense_->packed().data() + dense_->PackedIndex(u, u + 1);
+            for (std::size_t v = u + 1; v < n; ++v) total += tail[v - u - 1];
+          }
+          weights[u] = total;
+        });
   } else {
     std::vector<std::vector<double>> rows = ThreadRows(threads, n);
-    ParallelForRows(n, threads, [&](std::size_t u, std::size_t tid) {
-      std::vector<double>& row = rows[tid];
-      source_->FillRow(u, row);
-      double total = 0.0;
-      for (std::size_t v = 0; v < n; ++v) total += row[v];
-      weights[u] = total;
-    });
+    completed = ParallelForRowsCancellable(
+        n, threads, run, [&](std::size_t u, std::size_t tid) {
+          std::vector<double>& row = rows[tid];
+          source_->FillRow(u, row);
+          double total = 0.0;
+          for (std::size_t v = 0; v < n; ++v) total += row[v];
+          weights[u] = total;
+        });
   }
+  if (!completed) return InterruptStatus(run);
   return weights;
 }
 

@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/run_context.h"
 #include "common/status.h"
 #include "common/symmetric_matrix.h"
 #include "core/clustering.h"
@@ -85,18 +86,29 @@ class CorrelationInstance {
 
   /// Correlation-clustering cost of a complete candidate partition.
   /// O(n^2 / threads) dense, O(m n^2 / threads) lazy; identical result
-  /// for every backend and thread count.
-  Result<double> Cost(const Clustering& candidate) const;
+  /// for every backend and thread count. The budgeted overload polls
+  /// `run` per row chunk; a partial sum is useless, so an interrupt
+  /// abandons the reduction with a Cancelled/DeadlineExceeded status.
+  Result<double> Cost(const Clustering& candidate) const {
+    return Cost(candidate, RunContext());
+  }
+  Result<double> Cost(const Clustering& candidate,
+                      const RunContext& run) const;
 
   /// Per-pair lower bound on the optimal cost: every unordered pair
   /// contributes at least min(X_uv, 1 - X_uv) whatever the partition does
   /// with it. This is the "Lower bound" row of Tables 2 and 3 (up to the
-  /// factor m relating d(C) and D(C)).
+  /// factor m relating d(C) and D(C)). The budgeted overload abandons
+  /// with an interrupt status like Cost.
   double LowerBound() const;
+  Result<double> LowerBound(const RunContext& run) const;
 
   /// Total incident weight sum_v X_uv of each vertex; the BALLS algorithm
-  /// sorts vertices by this. O(n^2 / threads) dense.
+  /// sorts vertices by this. O(n^2 / threads) dense. The budgeted
+  /// overload abandons with an interrupt status like Cost.
   std::vector<double> TotalIncidentWeights() const;
+  Result<std::vector<double>> TotalIncidentWeights(
+      const RunContext& run) const;
 
   /// Exhaustively verifies X_uw <= X_uv + X_vw for all triples, within
   /// `tolerance`. O(n^3) — test helper for small instances.

@@ -79,7 +79,14 @@ double ColumnDistance(const internal::DistanceColumns& cols, std::size_t u,
 }
 
 Result<std::shared_ptr<const DenseDistanceSource>> BuildDenseFromColumns(
-    const internal::DistanceColumns& cols, std::size_t num_threads) {
+    const internal::DistanceColumns& cols, std::size_t num_threads,
+    const RunContext& run) {
+  if (cols.n > 1 && run.SimulateAllocationFailure(cols.n * (cols.n - 1) / 2 *
+                                                  sizeof(float))) {
+    return Status::ResourceExhausted(
+        "simulated allocation failure for the dense distance matrix (" +
+        std::to_string(cols.n) + " objects)");
+  }
   Result<SymmetricMatrix<float>> matrix =
       SymmetricMatrix<float>::Create(cols.n);
   if (!matrix.ok()) return matrix.status();
@@ -90,14 +97,23 @@ Result<std::shared_ptr<const DenseDistanceSource>> BuildDenseFromColumns(
       EffectiveRowThreads(n, ResolveThreadCount(num_threads));
   // Rows of the triangle are disjoint contiguous slices of the packed
   // store, so every thread writes its own memory and the result is
-  // schedule-independent.
-  ParallelForRows(n, threads, [&](std::size_t u, std::size_t) {
-    if (u + 1 >= n) return;
-    float* row = packed.data() + distances.PackedIndex(u, u + 1);
-    for (std::size_t v = u + 1; v < n; ++v) {
-      row[v - u - 1] = static_cast<float>(ColumnDistance(cols, u, v));
-    }
-  });
+  // schedule-independent. A half-filled matrix is unusable, so when the
+  // budget fires mid-fill the build fails with the interrupt status
+  // rather than returning garbage.
+  const bool completed = ParallelForRowsCancellable(
+      n, threads, run, [&](std::size_t u, std::size_t) {
+        if (u + 1 >= n) return;
+        float* row = packed.data() + distances.PackedIndex(u, u + 1);
+        for (std::size_t v = u + 1; v < n; ++v) {
+          row[v - u - 1] = static_cast<float>(ColumnDistance(cols, u, v));
+        }
+      });
+  if (!completed) {
+    const RunOutcome outcome = run.Poll();
+    return outcome == RunOutcome::kConverged
+               ? Status::DeadlineExceeded("dense build interrupted")
+               : run.StopStatus(outcome);
+  }
   return std::make_shared<const DenseDistanceSource>(std::move(distances));
 }
 
@@ -122,19 +138,20 @@ void DistanceSource::FillRow(std::size_t u, std::span<double> row) const {
 
 Result<std::shared_ptr<const DenseDistanceSource>> DenseDistanceSource::Build(
     const ClusteringSet& input, const MissingValueOptions& missing,
-    std::size_t num_threads) {
+    std::size_t num_threads, const RunContext& run) {
   return BuildDenseFromColumns(MakeColumns(input, nullptr, missing),
-                               num_threads);
+                               num_threads, run);
 }
 
 Result<std::shared_ptr<const DenseDistanceSource>>
 DenseDistanceSource::BuildSubset(const ClusteringSet& input,
                                  const std::vector<std::size_t>& subset,
                                  const MissingValueOptions& missing,
-                                 std::size_t num_threads) {
+                                 std::size_t num_threads,
+                                 const RunContext& run) {
   for (std::size_t v : subset) CLUSTAGG_CHECK(v < input.num_objects());
   return BuildDenseFromColumns(MakeColumns(input, &subset, missing),
-                               num_threads);
+                               num_threads, run);
 }
 
 void DenseDistanceSource::FillRow(std::size_t u, std::span<double> row) const {
@@ -195,7 +212,8 @@ Result<std::shared_ptr<const DistanceSource>> BuildDistanceSource(
   switch (options.backend) {
     case DistanceBackend::kDense: {
       Result<std::shared_ptr<const DenseDistanceSource>> dense =
-          DenseDistanceSource::Build(input, missing, options.num_threads);
+          DenseDistanceSource::Build(input, missing, options.num_threads,
+                                     options.run);
       if (!dense.ok()) return dense.status();
       return std::shared_ptr<const DistanceSource>(std::move(dense).value());
     }
@@ -216,7 +234,7 @@ Result<std::shared_ptr<const DistanceSource>> BuildDistanceSourceSubset(
     case DistanceBackend::kDense: {
       Result<std::shared_ptr<const DenseDistanceSource>> dense =
           DenseDistanceSource::BuildSubset(input, subset, missing,
-                                           options.num_threads);
+                                           options.num_threads, options.run);
       if (!dense.ok()) return dense.status();
       return std::shared_ptr<const DistanceSource>(std::move(dense).value());
     }

@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/run_context.h"
 #include "common/status.h"
 #include "common/symmetric_matrix.h"
 #include "core/clustering_set.h"
@@ -40,6 +41,12 @@ struct DistanceSourceOptions {
   /// Threads for parallel construction and for the parallel reductions of
   /// the owning instance. 0 means one per hardware core.
   std::size_t num_threads = 0;
+  /// Budget for the O(m n^2) dense build: the parallel fill polls this
+  /// and, when it fires, construction aborts with a Cancelled /
+  /// DeadlineExceeded status (a half-built matrix is useless). Also
+  /// carries the fault-injection hooks that can force the allocation to
+  /// "fail" in tests. Default: unlimited.
+  RunContext run;
 };
 
 /// Query access to the pairwise distances X_uv in [0, 1] of a
@@ -88,16 +95,19 @@ class DenseDistanceSource final : public DistanceSource {
   /// Builds the matrix summarizing a set of input clusterings:
   /// X_uv = (expected) fraction of clusterings separating u and v under
   /// the missing-value policy. O(m n^2 / threads) time; fails with
-  /// ResourceExhausted when the packed triangle cannot be allocated.
+  /// ResourceExhausted when the packed triangle cannot be allocated (or
+  /// when `run`'s fault hooks say it should), and with Cancelled /
+  /// DeadlineExceeded when `run` fires mid-fill.
   static Result<std::shared_ptr<const DenseDistanceSource>> Build(
       const ClusteringSet& input, const MissingValueOptions& missing = {},
-      std::size_t num_threads = 0);
+      std::size_t num_threads = 0, const RunContext& run = RunContext());
 
   /// Same, restricted to the given objects: object i of the source is
   /// subset[i]. Used by the SAMPLING algorithm.
   static Result<std::shared_ptr<const DenseDistanceSource>> BuildSubset(
       const ClusteringSet& input, const std::vector<std::size_t>& subset,
-      const MissingValueOptions& missing = {}, std::size_t num_threads = 0);
+      const MissingValueOptions& missing = {}, std::size_t num_threads = 0,
+      const RunContext& run = RunContext());
 
   std::size_t size() const override { return distances_.size(); }
   double distance(std::size_t u, std::size_t v) const override {

@@ -1,6 +1,7 @@
 #include "core/exact.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <limits>
 #include <string>
 #include <vector>
@@ -41,20 +42,35 @@ class ExactSearch {
     }
   }
 
-  Clustering Solve() {
+  /// Runs the search until it exhausts the space or `run` fires. The
+  /// returned clustering is the incumbent at that moment; outcome says
+  /// which. (Even an immediate interrupt returns a valid partition: the
+  /// incumbent starts as the all-in-one-cluster assignment.)
+  ClustererRun Solve(const RunContext& run) {
+    run_ = &run;
+    stop_ = RunOutcome::kConverged;
+    nodes_ = 0;
     best_cost_ = std::numeric_limits<double>::infinity();
     Recurse(0, 0, 0.0);
     std::vector<Clustering::Label> labels(n_);
     for (std::size_t v = 0; v < n_; ++v) {
       labels[v] = static_cast<Clustering::Label>(best_labels_[v]);
     }
-    return Clustering(std::move(labels)).Normalized();
+    return ClustererRun{Clustering(std::move(labels)).Normalized(), stop_};
   }
 
   double best_cost() const { return best_cost_; }
 
  private:
   void Recurse(std::size_t i, std::size_t used, double partial) {
+    // Poll every 4096 nodes: frequent enough that even tiny deadlines cut
+    // the exponential search promptly, rare enough to stay off the
+    // per-node hot path.
+    if ((++nodes_ & 0xFFFu) == 0 && stop_ == RunOutcome::kConverged) {
+      run_->ChargeIterations(0x1000);
+      stop_ = run_->Poll();
+    }
+    if (stop_ != RunOutcome::kConverged) return;
     if (partial + remaining_lb_[i] >= best_cost_) return;
     if (i == n_) {
       best_cost_ = partial;
@@ -79,12 +95,15 @@ class ExactSearch {
   std::vector<std::size_t> best_labels_;
   std::vector<double> remaining_lb_;
   double best_cost_ = 0.0;
+  const RunContext* run_ = nullptr;
+  RunOutcome stop_ = RunOutcome::kConverged;
+  std::uint64_t nodes_ = 0;
 };
 
 }  // namespace
 
-Result<Clustering> ExactClusterer::Run(
-    const CorrelationInstance& instance) const {
+Result<ClustererRun> ExactClusterer::RunControlled(
+    const CorrelationInstance& instance, const RunContext& run) const {
   const std::size_t n = instance.size();
   if (n > options_.max_objects) {
     return Status::ResourceExhausted(
@@ -92,9 +111,9 @@ Result<Clustering> ExactClusterer::Run(
         " objects, got " + std::to_string(n) +
         " (raise ExactOptions::max_objects deliberately if you mean it)");
   }
-  if (n == 0) return Clustering();
+  if (n == 0) return ClustererRun{Clustering(), RunOutcome::kConverged};
   ExactSearch search(instance);
-  return search.Solve();
+  return search.Solve(run);
 }
 
 }  // namespace clustagg

@@ -25,7 +25,14 @@ class ExactClusterer final : public CorrelationClusterer {
 
   std::string name() const override { return "EXACT"; }
 
-  Result<Clustering> Run(const CorrelationInstance& instance) const override;
+  /// Polls `run` every few thousand search nodes. An interrupt stops the
+  /// branch-and-bound and returns the incumbent — the best complete
+  /// partition found so far — so the answer degrades from "optimal" to
+  /// "good" rather than to an error. n > max_objects is still a hard
+  /// ResourceExhausted error (the caller opted into the exact solver);
+  /// the aggregation pipeline catches it and falls back to BALLS.
+  Result<ClustererRun> RunControlled(const CorrelationInstance& instance,
+                                     const RunContext& run) const override;
 
   const ExactOptions& options() const { return options_; }
 

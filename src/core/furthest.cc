@@ -36,30 +36,33 @@ Clustering AssignToCenters(
 /// The lexicographically-first pair (u, v), u < v, maximizing X_uv.
 /// Row-parallel: each row keeps its first-maximizing column, and the rows
 /// are combined in ascending u with a strict comparison, reproducing the
-/// serial scan whatever the thread count.
+/// serial scan whatever the thread count. Sets *completed false (and
+/// returns a meaningless pair) when `run` fires mid-scan.
 std::pair<std::size_t, std::size_t> FurthestPair(
-    const CorrelationInstance& instance) {
+    const CorrelationInstance& instance, const RunContext& run,
+    bool* completed) {
   const std::size_t n = instance.size();
   std::vector<double> row_max(n, -1.0);
   std::vector<std::size_t> row_arg(n, 0);
   const std::size_t threads =
       EffectiveRowThreads(n, ResolveThreadCount(instance.num_threads()));
   std::vector<std::vector<double>> rows(threads, std::vector<double>(n));
-  ParallelForRows(n, threads, [&](std::size_t u, std::size_t tid) {
-    if (u + 1 >= n) return;
-    std::vector<double>& row = rows[tid];
-    instance.FillRow(u, row);
-    double best = -1.0;
-    std::size_t arg = u + 1;
-    for (std::size_t v = u + 1; v < n; ++v) {
-      if (row[v] > best) {
-        best = row[v];
-        arg = v;
-      }
-    }
-    row_max[u] = best;
-    row_arg[u] = arg;
-  });
+  *completed = ParallelForRowsCancellable(
+      n, threads, run, [&](std::size_t u, std::size_t tid) {
+        if (u + 1 >= n) return;
+        std::vector<double>& row = rows[tid];
+        instance.FillRow(u, row);
+        double best = -1.0;
+        std::size_t arg = u + 1;
+        for (std::size_t v = u + 1; v < n; ++v) {
+          if (row[v] > best) {
+            best = row[v];
+            arg = v;
+          }
+        }
+        row_max[u] = best;
+        row_arg[u] = arg;
+      });
   std::size_t c1 = 0;
   std::size_t c2 = 1;
   double max_dist = -1.0;
@@ -75,24 +78,43 @@ std::pair<std::size_t, std::size_t> FurthestPair(
 
 }  // namespace
 
-Result<Clustering> FurthestClusterer::Run(
-    const CorrelationInstance& instance) const {
+Result<ClustererRun> FurthestClusterer::RunControlled(
+    const CorrelationInstance& instance, const RunContext& run) const {
   const std::size_t n = instance.size();
-  if (n == 0) return Clustering();
+  if (n == 0) return ClustererRun{Clustering(), RunOutcome::kConverged};
 
   const std::size_t max_centers =
       options_.max_centers == 0 ? n
                                 : std::min(options_.max_centers, n);
 
-  // k = 1: everything in one cluster.
+  // k = 1: everything in one cluster. This is the floor the traversal can
+  // always fall back to, so even an immediate interrupt returns a valid
+  // partition (its cost is then unknown, which is fine — nothing else got
+  // scored either).
   Clustering best_clustering = Clustering::SingleCluster(n);
-  Result<double> best_cost = instance.Cost(best_clustering);
-  CLUSTAGG_CHECK(best_cost.ok());
+  Result<double> best_cost = instance.Cost(best_clustering, run);
+  if (!best_cost.ok()) {
+    if (RunContext::IsInterrupt(best_cost.status())) {
+      return ClustererRun{std::move(best_clustering),
+                          RunContext::OutcomeFromInterrupt(best_cost.status())};
+    }
+    return best_cost.status();
+  }
 
-  if (n == 1 || max_centers < 2) return best_clustering;
+  if (n == 1 || max_centers < 2) {
+    return ClustererRun{std::move(best_clustering), RunOutcome::kConverged};
+  }
 
   // Seed with the furthest pair.
-  const auto [c1, c2] = FurthestPair(instance);
+  bool seed_completed = false;
+  const auto [c1, c2] = FurthestPair(instance, run, &seed_completed);
+  if (!seed_completed) {
+    RunOutcome outcome = run.Poll();
+    if (outcome == RunOutcome::kConverged) {
+      outcome = RunOutcome::kDeadlineExceeded;
+    }
+    return ClustererRun{std::move(best_clustering), outcome};
+  }
   std::vector<std::size_t> centers = {c1, c2};
   // One bulk row query per promoted center; every later pass (assignment,
   // furthest-first updates) reads the cache instead of the backend.
@@ -108,10 +130,19 @@ Result<Clustering> FurthestClusterer::Run(
     min_dist[v] = std::min(center_rows[0][v], center_rows[1][v]);
   }
 
+  RunOutcome outcome = RunOutcome::kConverged;
   for (;;) {
+    run.ChargeIterations(1);
+    if ((outcome = run.Poll()) != RunOutcome::kConverged) break;
     Clustering candidate = AssignToCenters(n, center_rows);
-    Result<double> cost = instance.Cost(candidate);
-    CLUSTAGG_CHECK(cost.ok());
+    Result<double> cost = instance.Cost(candidate, run);
+    if (!cost.ok()) {
+      if (RunContext::IsInterrupt(cost.status())) {
+        outcome = RunContext::OutcomeFromInterrupt(cost.status());
+        break;  // unscored candidate is discarded; best so far stands
+      }
+      return cost.status();
+    }
     if (*cost < *best_cost) {
       best_cost = *cost;
       best_clustering = std::move(candidate);
@@ -142,7 +173,7 @@ Result<Clustering> FurthestClusterer::Run(
       min_dist[v] = std::min(min_dist[v], next_row[v]);
     }
   }
-  return best_clustering.Normalized();
+  return ClustererRun{best_clustering.Normalized(), outcome};
 }
 
 }  // namespace clustagg

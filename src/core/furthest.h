@@ -31,7 +31,13 @@ class FurthestClusterer final : public CorrelationClusterer {
 
   std::string name() const override { return "FURTHEST"; }
 
-  Result<Clustering> Run(const CorrelationInstance& instance) const override;
+  /// Polls `run` once per promoted center (plus inside the parallel seed
+  /// scan and cost evaluations). Because the traversal keeps the best
+  /// fully-scored clustering seen so far, an interrupt simply stops
+  /// promoting centers and returns that clustering — at worst the single
+  /// all-in-one cluster the algorithm starts from.
+  Result<ClustererRun> RunControlled(const CorrelationInstance& instance,
+                                     const RunContext& run) const override;
 
   const FurthestOptions& options() const { return options_; }
 

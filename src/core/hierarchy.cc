@@ -39,7 +39,12 @@ Result<Clustering> Dendrogram::CutAtK(std::size_t k) const {
   }
   UnionFind uf(num_leaves);
   const std::size_t merges_to_apply = num_leaves - k;
-  CLUSTAGG_CHECK(merges_to_apply <= merges.size());
+  if (merges_to_apply > merges.size()) {
+    return Status::FailedPrecondition(
+        "partial dendrogram holds " + std::to_string(merges.size()) +
+        " merges, need " + std::to_string(merges_to_apply) + " for k=" +
+        std::to_string(k));
+  }
   for (std::size_t i = 0; i < merges_to_apply; ++i) {
     uf.Union(merges[i].left, merges[i].right);
   }
@@ -71,7 +76,10 @@ double LanceWilliams(Linkage linkage, double dak, double dbk, double dab,
 
 Result<Dendrogram> AgglomerateFull(SymmetricMatrix<double> distances,
                                    Linkage linkage,
-                                   std::vector<double> initial_sizes) {
+                                   std::vector<double> initial_sizes,
+                                   const RunContext& run,
+                                   RunOutcome* outcome) {
+  if (outcome != nullptr) *outcome = RunOutcome::kConverged;
   const std::size_t n = distances.size();
   if (n == 0) {
     return Status::InvalidArgument("cannot agglomerate an empty instance");
@@ -105,6 +113,14 @@ Result<Dendrogram> AgglomerateFull(SymmetricMatrix<double> distances,
   std::size_t next_start = 0;  // first slot to try when the chain is empty
 
   while (num_active > 1) {
+    // One poll per merge: each merge costs O(n), so the check interval
+    // stays bounded whatever the instance size.
+    run.ChargeIterations(1);
+    const RunOutcome poll = run.Poll();
+    if (poll != RunOutcome::kConverged) {
+      if (outcome != nullptr) *outcome = poll;
+      break;
+    }
     if (chain.empty()) {
       while (!active[next_start]) ++next_start;
       chain.push_back(next_start);

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/run_context.h"
 #include "common/status.h"
 #include "common/symmetric_matrix.h"
 #include "core/clustering.h"
@@ -41,16 +42,26 @@ struct Dendrogram {
   };
 
   std::size_t num_leaves = 0;
-  /// Exactly num_leaves - 1 merges, in the greedy (non-decreasing height)
-  /// order.
+  /// num_leaves - 1 merges in the greedy (non-decreasing height) order —
+  /// fewer when a budgeted agglomeration was cut short, in which case the
+  /// recorded prefix is still a valid (partial) merge history.
   std::vector<Merge> merges;
+
+  /// True when every merge was performed (merges.size() == num_leaves-1).
+  bool complete() const {
+    return num_leaves == 0 || merges.size() + 1 == num_leaves;
+  }
 
   /// The partition obtained by applying every merge with height strictly
   /// below `threshold` (the paper's AGGLOMERATIVE stops when the closest
-  /// pair is at average distance >= 1/2, i.e. threshold = 0.5).
+  /// pair is at average distance >= 1/2, i.e. threshold = 0.5). Valid on
+  /// partial dendrograms too: unperformed merges simply leave their
+  /// clusters apart.
   Clustering CutAtHeight(double threshold) const;
 
   /// The partition with exactly k clusters (k in [1, num_leaves]).
+  /// FailedPrecondition when a partial dendrogram holds fewer than
+  /// num_leaves - k merges.
   Result<Clustering> CutAtK(std::size_t k) const;
 };
 
@@ -62,9 +73,16 @@ struct Dendrogram {
 /// `initial_sizes` optionally gives a weight to each leaf (used when the
 /// leaves are themselves summaries of many objects, e.g. in SAMPLING
 /// post-processing); defaults to all ones.
+///
+/// The engine polls `run` once per merge (O(n) work apart). When the
+/// budget fires the dendrogram is returned with only the merges performed
+/// so far and, if `outcome` is non-null, *outcome records why; cutting
+/// such a prefix still yields a valid partition.
 Result<Dendrogram> AgglomerateFull(SymmetricMatrix<double> distances,
                                    Linkage linkage,
-                                   std::vector<double> initial_sizes = {});
+                                   std::vector<double> initial_sizes = {},
+                                   const RunContext& run = RunContext(),
+                                   RunOutcome* outcome = nullptr);
 
 }  // namespace clustagg
 

@@ -24,6 +24,16 @@ class MoveState {
       static_cast<std::size_t>(-1);
 
   MoveState(const CorrelationInstance& instance, const Clustering& initial)
+      : MoveState(instance, initial, RunContext(), nullptr) {}
+
+  /// Budgeted construction: building the M table is the O(n^2) (dense) /
+  /// O(n^2 m) (lazy) up-front cost of both sweep algorithms, so it polls
+  /// `run` too. When it is interrupted, *completed is set false and the
+  /// state is NOT usable for moves — callers must discard it and return
+  /// their starting partition unchanged. (A half-built M table would
+  /// silently corrupt every subsequent move evaluation.)
+  MoveState(const CorrelationInstance& instance, const Clustering& initial,
+            const RunContext& run, bool* completed)
       : instance_(instance), n_(instance.size()), row_buf_(n_) {
     const Clustering norm = initial.Normalized();
     const std::size_t k = norm.NumClusters();
@@ -42,13 +52,15 @@ class MoveState {
     const std::size_t threads =
         EffectiveRowThreads(n_, ResolveThreadCount(instance.num_threads()));
     std::vector<std::vector<double>> rows(threads, std::vector<double>(n_));
-    ParallelForRows(n_, threads, [&](std::size_t u, std::size_t tid) {
-      std::vector<double>& row = rows[tid];
-      instance_.FillRow(u, row);
-      for (std::size_t v = 0; v < n_; ++v) {
-        if (v != u) m_[assignment_[v]][u] += row[v];
-      }
-    });
+    const bool ok = ParallelForRowsCancellable(
+        n_, threads, run, [&](std::size_t u, std::size_t tid) {
+          std::vector<double>& row = rows[tid];
+          instance_.FillRow(u, row);
+          for (std::size_t v = 0; v < n_; ++v) {
+            if (v != u) m_[assignment_[v]][u] += row[v];
+          }
+        });
+    if (completed != nullptr) *completed = ok;
   }
 
   std::size_t num_objects() const { return n_; }

@@ -10,8 +10,8 @@
 
 namespace clustagg {
 
-Result<Clustering> LocalSearchClusterer::Run(
-    const CorrelationInstance& instance) const {
+Result<ClustererRun> LocalSearchClusterer::RunControlled(
+    const CorrelationInstance& instance, const RunContext& run) const {
   const std::size_t n = instance.size();
   Clustering initial;
   switch (options_.init) {
@@ -37,11 +37,20 @@ Result<Clustering> LocalSearchClusterer::Run(
       break;
     }
   }
-  return RunFrom(instance, initial);
+  return RunFromControlled(instance, initial, run);
 }
 
 Result<Clustering> LocalSearchClusterer::RunFrom(
     const CorrelationInstance& instance, const Clustering& initial) const {
+  Result<ClustererRun> run =
+      RunFromControlled(instance, initial, RunContext());
+  if (!run.ok()) return run.status();
+  return std::move(run->clustering);
+}
+
+Result<ClustererRun> LocalSearchClusterer::RunFromControlled(
+    const CorrelationInstance& instance, const Clustering& initial,
+    const RunContext& run) const {
   const std::size_t n = instance.size();
   if (initial.size() != n) {
     return Status::InvalidArgument(
@@ -52,22 +61,41 @@ Result<Clustering> LocalSearchClusterer::RunFrom(
     return Status::InvalidArgument(
         "local search requires a complete starting clustering");
   }
-  if (n == 0) return Clustering();
+  if (n == 0) return ClustererRun{Clustering(), RunOutcome::kConverged};
 
-  internal::MoveState state(instance, initial);
+  bool state_built = false;
+  internal::MoveState state(instance, initial, run, &state_built);
+  if (!state_built) {
+    // The M table is partial and unusable; the starting partition is the
+    // best valid answer available.
+    RunOutcome outcome = run.Poll();
+    if (outcome == RunOutcome::kConverged) {
+      outcome = RunOutcome::kDeadlineExceeded;
+    }
+    return ClustererRun{initial.Normalized(), outcome};
+  }
   Rng rng(options_.seed);
   std::vector<std::size_t> order(n);
   for (std::size_t v = 0; v < n; ++v) order[v] = v;
 
+  RunOutcome outcome = RunOutcome::kConverged;
   for (std::size_t pass = 0; pass < options_.max_passes; ++pass) {
+    if ((outcome = run.Poll()) != RunOutcome::kConverged) break;
     if (options_.shuffle_order) order = rng.Permutation(n);
     bool any_move = false;
-    for (std::size_t v : order) {
-      any_move |= state.TryImproveBest(v, options_.min_improvement);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i % 64 == 63) {
+        run.ChargeIterations(64);
+        if ((outcome = run.Poll()) != RunOutcome::kConverged) break;
+      }
+      any_move |= state.TryImproveBest(order[i], options_.min_improvement);
     }
+    if (outcome != RunOutcome::kConverged) break;
     if (!any_move) break;
   }
-  return state.ToClustering();
+  // Every applied move lowered the cost, so the state is valid and at
+  // least as good as `initial` wherever the sweep stopped.
+  return ClustererRun{state.ToClustering(), outcome};
 }
 
 }  // namespace clustagg

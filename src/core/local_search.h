@@ -58,12 +58,24 @@ class LocalSearchClusterer final : public CorrelationClusterer {
 
   std::string name() const override { return "LOCALSEARCH"; }
 
-  Result<Clustering> Run(const CorrelationInstance& instance) const override;
+  /// Polls `run` once per pass and every 64 objects within a pass. Sweeps
+  /// only ever lower the cost, so stopping mid-pass returns the partition
+  /// as improved so far; an interrupt during the up-front M-table build
+  /// returns the starting partition unchanged.
+  Result<ClustererRun> RunControlled(const CorrelationInstance& instance,
+                                     const RunContext& run) const override;
 
   /// Improves a given complete starting partition; the result never has a
   /// higher correlation cost than `initial`.
   Result<Clustering> RunFrom(const CorrelationInstance& instance,
                              const Clustering& initial) const;
+
+  /// Budgeted RunFrom, with the same polling cadence as RunControlled.
+  /// Used by the Aggregator to refine another algorithm's output inside
+  /// the caller's deadline.
+  Result<ClustererRun> RunFromControlled(const CorrelationInstance& instance,
+                                         const Clustering& initial,
+                                         const RunContext& run) const;
 
   const LocalSearchOptions& options() const { return options_; }
 

@@ -1,21 +1,25 @@
 #include "core/majority.h"
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/union_find.h"
 
 namespace clustagg {
 
-Result<Clustering> MajorityClusterer::Run(
-    const CorrelationInstance& instance) const {
+Result<ClustererRun> MajorityClusterer::RunControlled(
+    const CorrelationInstance& instance, const RunContext& run) const {
   if (options_.link_threshold < 0.0 || options_.link_threshold > 1.0) {
     return Status::InvalidArgument("link_threshold must lie in [0, 1]");
   }
   const std::size_t n = instance.size();
   UnionFind uf(n);
   std::vector<double> row(n);
+  RunOutcome outcome = RunOutcome::kConverged;
   for (std::size_t u = 0; u < n; ++u) {
+    run.ChargeIterations(1);
+    if ((outcome = run.Poll()) != RunOutcome::kConverged) break;
     instance.FillRow(u, row);
     for (std::size_t v = u + 1; v < n; ++v) {
       if (row[v] < options_.link_threshold) {
@@ -23,7 +27,9 @@ Result<Clustering> MajorityClusterer::Run(
       }
     }
   }
-  return Clustering(uf.ComponentLabels());
+  // A partial link scan still yields a valid partition: unseen pairs are
+  // simply left unlinked, as if they fell below the majority.
+  return ClustererRun{Clustering(uf.ComponentLabels()), outcome};
 }
 
 }  // namespace clustagg

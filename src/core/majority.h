@@ -30,7 +30,11 @@ class MajorityClusterer final : public CorrelationClusterer {
 
   std::string name() const override { return "MAJORITY"; }
 
-  Result<Clustering> Run(const CorrelationInstance& instance) const override;
+  /// Polls `run` once per row of the link scan. An interrupted scan
+  /// returns the components of the links seen so far — a valid partition
+  /// that simply merges fewer pairs than the full majority graph.
+  Result<ClustererRun> RunControlled(const CorrelationInstance& instance,
+                                     const RunContext& run) const override;
 
   const MajorityOptions& options() const { return options_; }
 

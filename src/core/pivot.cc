@@ -1,6 +1,7 @@
 #include "core/pivot.h"
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
@@ -10,9 +11,14 @@ namespace clustagg {
 
 namespace {
 
+/// One CC-PIVOT pass. Polls `run` per pivot; on interrupt the remaining
+/// unclustered vertices become singletons (a valid partition) and
+/// *outcome records why. The RNG is always advanced by exactly one
+/// permutation, so later repetitions see the same stream regardless of
+/// where earlier ones were cut.
 Clustering PivotOnce(const CorrelationInstance& instance,
-                     double join_threshold, Rng* rng,
-                     std::vector<double>* row_buf) {
+                     double join_threshold, const RunContext& run, Rng* rng,
+                     std::vector<double>* row_buf, RunOutcome* outcome) {
   const std::size_t n = instance.size();
   std::vector<Clustering::Label> labels(n, Clustering::kMissing);
   std::vector<std::size_t> order = rng->Permutation(n);
@@ -20,8 +26,11 @@ Clustering PivotOnce(const CorrelationInstance& instance,
   std::vector<double>& row = *row_buf;
   for (std::size_t pivot : order) {
     if (labels[pivot] != Clustering::kMissing) continue;
+    run.ChargeIterations(1);
+    if (*outcome == RunOutcome::kConverged) *outcome = run.Poll();
     const Clustering::Label cluster = next++;
     labels[pivot] = cluster;
+    if (*outcome != RunOutcome::kConverged) continue;  // singleton sweep
     // One bulk row query per pivot: O(n m) per opened cluster under the
     // lazy backend instead of per candidate.
     instance.FillRow(pivot, row);
@@ -37,8 +46,8 @@ Clustering PivotOnce(const CorrelationInstance& instance,
 
 }  // namespace
 
-Result<Clustering> PivotClusterer::Run(
-    const CorrelationInstance& instance) const {
+Result<ClustererRun> PivotClusterer::RunControlled(
+    const CorrelationInstance& instance, const RunContext& run) const {
   if (options_.repetitions < 1) {
     return Status::InvalidArgument("repetitions must be >= 1");
   }
@@ -46,25 +55,39 @@ Result<Clustering> PivotClusterer::Run(
     return Status::InvalidArgument("join_threshold must lie in [0, 1]");
   }
   const std::size_t n = instance.size();
-  if (n == 0) return Clustering();
+  if (n == 0) return ClustererRun{Clustering(), RunOutcome::kConverged};
 
   Rng rng(options_.seed);
   Clustering best;
   double best_cost = 0.0;
   bool first = true;
+  RunOutcome outcome = RunOutcome::kConverged;
   std::vector<double> row_buf(n);
   for (std::size_t r = 0; r < options_.repetitions; ++r) {
-    Clustering candidate =
-        PivotOnce(instance, options_.join_threshold, &rng, &row_buf);
-    Result<double> cost = instance.Cost(candidate);
-    CLUSTAGG_CHECK(cost.ok());
-    if (first || *cost < best_cost) {
-      best = std::move(candidate);
-      best_cost = *cost;
+    Clustering candidate = PivotOnce(instance, options_.join_threshold, run,
+                                     &rng, &row_buf, &outcome);
+    if (first) {
+      // Keep the first candidate unconditionally so an interrupt before
+      // any scoring completes still returns a valid partition.
+      best = candidate;
       first = false;
     }
+    if (outcome != RunOutcome::kConverged) break;
+    Result<double> cost = instance.Cost(candidate, run);
+    if (!cost.ok()) {
+      if (RunContext::IsInterrupt(cost.status())) {
+        outcome = RunContext::OutcomeFromInterrupt(cost.status());
+        break;  // unscored candidate is discarded; best so far stands
+      }
+      return cost.status();
+    }
+    if (r == 0 || *cost < best_cost) {
+      best = std::move(candidate);
+      best_cost = *cost;
+    }
+    if ((outcome = run.Poll()) != RunOutcome::kConverged) break;
   }
-  return best.Normalized();
+  return ClustererRun{best.Normalized(), outcome};
 }
 
 }  // namespace clustagg

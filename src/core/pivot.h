@@ -39,7 +39,12 @@ class PivotClusterer final : public CorrelationClusterer {
 
   std::string name() const override { return "CC-PIVOT"; }
 
-  Result<Clustering> Run(const CorrelationInstance& instance) const override;
+  /// Polls `run` once per pivot and once per repetition. A repetition cut
+  /// short finishes by making the not-yet-clustered vertices singletons;
+  /// the best fully-scored candidate so far wins, so an interrupt after
+  /// the first repetition never degrades below that repetition's result.
+  Result<ClustererRun> RunControlled(const CorrelationInstance& instance,
+                                     const RunContext& run) const override;
 
   const PivotOptions& options() const { return options_; }
 

@@ -5,6 +5,7 @@
 #include <limits>
 #include <memory>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
@@ -113,13 +114,32 @@ Result<Clustering> SamplingAggregate(const ClusteringSet& input,
                                      const CorrelationClusterer& base,
                                      const SamplingOptions& options,
                                      SamplingStats* stats) {
-  const std::size_t n = input.num_objects();
-  if (n == 0) return Clustering();
+  Result<ClustererRun> run =
+      SamplingAggregateControlled(input, base, RunContext(), options, stats);
+  if (!run.ok()) return run.status();
+  return std::move(run->clustering);
+}
 
-  std::size_t sample_size = options.sample_size;
+Result<ClustererRun> SamplingAggregateControlled(
+    const ClusteringSet& input, const CorrelationClusterer& base,
+    const RunContext& run, const SamplingOptions& options,
+    SamplingStats* stats) {
+  const std::size_t n = input.num_objects();
+  if (n == 0) return ClustererRun{Clustering(), RunOutcome::kConverged};
+
+  // Thread the budget into the subset-instance builds (their dense fill
+  // is the quadratic part of the pipeline) unless the caller already set
+  // a budget of their own there.
+  SamplingOptions opts = options;
+  if (!run.unlimited() && opts.source.run.unlimited()) {
+    opts.source.run = run;
+  }
+  RunOutcome outcome = RunOutcome::kConverged;
+
+  std::size_t sample_size = opts.sample_size;
   if (sample_size == 0) {
     sample_size = static_cast<std::size_t>(std::llround(
-        options.sample_log_factor * std::log(static_cast<double>(n) + 1.0)));
+        opts.sample_log_factor * std::log(static_cast<double>(n) + 1.0)));
   }
   sample_size = std::clamp<std::size_t>(sample_size, std::min<std::size_t>(
       n, 2), n);
@@ -129,23 +149,33 @@ Result<Clustering> SamplingAggregate(const ClusteringSet& input,
   Stopwatch watch;
 
   // Phase 1: aggregate a uniform sample.
-  Rng rng(options.seed);
+  Rng rng(opts.seed);
   std::vector<std::size_t> sample = rng.SampleWithoutReplacement(n,
                                                                  sample_size);
   std::sort(sample.begin(), sample.end());
   Result<CorrelationInstance> sample_instance =
-      CorrelationInstance::BuildSubset(input, sample, options.missing,
-                                       options.source);
-  if (!sample_instance.ok()) return sample_instance.status();
-  Result<Clustering> sample_clustering = base.Run(*sample_instance);
-  if (!sample_clustering.ok()) return sample_clustering.status();
+      CorrelationInstance::BuildSubset(input, sample, opts.missing,
+                                       opts.source);
+  if (!sample_instance.ok()) {
+    if (RunContext::IsInterrupt(sample_instance.status())) {
+      // Nothing was clustered yet; all singletons is the valid floor.
+      return ClustererRun{
+          Clustering::AllSingletons(n),
+          RunContext::OutcomeFromInterrupt(sample_instance.status())};
+    }
+    return sample_instance.status();
+  }
+  Result<ClustererRun> sample_run = base.RunControlled(*sample_instance, run);
+  if (!sample_run.ok()) return sample_run.status();
+  outcome = MergeOutcomes(outcome, sample_run->outcome);
+  const Clustering& sample_clustering = sample_run->clustering;
   if (stats != nullptr) stats->sample_phase_seconds = watch.ElapsedSeconds();
   watch.Restart();
 
   // Cluster member lists in *global* object ids.
   std::vector<std::vector<std::size_t>> clusters;
   for (const std::vector<std::size_t>& members :
-       sample_clustering->Clusters()) {
+       sample_clustering.Clusters()) {
     std::vector<std::size_t> global;
     global.reserve(members.size());
     for (std::size_t i : members) global.push_back(sample[i]);
@@ -171,17 +201,30 @@ Result<Clustering> SamplingAggregate(const ClusteringSet& input,
 
   // Histogram index for the fast O(m)-per-cluster path (coin policy).
   const bool use_index =
-      options.missing.policy == MissingValuePolicy::kRandomCoin;
+      opts.missing.policy == MissingValuePolicy::kRandomCoin;
   std::unique_ptr<AssignmentIndex> index;
   if (use_index) {
     index = std::make_unique<AssignmentIndex>(
-        input, clusters, options.missing.coin_together_probability);
+        input, clusters, opts.missing.coin_together_probability);
   }
 
   std::vector<std::size_t> singleton_objects;
   std::vector<double> m_row(clusters.size());
   for (std::size_t v = 0; v < n; ++v) {
     if (in_sample[v]) continue;
+    // Each object costs O(k m); poll every 16 so the interval stays
+    // bounded. Objects past an interrupt become singletons — the same
+    // fallback the assignment itself uses for far-from-everything
+    // objects — so the partition stays valid.
+    if (v % 16 == 0 && outcome == RunOutcome::kConverged) {
+      run.ChargeIterations(16);
+      outcome = run.Poll();
+    }
+    if (outcome != RunOutcome::kConverged) {
+      final_labels[v] = next_label++;
+      singleton_objects.push_back(v);
+      continue;
+    }
     double t = 0.0;
     for (std::size_t j = 0; j < clusters.size(); ++j) {
       double mj = 0.0;
@@ -220,7 +263,7 @@ Result<Clustering> SamplingAggregate(const ClusteringSet& input,
   // clusters — and aggregate them again. When even the singleton pool is
   // too large for a quadratic instance, recurse through SAMPLING once
   // (with reclustering off), keeping the whole pipeline sub-quadratic.
-  if (options.recluster_singletons) {
+  if (opts.recluster_singletons && outcome == RunOutcome::kConverged) {
     for (const std::vector<std::size_t>& members : clusters) {
       if (members.size() == 1) singleton_objects.push_back(members[0]);
     }
@@ -231,12 +274,23 @@ Result<Clustering> SamplingAggregate(const ClusteringSet& input,
         singleton_objects.size() <= quadratic_cap) {
       Result<CorrelationInstance> singleton_instance =
           CorrelationInstance::BuildSubset(input, singleton_objects,
-                                           options.missing, options.source);
-      if (!singleton_instance.ok()) return singleton_instance.status();
-      Result<Clustering> reclustered = base.Run(*singleton_instance);
+                                           opts.missing, opts.source);
+      if (!singleton_instance.ok()) {
+        if (RunContext::IsInterrupt(singleton_instance.status())) {
+          // Skip the polish; the assignment-phase partition stands.
+          outcome = MergeOutcomes(outcome, RunContext::OutcomeFromInterrupt(
+                                               singleton_instance.status()));
+          return ClustererRun{Clustering(std::move(final_labels)).Normalized(),
+                              outcome};
+        }
+        return singleton_instance.status();
+      }
+      Result<ClustererRun> reclustered =
+          base.RunControlled(*singleton_instance, run);
       if (!reclustered.ok()) return reclustered.status();
-      ApplySubClustering(*reclustered, singleton_objects, &final_labels,
-                         &next_label);
+      outcome = MergeOutcomes(outcome, reclustered->outcome);
+      ApplySubClustering(reclustered->clustering, singleton_objects,
+                         &final_labels, &next_label);
     } else if (singleton_objects.size() > quadratic_cap) {
       std::vector<Clustering> restricted;
       std::vector<double> restricted_weights;
@@ -250,14 +304,15 @@ Result<Clustering> SamplingAggregate(const ClusteringSet& input,
       Result<ClusteringSet> sub_input = ClusteringSet::Create(
           std::move(restricted), std::move(restricted_weights));
       if (!sub_input.ok()) return sub_input.status();
-      SamplingOptions sub_options = options;
+      SamplingOptions sub_options = opts;
       sub_options.recluster_singletons = false;
       sub_options.sample_size = sample_size;
-      Result<Clustering> reclustered =
-          SamplingAggregate(*sub_input, base, sub_options);
+      Result<ClustererRun> reclustered =
+          SamplingAggregateControlled(*sub_input, base, run, sub_options);
       if (!reclustered.ok()) return reclustered.status();
-      ApplySubClustering(*reclustered, singleton_objects, &final_labels,
-                         &next_label);
+      outcome = MergeOutcomes(outcome, reclustered->outcome);
+      ApplySubClustering(reclustered->clustering, singleton_objects,
+                         &final_labels, &next_label);
     }
   }
   if (stats != nullptr) {
@@ -265,7 +320,8 @@ Result<Clustering> SamplingAggregate(const ClusteringSet& input,
     stats->singletons_after_assignment = singleton_objects.size();
   }
 
-  return Clustering(std::move(final_labels)).Normalized();
+  return ClustererRun{Clustering(std::move(final_labels)).Normalized(),
+                      outcome};
 }
 
 }  // namespace clustagg

@@ -62,6 +62,17 @@ Result<Clustering> SamplingAggregate(const ClusteringSet& input,
                                      const SamplingOptions& options = {},
                                      SamplingStats* stats = nullptr);
 
+/// Budgeted SAMPLING: `run` is threaded into the sample instance build,
+/// the base algorithm's runs, the assignment loop (polled every few
+/// objects), and the singleton re-clustering. Whenever the budget fires
+/// the pipeline degrades instead of erroring: objects not yet assigned
+/// become singletons and the re-clustering phase is skipped; the returned
+/// outcome records the earliest interruption.
+Result<ClustererRun> SamplingAggregateControlled(
+    const ClusteringSet& input, const CorrelationClusterer& base,
+    const RunContext& run, const SamplingOptions& options = {},
+    SamplingStats* stats = nullptr);
+
 }  // namespace clustagg
 
 #endif  // CLUSTAGG_CORE_SAMPLING_H_

@@ -1,6 +1,8 @@
 #include "io/clustering_io.h"
 
 #include <cerrno>
+#include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <limits>
@@ -12,11 +14,13 @@ namespace clustagg {
 Result<Clustering> ParseClustering(std::string_view text) {
   std::vector<Clustering::Label> labels;
   std::size_t pos = 0;
+  std::size_t line = 1;
   const std::size_t n = text.size();
   while (pos < n) {
-    // Skip whitespace.
+    // Skip whitespace, counting lines as they pass.
     while (pos < n && (text[pos] == ' ' || text[pos] == '\t' ||
                        text[pos] == '\r' || text[pos] == '\n')) {
+      if (text[pos] == '\n') ++line;
       ++pos;
     }
     if (pos >= n) break;
@@ -35,31 +39,66 @@ Result<Clustering> ParseClustering(std::string_view text) {
       labels.push_back(Clustering::kMissing);
       continue;
     }
-    Clustering::Label value = 0;
+    // Accumulate in 64 bits so the range check is exact at the
+    // boundary; the cap keeps the value far from overflowing.
+    long long value = 0;
     bool valid = !token.empty();
     for (char c : token) {
       if (c < '0' || c > '9') {
         valid = false;
         break;
       }
-      if (value > (std::numeric_limits<Clustering::Label>::max() - 9) / 10) {
-        return Status::InvalidArgument("cluster label overflows: " +
-                                       std::string(token));
-      }
       value = value * 10 + (c - '0');
+      if (value > kMaxParsedLabel) {
+        return Status::InvalidArgument(
+            "line " + std::to_string(line) + ": cluster label '" +
+            std::string(token) + "' is out of range (max " +
+            std::to_string(kMaxParsedLabel) + ")");
+      }
     }
     if (!valid) {
       return Status::InvalidArgument(
-          "invalid label token '" + std::string(token) +
-          "' at offset " + std::to_string(start) +
-          " (expected a non-negative integer or '?')");
+          "line " + std::to_string(line) + ": invalid label token '" +
+          std::string(token) +
+          "' (expected a non-negative integer or '?')");
     }
-    labels.push_back(value);
+    labels.push_back(static_cast<Clustering::Label>(value));
   }
   if (labels.empty()) {
     return Status::InvalidArgument("label file contains no labels");
   }
   return Clustering(std::move(labels));
+}
+
+Result<std::vector<double>> ParseWeights(std::string_view spec) {
+  std::vector<double> weights;
+  std::size_t start = 0;
+  std::size_t index = 1;
+  while (start <= spec.size()) {
+    std::size_t comma = spec.find(',', start);
+    if (comma == std::string_view::npos) comma = spec.size();
+    const std::string token(spec.substr(start, comma - start));
+    // strtod accepts "nan"/"inf" and trailing garbage; re-check both.
+    char* end = nullptr;
+    errno = 0;
+    const double value = std::strtod(token.c_str(), &end);
+    const bool consumed =
+        !token.empty() && end == token.c_str() + token.size();
+    if (!consumed || errno == ERANGE || !std::isfinite(value) ||
+        value <= 0.0) {
+      return Status::InvalidArgument(
+          "weight " + std::to_string(index) + " ('" + token +
+          "') is invalid: weights must be finite positive numbers");
+    }
+    weights.push_back(value);
+    if (comma == spec.size()) break;
+    start = comma + 1;
+    ++index;
+  }
+  if (weights.empty()) {
+    return Status::InvalidArgument("empty weight list");
+  }
+  return weights;
 }
 
 std::string FormatClustering(const Clustering& clustering) {

@@ -1,8 +1,10 @@
 #ifndef CLUSTAGG_IO_CLUSTERING_IO_H_
 #define CLUSTAGG_IO_CLUSTERING_IO_H_
 
+#include <limits>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/status.h"
 #include "core/clustering.h"
@@ -18,8 +20,24 @@ namespace clustagg {
 ///   # clustering C1
 ///   0 0 1 1 2 2
 
-/// Parses a label file's contents.
+/// Parses a label file's contents. Malformed input — a non-numeric
+/// token, a label that overflows, or a label above kMaxParsedLabel —
+/// yields InvalidArgument naming the offending 1-based line.
 Result<Clustering> ParseClustering(std::string_view text);
+
+/// Largest cluster id ParseClustering accepts. Labels are arbitrary
+/// (sparse ids are fine), but ids this large serve no purpose and ids
+/// near the Label type's maximum would overflow downstream relabeling
+/// arithmetic (e.g. WithMissingAsSingletons computes max_label + 1 +
+/// #missing), so the parser treats them as corrupt input.
+inline constexpr Clustering::Label kMaxParsedLabel =
+    std::numeric_limits<Clustering::Label>::max() / 2;
+
+/// Parses a comma-separated weight list (the CLI's --weights spec).
+/// Every token must be a finite, strictly positive number; anything
+/// else — NaN, inf, zero, negatives, non-numeric text, empty tokens —
+/// is InvalidArgument naming the offending 1-based position.
+Result<std::vector<double>> ParseWeights(std::string_view spec);
 
 /// Serializes a clustering in the label-file format (one line, plus a
 /// trailing newline). Missing labels become `?`.

@@ -1,0 +1,62 @@
+# Deadline smoke test: aggregate a mushrooms-scale synthetic dataset
+# (n = 8124 — minutes of LOCALSEARCH when unbounded) under a 1 ms
+# deadline. The CLI must exit 0 with a valid best-so-far clustering and
+# report `run outcome = deadline_exceeded` instead of `converged`.
+file(MAKE_DIRECTORY ${WORK})
+execute_process(COMMAND ${CLI} gen mushrooms --seed 7
+                --out ${WORK}/mushrooms.csv RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "gen failed: ${rc}")
+endif()
+
+execute_process(COMMAND ${CLI} aggregate --csv ${WORK}/mushrooms.csv
+                --class-column class --algorithm localsearch
+                --backend lazy --deadline-ms 1
+                --out ${WORK}/deadline.labels
+                RESULT_VARIABLE rc ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "deadline-bounded aggregate should still succeed, "
+                      "got exit ${rc}: ${err}")
+endif()
+if(NOT err MATCHES "run outcome = deadline_exceeded")
+  message(FATAL_ERROR "expected a deadline_exceeded report line, got: "
+                      "${err}")
+endif()
+
+# The best-so-far labels are a complete, parseable clustering: the eval
+# subcommand accepts them and self-comparison is a perfect match.
+execute_process(COMMAND ${CLI} eval ${WORK}/deadline.labels
+                ${WORK}/deadline.labels
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "eval of the best-so-far labels failed: ${rc}")
+endif()
+if(NOT out MATCHES "adjusted rand index:  1.0000")
+  message(FATAL_ERROR "self-evaluation should be ARI 1.0, got: ${out}")
+endif()
+
+# Flag validation: a non-positive deadline is InvalidArgument (exit 2).
+execute_process(COMMAND ${CLI} aggregate --csv ${WORK}/mushrooms.csv
+                --class-column class --deadline-ms 0
+                RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "--deadline-ms 0 should exit 2, got ${rc}")
+endif()
+
+# An unbounded run reports converged (votes-scale so it stays quick
+# even under sanitizers).
+execute_process(COMMAND ${CLI} gen votes --seed 7
+                --out ${WORK}/votes.csv RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "gen votes failed: ${rc}")
+endif()
+execute_process(COMMAND ${CLI} aggregate --csv ${WORK}/votes.csv
+                --class-column class --algorithm balls
+                --out ${WORK}/balls.labels
+                RESULT_VARIABLE rc ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "unbounded balls aggregate failed: ${rc}")
+endif()
+if(NOT err MATCHES "run outcome = converged")
+  message(FATAL_ERROR "expected a converged report line, got: ${err}")
+endif()

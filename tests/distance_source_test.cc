@@ -68,9 +68,9 @@ BackendPair BuildBoth(const ClusteringSet& input,
                       const MissingValueOptions& missing,
                       std::size_t num_threads = 0) {
   Result<CorrelationInstance> dense = CorrelationInstance::Build(
-      input, missing, {DistanceBackend::kDense, num_threads});
+      input, missing, {DistanceBackend::kDense, num_threads, {}});
   Result<CorrelationInstance> lazy = CorrelationInstance::Build(
-      input, missing, {DistanceBackend::kLazy, num_threads});
+      input, missing, {DistanceBackend::kLazy, num_threads, {}});
   EXPECT_TRUE(dense.ok()) << dense.status();
   EXPECT_TRUE(lazy.ok()) << lazy.status();
   return {*std::move(dense), *std::move(lazy)};
@@ -161,9 +161,9 @@ TEST(DistanceSourceTest, SubsetBuildsAgreeAcrossBackends) {
   const std::vector<std::size_t> subset = {2, 3, 7, 11, 13, 21, 34, 49};
   for (const MissingValueOptions& missing : MissingConfigs()) {
     Result<CorrelationInstance> dense = CorrelationInstance::BuildSubset(
-        input, subset, missing, {DistanceBackend::kDense, 0});
+        input, subset, missing, {DistanceBackend::kDense, 0, {}});
     Result<CorrelationInstance> lazy = CorrelationInstance::BuildSubset(
-        input, subset, missing, {DistanceBackend::kLazy, 0});
+        input, subset, missing, {DistanceBackend::kLazy, 0, {}});
     ASSERT_TRUE(dense.ok());
     ASSERT_TRUE(lazy.ok());
     ASSERT_EQ(dense->size(), subset.size());
@@ -272,14 +272,14 @@ TEST(DistanceSourceTest, ThreadCountDoesNotChangeResults) {
   for (DistanceBackend backend :
        {DistanceBackend::kDense, DistanceBackend::kLazy}) {
     Result<CorrelationInstance> one = CorrelationInstance::Build(
-        input, {}, {backend, 1});
+        input, {}, {backend, 1, {}});
     ASSERT_TRUE(one.ok());
     const double cost_one = *one->Cost(candidate);
     const double bound_one = one->LowerBound();
     const std::vector<double> weights_one = one->TotalIncidentWeights();
     for (std::size_t threads : {2u, 8u}) {
       Result<CorrelationInstance> many = CorrelationInstance::Build(
-          input, {}, {backend, threads});
+          input, {}, {backend, threads, {}});
       ASSERT_TRUE(many.ok());
       EXPECT_EQ(*many->Cost(candidate), cost_one);
       EXPECT_EQ(many->LowerBound(), bound_one);
@@ -355,7 +355,7 @@ TEST(SymmetricMatrixCreateTest, DenseBuildSurfacesResourceExhausted) {
   // lazy backend happily takes the same input.
   const ClusteringSet small = RandomInput(8, 2, 2, 53);
   Result<CorrelationInstance> ok = CorrelationInstance::Build(
-      small, {}, {DistanceBackend::kDense, 1});
+      small, {}, {DistanceBackend::kDense, 1, {}});
   EXPECT_TRUE(ok.ok());
   // (A genuinely huge n would need a ClusteringSet of that size, which
   // is itself too big to allocate here; the matrix-level guard above

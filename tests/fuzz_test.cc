@@ -106,6 +106,127 @@ TEST_P(ParserFuzzTest, ParseCsvStructuredSoup) {
   }
 }
 
+TEST_P(ParserFuzzTest, ParseClusteringTruncatedLines) {
+  // Valid label files chopped at every prefix length: the parser must
+  // either produce a valid clustering or a Status error, never crash,
+  // even when the cut lands mid-token or mid-comment.
+  Rng rng(GetParam() * 49979687 + 11);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string full = "# header comment\n";
+    const std::size_t tokens = 1 + rng.NextBounded(12);
+    for (std::size_t i = 0; i < tokens; ++i) {
+      full += std::to_string(rng.NextBounded(8));
+      full += rng.NextBernoulli(0.3) ? "\n" : " ";
+    }
+    for (std::size_t cut = 0; cut <= full.size(); ++cut) {
+      Result<Clustering> c = ParseClustering(full.substr(0, cut));
+      if (c.ok()) {
+        EXPECT_TRUE(c->Validate().ok());
+      }
+    }
+  }
+}
+
+TEST_P(ParserFuzzTest, ParseClusteringMixedSeparators) {
+  // Every mix of space / tab / CR / LF / CRLF between tokens parses to
+  // the same label sequence.
+  Rng rng(GetParam() * 86028121 + 13);
+  static const char* kSeparators[] = {" ", "\t", "\r", "\n", "\r\n",
+                                      " \t ", "\n\n", "\t\r\n"};
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t tokens = 1 + rng.NextBounded(10);
+    std::vector<Clustering::Label> expected;
+    std::string input;
+    for (std::size_t i = 0; i < tokens; ++i) {
+      const auto label = static_cast<Clustering::Label>(rng.NextBounded(5));
+      expected.push_back(label);
+      input += std::to_string(label);
+      input += kSeparators[rng.NextBounded(std::size(kSeparators))];
+    }
+    Result<Clustering> c = ParseClustering(input);
+    ASSERT_TRUE(c.ok()) << input;
+    EXPECT_EQ(c->labels(), expected);
+  }
+}
+
+TEST(ParserEdgeCaseTest, ParseClusteringOverlongTokens) {
+  // Tokens far beyond any representable label must error, not wrap or
+  // allocate absurdly — whatever their length.
+  for (std::size_t len : {20u, 100u, 4096u, 1u << 16}) {
+    const std::string digits(len, '9');
+    Result<Clustering> c = ParseClustering(digits);
+    ASSERT_FALSE(c.ok()) << len << " digits";
+    EXPECT_EQ(c.status().code(), StatusCode::kInvalidArgument);
+    // Mixed with valid labels the error names the offending line.
+    Result<Clustering> mixed = ParseClustering("0 1\n" + digits + "\n");
+    ASSERT_FALSE(mixed.ok());
+    EXPECT_NE(mixed.status().message().find("line 2"), std::string::npos)
+        << mixed.status().message();
+  }
+  const std::string giant_but_not_overflowing(7, '9');  // 9999999 fits
+  EXPECT_TRUE(ParseClustering(giant_but_not_overflowing).ok());
+}
+
+TEST(ParserEdgeCaseTest, ParseClusteringEmbeddedNuls) {
+  // NUL bytes are not separators; they poison the token they land in
+  // and must surface as InvalidArgument, never truncate the parse.
+  const std::string nul_in_token{"0 1\x00 2", 6};
+  Result<Clustering> c = ParseClustering(nul_in_token);
+  ASSERT_FALSE(c.ok());
+  EXPECT_EQ(c.status().code(), StatusCode::kInvalidArgument);
+
+  const std::string nul_only{"\x00", 1};
+  EXPECT_FALSE(ParseClustering(nul_only).ok());
+
+  const std::string nul_in_comment{"# c\x00mment\n0 1\n", 14};
+  Result<Clustering> commented = ParseClustering(nul_in_comment);
+  ASSERT_TRUE(commented.ok());  // comments swallow anything up to \n
+  EXPECT_EQ(commented->size(), 2u);
+}
+
+TEST(ParserEdgeCaseTest, ParseClusteringOutOfRangeLabels) {
+  // kMaxParsedLabel is the acceptance boundary, and rejections carry
+  // the 1-based line of the offending token.
+  EXPECT_TRUE(
+      ParseClustering(std::to_string(kMaxParsedLabel)).ok());
+  const std::string over = std::to_string(
+      static_cast<long long>(kMaxParsedLabel) + 1);
+  Result<Clustering> c = ParseClustering("0\n1\n" + over + "\n");
+  ASSERT_FALSE(c.ok());
+  EXPECT_EQ(c.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(c.status().message().find("line 3"), std::string::npos)
+      << c.status().message();
+}
+
+TEST(ParserEdgeCaseTest, ParseWeightsRejectsNonFinite) {
+  for (const char* bad : {"nan", "inf", "-inf", "1,nan,2", "1e999",
+                          "0", "-1", "", "1,,2", "1;2", "abc",
+                          "1,2,", "1.5x"}) {
+    Result<std::vector<double>> w = ParseWeights(bad);
+    ASSERT_FALSE(w.ok()) << "'" << bad << "' should be rejected";
+    EXPECT_EQ(w.status().code(), StatusCode::kInvalidArgument);
+  }
+  Result<std::vector<double>> ok = ParseWeights("1,0.5,2e3");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, (std::vector<double>{1.0, 0.5, 2000.0}));
+  // The error names the offending 1-based position.
+  Result<std::vector<double>> bad = ParseWeights("1,2,nan");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("weight 3"), std::string::npos)
+      << bad.status().message();
+}
+
+TEST_P(ParserFuzzTest, ParseWeightsNeverCrashesOnByteSoup) {
+  Rng rng(GetParam() * 67867967 + 17);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::string input = RandomBytes(&rng, 64);
+    Result<std::vector<double>> w = ParseWeights(input);
+    if (w.ok()) {
+      for (double value : *w) EXPECT_GT(value, 0.0);
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzzTest, ::testing::Range(1, 6));
 
 }  // namespace

@@ -17,6 +17,7 @@
 //   clustagg eval truth.labels predicted.labels
 //   clustagg gen votes --seed 7 --out votes.csv
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -26,6 +27,7 @@
 
 #include "clustagg/clustagg.h"
 #include "common/parallel.h"
+#include "common/run_context.h"
 #include "io/clustering_io.h"
 #include "io/csv.h"
 
@@ -77,9 +79,13 @@ class Args {
   std::vector<std::string> positional_;
 };
 
+/// All diagnostics go to stderr; stdout carries only results. The exit
+/// code is the status code's mapping (see ExitCodeForStatus): 0 OK,
+/// 2 invalid argument, 3 failed precondition, 4 resource exhausted,
+/// 5 internal, 6 cancelled, 7 deadline exceeded.
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
-  return 1;
+  return ExitCodeForStatus(status.code());
 }
 
 std::optional<AggregationAlgorithm> ParseAlgorithm(const std::string& name) {
@@ -120,21 +126,11 @@ int CmdAggregate(const Args& args) {
         if (!c.ok()) return c.status();
         clusterings.push_back(std::move(*c));
       }
-      std::vector<double> weights;
-      const std::string spec = args.Get("weights");
-      std::size_t start = 0;
-      while (start <= spec.size()) {
-        const std::size_t comma = spec.find(',', start);
-        const std::string token =
-            spec.substr(start, comma == std::string::npos
-                                   ? std::string::npos
-                                   : comma - start);
-        if (!token.empty()) weights.push_back(std::atof(token.c_str()));
-        if (comma == std::string::npos) break;
-        start = comma + 1;
-      }
+      Result<std::vector<double>> weights =
+          ParseWeights(args.Get("weights"));
+      if (!weights.ok()) return weights.status();
       return ClusteringSet::Create(std::move(clusterings),
-                                   std::move(weights));
+                                   std::move(*weights));
     }
     return ReadClusteringSet(args.positional());
   }();
@@ -145,12 +141,10 @@ int CmdAggregate(const Args& args) {
   if (auto parsed = ParseAlgorithm(algorithm)) {
     options.algorithm = *parsed;
   } else {
-    std::fprintf(stderr,
-                 "error: unknown algorithm '%s' (expected best, balls, "
-                 "agglomerative, furthest, localsearch, pivot, annealing, majority, "
-                 "exact)\n",
-                 algorithm.c_str());
-    return 1;
+    return Fail(Status::InvalidArgument(
+        "unknown algorithm '" + algorithm +
+        "' (expected best, balls, agglomerative, furthest, localsearch, "
+        "pivot, annealing, majority, exact)"));
   }
   options.balls.alpha = args.GetDouble("alpha", 0.4);
   options.refine_with_local_search = args.Has("refine");
@@ -167,13 +161,21 @@ int CmdAggregate(const Args& args) {
   if (backend == "lazy") {
     options.backend = DistanceBackend::kLazy;
   } else if (backend != "dense") {
-    std::fprintf(stderr,
-                 "error: unknown backend '%s' (expected dense or lazy)\n",
-                 backend.c_str());
-    return 1;
+    return Fail(Status::InvalidArgument("unknown backend '" + backend +
+                                        "' (expected dense or lazy)"));
   }
   options.num_threads =
       static_cast<std::size_t>(args.GetInt("threads", 0));
+  if (args.Has("deadline-ms")) {
+    const long long deadline_ms = args.GetInt("deadline-ms", 0);
+    if (deadline_ms <= 0) {
+      return Fail(Status::InvalidArgument(
+          "--deadline-ms expects a positive number of milliseconds"));
+    }
+    options.run =
+        RunContext::WithDeadline(std::chrono::milliseconds(deadline_ms));
+  }
+  options.allow_fallbacks = !args.Has("no-fallbacks");
 
   Result<AggregationResult> result = Aggregate(*input, options);
   if (!result.ok()) return Fail(result.status());
@@ -185,6 +187,15 @@ int CmdAggregate(const Args& args) {
                AggregationAlgorithmName(options.algorithm),
                result->clustering.NumClusters(),
                result->total_disagreements);
+  // The outcome tag and the degradations taken are part of the result's
+  // meaning (a deadline-exceeded clustering is a best-so-far, not the
+  // converged answer), so they are always reported, not only under
+  // --report.
+  std::fprintf(stderr, "run outcome = %s\n",
+               RunOutcomeName(result->outcome));
+  for (const std::string& note : result->fallbacks) {
+    std::fprintf(stderr, "fallback: %s\n", note.c_str());
+  }
   if (args.Has("report")) {
     std::fprintf(stderr, "distance backend = %s, threads = %zu\n",
                  DistanceBackendName(options.backend),
@@ -211,9 +222,8 @@ int CmdAggregate(const Args& args) {
 
 int CmdEval(const Args& args) {
   if (args.positional().size() != 2) {
-    std::fprintf(stderr,
-                 "usage: clustagg eval <truth.labels> <candidate.labels>\n");
-    return 1;
+    return Fail(Status::InvalidArgument(
+        "usage: clustagg eval <truth.labels> <candidate.labels>"));
   }
   Result<Clustering> a = ReadClusteringFile(args.positional()[0]);
   if (!a.ok()) return Fail(a.status());
@@ -238,10 +248,9 @@ int CmdEval(const Args& args) {
 
 int CmdGen(const Args& args) {
   if (args.positional().empty()) {
-    std::fprintf(stderr,
-                 "usage: clustagg gen <votes|mushrooms|census|gaussian> "
-                 "[--seed N] [--rows N] [--out file]\n");
-    return 1;
+    return Fail(Status::InvalidArgument(
+        "usage: clustagg gen <votes|mushrooms|census|gaussian> "
+        "[--seed N] [--rows N] [--out file]"));
   }
   const std::string kind = args.positional()[0];
   const auto seed = static_cast<std::uint64_t>(args.GetInt("seed", 1));
@@ -321,20 +330,37 @@ int CmdHelp() {
       "            [--alpha X] [--refine] [--sample N] [--seed N]\n"
       "            [--missing coin|ignore] [--coin-p P]\n"
       "            [--backend dense|lazy] [--threads N]\n"
-      "            [--weights w1,w2,...]\n"
-      "            [--out FILE] [--report]\n"
+      "            [--weights w1,w2,...] [--deadline-ms N]\n"
+      "            [--no-fallbacks] [--out FILE] [--report]\n"
       "      aggregate label files (one clustering per file, labels\n"
       "      whitespace-separated, '?' = missing) or the attribute\n"
       "      clusterings of a categorical CSV. --backend dense (default)\n"
       "      materializes the O(n^2/2) distance matrix in parallel;\n"
       "      --backend lazy keeps O(n*m) memory and recomputes distances\n"
       "      on demand. --threads 0 (default) = one per hardware core.\n"
+      "      --deadline-ms bounds the wall clock: when it fires, the best\n"
+      "      clustering found so far is returned (exit 0) and the report\n"
+      "      line 'run outcome = deadline_exceeded' is printed instead of\n"
+      "      'converged'. --no-fallbacks disables graceful degradation\n"
+      "      (dense->lazy on allocation failure, exact->balls+localsearch\n"
+      "      beyond EXACT's tractable size); degradations taken are\n"
+      "      reported as 'fallback: ...' lines on stderr.\n"
       "  eval <truth.labels> <candidate.labels>\n"
       "      rand / adjusted rand / NMI / disagreement distance.\n"
       "  gen <votes|mushrooms|census|gaussian> [--seed N] [--rows N]\n"
       "      [--out FILE]\n"
       "      write one of the paper's synthetic datasets.\n"
-      "  help\n");
+      "  help\n"
+      "\n"
+      "exit codes (diagnostics always go to stderr):\n"
+      "  0  success (including deadline-exceeded best-so-far results)\n"
+      "  2  invalid argument (bad flags, malformed input files)\n"
+      "  3  failed precondition\n"
+      "  4  resource exhausted (e.g. EXACT beyond its tractable size\n"
+      "     with --no-fallbacks)\n"
+      "  5  internal error\n"
+      "  6  cancelled\n"
+      "  7  deadline exceeded (only where no best-so-far result exists)\n");
   return 0;
 }
 
@@ -350,5 +376,5 @@ int main(int argc, char** argv) {
   if (command == "help" || command == "--help") return CmdHelp();
   std::fprintf(stderr, "error: unknown command '%s'\n", command.c_str());
   CmdHelp();
-  return 1;
+  return ExitCodeForStatus(StatusCode::kInvalidArgument);
 }

@@ -4,6 +4,8 @@
 // Shared helpers for the table/figure reproduction harnesses.
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -14,6 +16,34 @@
 #include "common/table_printer.h"
 
 namespace clustagg::bench {
+
+/// Telemetry dump mode requested via the CLUSTAGG_STATS environment
+/// variable: "json", "table", or "" (disabled, the default). Any other
+/// value is treated as "table".
+inline const char* StatsMode() {
+  static const char* mode = [] {
+    const char* env = std::getenv("CLUSTAGG_STATS");
+    if (env == nullptr || env[0] == '\0') return "";
+    return std::strcmp(env, "json") == 0 ? "json" : "table";
+  }();
+  return mode;
+}
+
+/// Dumps one run's telemetry to stderr (so table output on stdout stays
+/// machine-readable), prefixed with the run label.
+inline void MaybeDumpStats(const std::string& label,
+                           const Telemetry& telemetry) {
+  const char* mode = StatsMode();
+  if (mode[0] == '\0') return;
+  std::fprintf(stderr, "--- stats: %s ---\n", label.c_str());
+  if (std::strcmp(mode, "json") == 0) {
+    std::fprintf(stderr, "%s\n", telemetry.ToJson().c_str());
+  } else {
+    std::ostringstream os;
+    telemetry.PrintTable(os);
+    std::fputs(os.str().c_str(), stderr);
+  }
+}
 
 /// Ground-truth labels of a Dataset2D as a Clustering, giving each noise
 /// point (-1) its own singleton id so that pair metrics treat noise as
@@ -124,11 +154,18 @@ inline std::vector<TableRow> RunAggregationRows(
     options.balls.alpha = 0.4;
     options.backend = backend;
     options.num_threads = num_threads;
+    // One fresh sink per algorithm so CLUSTAGG_STATS=json|table dumps a
+    // per-run phase/trace breakdown rather than a merged blur.
+    Telemetry telemetry;
+    if (StatsMode()[0] != '\0') {
+      options.run = options.run.WithTelemetry(&telemetry);
+    }
     Stopwatch watch;
     Result<AggregationResult> result = Aggregate(input, options);
     CLUSTAGG_CHECK_OK(result.status());
     rows.push_back(ScoreRow(config.name, result->clustering, input,
                             class_labels, watch.ElapsedSeconds()));
+    MaybeDumpStats(config.name, telemetry);
   }
   return rows;
 }

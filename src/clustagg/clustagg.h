@@ -17,6 +17,7 @@
 #include "categorical/table.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/telemetry.h"
 #include "core/aggregator.h"
 #include "core/annealing.h"
 #include "core/best_clustering.h"

@@ -8,6 +8,11 @@
 #include <vector>
 
 #include "common/run_context.h"
+#if defined(CLUSTAGG_TELEMETRY_ENABLED)
+#include <string>
+
+#include "common/telemetry.h"
+#endif
 
 namespace clustagg {
 
@@ -61,6 +66,43 @@ void ParallelForRows(std::size_t rows, std::size_t num_threads, Fn&& fn) {
   for (std::thread& t : pool) t.join();
 }
 
+#if defined(CLUSTAGG_TELEMETRY_ENABLED)
+namespace internal {
+
+/// Per-worker telemetry handles for the parallel row loops: each thread
+/// owns its own counters (no contention, and the "per-thread" split is
+/// visible in reports), while the row-block latency histogram is shared
+/// (bucket increments are atomic and order-independent).
+struct RowLoopRecorder {
+  Telemetry* telemetry = nullptr;
+  Counter* rows = nullptr;
+  Counter* busy_nanos = nullptr;
+  Histogram* block_nanos = nullptr;
+
+  RowLoopRecorder(Telemetry* t, std::size_t thread_id) : telemetry(t) {
+    if (telemetry == nullptr) return;
+    const std::string prefix =
+        "parallel.thread" + std::to_string(thread_id);
+    rows = telemetry->counter(prefix + ".rows");
+    busy_nanos = telemetry->counter(prefix + ".busy_nanos");
+    block_nanos = telemetry->histogram("parallel.row_block_nanos");
+  }
+
+  std::uint64_t Start() const {
+    return telemetry == nullptr ? 0 : telemetry->clock().NowNanos();
+  }
+  void Block(std::uint64_t start, std::size_t block_rows) const {
+    if (telemetry == nullptr) return;
+    const std::uint64_t elapsed = telemetry->clock().NowNanos() - start;
+    rows->Add(block_rows);
+    busy_nanos->Add(elapsed);
+    block_nanos->Observe(elapsed);
+  }
+};
+
+}  // namespace internal
+#endif  // CLUSTAGG_TELEMETRY_ENABLED
+
 /// Cooperative variant: polls `run` once per claimed chunk (serial mode:
 /// every chunk of 16 rows) and stops handing out rows when it fires.
 /// Each processed row charges one work unit against the run's iteration
@@ -68,10 +110,20 @@ void ParallelForRows(std::size_t rows, std::size_t num_threads, Fn&& fn) {
 /// loop was interrupted — interrupted results are *partial* and the
 /// caller must either discard them or fall back to a degraded answer.
 /// fn has the same disjoint-writes contract as ParallelForRows.
+///
+/// When the run carries a Telemetry sink, each worker records the rows
+/// it processed and its busy time (`parallel.threadK.rows` /
+/// `.busy_nanos` counters) plus the shared per-block latency histogram
+/// `parallel.row_block_nanos`.
 template <typename Fn>
 bool ParallelForRowsCancellable(std::size_t rows, std::size_t num_threads,
                                 const RunContext& run, Fn&& fn) {
-  if (run.unlimited()) {
+#if defined(CLUSTAGG_TELEMETRY_ENABLED)
+  Telemetry* telemetry = run.telemetry();
+#else
+  constexpr void* telemetry = nullptr;
+#endif
+  if (run.unlimited() && telemetry == nullptr) {
     ParallelForRows(rows, num_threads, std::forward<Fn>(fn));
     return true;
   }
@@ -79,12 +131,22 @@ bool ParallelForRowsCancellable(std::size_t rows, std::size_t num_threads,
   if (num_threads > rows) num_threads = rows;
   std::atomic<bool> stopped{false};
   if (num_threads <= 1) {
-    for (std::size_t u = 0; u < rows; ++u) {
-      if (u % 16 == 0) {
-        run.ChargeIterations(std::min<std::size_t>(16, rows - u));
-        if (run.ShouldStop()) return false;
+#if defined(CLUSTAGG_TELEMETRY_ENABLED)
+    const internal::RowLoopRecorder recorder(telemetry, 0);
+#endif
+    for (std::size_t u = 0; u < rows;) {
+      const std::size_t block = std::min<std::size_t>(16, rows - u);
+      run.ChargeIterations(block);
+      if (run.ShouldStop()) return false;
+#if defined(CLUSTAGG_TELEMETRY_ENABLED)
+      const std::uint64_t t0 = recorder.Start();
+#endif
+      for (const std::size_t end = u + block; u < end; ++u) {
+        fn(u, std::size_t{0});
       }
-      fn(u, std::size_t{0});
+#if defined(CLUSTAGG_TELEMETRY_ENABLED)
+      recorder.Block(t0, block);
+#endif
     }
     return true;
   }
@@ -92,6 +154,9 @@ bool ParallelForRowsCancellable(std::size_t rows, std::size_t num_threads,
   const std::size_t chunk =
       std::max<std::size_t>(1, rows / (num_threads * 8));
   auto worker = [&](std::size_t thread_id) {
+#if defined(CLUSTAGG_TELEMETRY_ENABLED)
+    const internal::RowLoopRecorder recorder(telemetry, thread_id);
+#endif
     for (;;) {
       if (run.ShouldStop()) {
         stopped.store(true, std::memory_order_relaxed);
@@ -101,7 +166,13 @@ bool ParallelForRowsCancellable(std::size_t rows, std::size_t num_threads,
       if (begin >= rows) return;
       const std::size_t end = std::min(rows, begin + chunk);
       run.ChargeIterations(end - begin);
+#if defined(CLUSTAGG_TELEMETRY_ENABLED)
+      const std::uint64_t t0 = recorder.Start();
+#endif
       for (std::size_t u = begin; u < end; ++u) fn(u, thread_id);
+#if defined(CLUSTAGG_TELEMETRY_ENABLED)
+      recorder.Block(t0, end - begin);
+#endif
     }
   };
   std::vector<std::thread> pool;

@@ -13,6 +13,8 @@
 
 namespace clustagg {
 
+class Telemetry;
+
 /// How a budgeted run ended. Every run-control-aware entry point returns
 /// a valid, complete clustering whatever the outcome; the tag tells the
 /// caller how much trust to place in it.
@@ -133,6 +135,24 @@ class RunContext {
   /// allocation of `bytes` had failed.
   bool SimulateAllocationFailure(std::size_t bytes) const;
 
+  /// Returns a copy of this context carrying `telemetry` as its metrics
+  /// sink; every layer the copy reaches (clusterers, the aggregator
+  /// degradation chain, sampling, parallel helpers) records spans,
+  /// counters, and convergence traces into it. The caller owns the
+  /// Telemetry and must keep it alive for the duration of every run the
+  /// copy is handed to. Works on the unlimited context too — telemetry
+  /// is independent of run limits.
+  RunContext WithTelemetry(Telemetry* telemetry) const {
+    RunContext copy = *this;
+    copy.telemetry_ = telemetry;
+    return copy;
+  }
+
+  /// The attached metrics sink, or null (the default) when none is. The
+  /// instrumentation helpers accept null and do nothing, so callers pass
+  /// this through unconditionally.
+  Telemetry* telemetry() const { return telemetry_; }
+
  private:
   struct State {
     std::atomic<bool> cancelled{false};
@@ -150,6 +170,10 @@ class RunContext {
   /// every copy, which is what lets one thread cancel a run another
   /// thread is polling.
   std::shared_ptr<State> state_;
+
+  /// Borrowed metrics sink (see WithTelemetry); independent of state_ so
+  /// even unlimited contexts can carry one at no polling cost.
+  Telemetry* telemetry_ = nullptr;
 };
 
 }  // namespace clustagg

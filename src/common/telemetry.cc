@@ -1,0 +1,363 @@
+#include "common/telemetry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+#include <utility>
+
+#include "common/table_printer.h"
+
+namespace clustagg {
+
+namespace {
+
+/// steady_clock-backed production clock.
+class RealClock final : public Clock {
+ public:
+  std::uint64_t NowNanos() const override {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+};
+
+/// Locale-independent double formatting so JSON output is byte-stable
+/// across environments. %.10g keeps full useful precision for costs
+/// while rendering integral doubles without a trailing ".0...".
+std::string FormatDouble(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", value);
+  return buf;
+}
+
+void AppendJsonString(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendUint(std::string* out, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  *out += buf;
+}
+
+void AppendInt(std::string* out, std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  *out += buf;
+}
+
+}  // namespace
+
+const Clock* Clock::Real() {
+  static const RealClock kClock;
+  return &kClock;
+}
+
+void ConvergenceTrace::Record(std::uint64_t step, double value,
+                              std::uint64_t aux) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (capacity_ == 0) {
+    ++recorded_;
+    return;
+  }
+  if (ring_.size() < capacity_) {
+    ring_.push_back({step, value, aux});
+  } else {
+    ring_[next_] = {step, value, aux};
+    next_ = (next_ + 1) % capacity_;
+  }
+  ++recorded_;
+}
+
+std::vector<ConvergencePoint> ConvergenceTrace::Points() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ConvergencePoint> out;
+  out.reserve(ring_.size());
+  // Once full, `next_` is the oldest retained slot.
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::uint64_t ConvergenceTrace::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_ - ring_.size();
+}
+
+Counter* Telemetry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* Telemetry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* Telemetry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+ConvergenceTrace* Telemetry::trace(std::string_view name,
+                                   std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = traces_.find(name);
+  if (it == traces_.end()) {
+    it = traces_
+             .emplace(std::string(name),
+                      std::make_unique<ConvergenceTrace>(capacity))
+             .first;
+  }
+  return it->second.get();
+}
+
+std::size_t Telemetry::BeginSpan(std::string_view name) {
+  const std::uint64_t now = clock_->NowNanos();
+  std::lock_guard<std::mutex> lock(mu_);
+  Span span;
+  span.name = std::string(name);
+  span.parent = open_spans_.empty() ? Span::kNoParent : open_spans_.back();
+  span.start_nanos = now;
+  const std::size_t id = spans_.size();
+  spans_.push_back(std::move(span));
+  open_spans_.push_back(id);
+  return id;
+}
+
+void Telemetry::EndSpan(std::size_t id) {
+  const std::uint64_t now = clock_->NowNanos();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= spans_.size()) return;
+  // Close any children left open (innermost first), then the span
+  // itself, so mismatched Begin/End pairs cannot corrupt the stack.
+  while (!open_spans_.empty()) {
+    const std::size_t top = open_spans_.back();
+    open_spans_.pop_back();
+    if (spans_[top].end_nanos == 0) spans_[top].end_nanos = now;
+    if (top == id) break;
+  }
+}
+
+std::vector<Span> Telemetry::Spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+std::string Telemetry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  out.reserve(1024);
+  out += "{\n  \"spans\": [";
+  for (std::size_t i = 0; i < spans_.size(); ++i) {
+    const Span& s = spans_[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"name\": ";
+    AppendJsonString(&out, s.name);
+    out += ", \"parent\": ";
+    AppendInt(&out, s.parent == Span::kNoParent
+                        ? -1
+                        : static_cast<std::int64_t>(s.parent));
+    out += ", \"start_ns\": ";
+    AppendUint(&out, s.start_nanos);
+    out += ", \"end_ns\": ";
+    AppendUint(&out, s.end_nanos);
+    out += "}";
+  }
+  out += spans_.empty() ? "],\n" : "\n  ],\n";
+
+  out += "  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    ";
+    AppendJsonString(&out, name);
+    out += ": ";
+    AppendUint(&out, counter->value());
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    ";
+    AppendJsonString(&out, name);
+    out += ": ";
+    AppendInt(&out, gauge->value());
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    ";
+    AppendJsonString(&out, name);
+    out += ": {\"count\": ";
+    AppendUint(&out, histogram->count());
+    out += ", \"sum\": ";
+    AppendUint(&out, histogram->sum());
+    out += ", \"buckets\": [";
+    bool first_bucket = true;
+    for (std::size_t b = 0; b < Histogram::kNumBuckets; ++b) {
+      const std::uint64_t n = histogram->bucket_count(b);
+      if (n == 0) continue;
+      if (!first_bucket) out += ", ";
+      first_bucket = false;
+      out += "{\"lo\": ";
+      AppendUint(&out, Histogram::BucketLowerBound(b));
+      out += ", \"n\": ";
+      AppendUint(&out, n);
+      out += "}";
+    }
+    out += "]}";
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"traces\": {";
+  first = true;
+  for (const auto& [name, trace] : traces_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    ";
+    AppendJsonString(&out, name);
+    out += ": {\"dropped\": ";
+    AppendUint(&out, trace->dropped());
+    out += ", \"points\": [";
+    const std::vector<ConvergencePoint> points = trace->Points();
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += "{\"step\": ";
+      AppendUint(&out, points[i].step);
+      out += ", \"value\": ";
+      out += FormatDouble(points[i].value);
+      out += ", \"aux\": ";
+      AppendUint(&out, points[i].aux);
+      out += "}";
+    }
+    out += "]}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+
+  out += "}";
+  return out;
+}
+
+void Telemetry::PrintTable(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+
+  if (!spans_.empty()) {
+    TablePrinter spans({"phase", "duration_ms", "start_ms"});
+    // Render the tree depth-first so children print under their parent,
+    // indented; creation order already places children after parents.
+    std::vector<std::size_t> depth(spans_.size(), 0);
+    for (std::size_t i = 0; i < spans_.size(); ++i) {
+      const Span& s = spans_[i];
+      if (s.parent != Span::kNoParent) depth[i] = depth[s.parent] + 1;
+      const std::uint64_t end =
+          s.end_nanos == 0 ? s.start_nanos : s.end_nanos;
+      spans.AddRow({std::string(2 * depth[i], ' ') + s.name,
+                    TablePrinter::Fixed(
+                        static_cast<double>(end - s.start_nanos) / 1e6, 3),
+                    TablePrinter::Fixed(
+                        static_cast<double>(s.start_nanos) / 1e6, 3)});
+    }
+    os << "spans:\n";
+    spans.Print(os);
+  }
+
+  if (!counters_.empty() || !gauges_.empty()) {
+    TablePrinter scalars({"metric", "kind", "value"});
+    for (const auto& [name, counter] : counters_) {
+      scalars.AddRow({name, "counter",
+                      TablePrinter::WithCommas(
+                          static_cast<long long>(counter->value()))});
+    }
+    for (const auto& [name, gauge] : gauges_) {
+      scalars.AddRow({name, "gauge",
+                      TablePrinter::WithCommas(
+                          static_cast<long long>(gauge->value()))});
+    }
+    os << "counters / gauges:\n";
+    scalars.Print(os);
+  }
+
+  if (!histograms_.empty()) {
+    TablePrinter hist({"histogram", "count", "sum", "mean"});
+    for (const auto& [name, histogram] : histograms_) {
+      const std::uint64_t count = histogram->count();
+      const double mean =
+          count == 0 ? 0.0
+                     : static_cast<double>(histogram->sum()) /
+                           static_cast<double>(count);
+      hist.AddRow({name,
+                   TablePrinter::WithCommas(static_cast<long long>(count)),
+                   TablePrinter::WithCommas(
+                       static_cast<long long>(histogram->sum())),
+                   TablePrinter::Fixed(mean, 1)});
+    }
+    os << "histograms:\n";
+    hist.Print(os);
+  }
+
+  if (!traces_.empty()) {
+    TablePrinter traces({"trace", "points", "dropped", "first", "last"});
+    for (const auto& [name, trace] : traces_) {
+      const std::vector<ConvergencePoint> points = trace->Points();
+      traces.AddRow(
+          {name, TablePrinter::WithCommas(static_cast<long long>(
+                     points.size())),
+           TablePrinter::WithCommas(static_cast<long long>(trace->dropped())),
+           points.empty() ? "-" : FormatDouble(points.front().value),
+           points.empty() ? "-" : FormatDouble(points.back().value)});
+    }
+    os << "convergence traces:\n";
+    traces.Print(os);
+  }
+}
+
+}  // namespace clustagg

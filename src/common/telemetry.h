@@ -1,0 +1,259 @@
+#ifndef CLUSTAGG_COMMON_TELEMETRY_H_
+#define CLUSTAGG_COMMON_TELEMETRY_H_
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace clustagg {
+
+/// Injectable monotonic time source for the telemetry layer. Production
+/// code uses Clock::Real() (steady_clock); tests inject a FakeClock so
+/// span durations and latency histograms are byte-for-byte reproducible.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Monotonic nanoseconds since an arbitrary epoch.
+  virtual std::uint64_t NowNanos() const = 0;
+
+  /// Process-wide steady_clock-backed singleton.
+  static const Clock* Real();
+};
+
+/// Deterministic clock: every NowNanos() read returns the current value
+/// and then advances it by a fixed step, so any fixed sequence of reads
+/// yields the same timestamps on every run. Thread-safe (reads from
+/// worker threads interleave, but the *set* of produced timestamps and
+/// any serial caller's view stay deterministic).
+class FakeClock final : public Clock {
+ public:
+  explicit FakeClock(std::uint64_t start_nanos = 0,
+                     std::uint64_t step_nanos = 1000)
+      : now_(start_nanos), step_(step_nanos) {}
+
+  std::uint64_t NowNanos() const override {
+    return now_.fetch_add(step_, std::memory_order_relaxed);
+  }
+
+  /// Manually advances the clock (on top of the per-read step).
+  void Advance(std::uint64_t nanos) {
+    now_.fetch_add(nanos, std::memory_order_relaxed);
+  }
+
+ private:
+  mutable std::atomic<std::uint64_t> now_;
+  std::uint64_t step_;
+};
+
+/// Monotonic counter. Add() is lock-free and safe to call concurrently
+/// from worker threads; the final value is the exact sum of all adds.
+class Counter {
+ public:
+  void Add(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins integer gauge. Thread-safe.
+class Gauge {
+ public:
+  void Set(std::int64_t value) {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Latency / magnitude histogram with fixed power-of-two buckets: bucket
+/// 0 holds the value 0 and bucket b >= 1 holds [2^(b-1), 2^b). The
+/// boundaries are value-independent, so histograms from different runs
+/// (or threads) merge by plain bucket-wise addition and the rendered
+/// output is deterministic. All methods are thread-safe and lock-free.
+class Histogram {
+ public:
+  /// Bucket count: value 0, then one bucket per bit of a 64-bit value.
+  static constexpr std::size_t kNumBuckets = 65;
+
+  /// The bucket a value lands in: std::bit_width(value), i.e. 0 -> 0,
+  /// 1 -> 1, [2, 4) -> 2, [4, 8) -> 3, ...
+  static std::size_t BucketIndex(std::uint64_t value) {
+    return static_cast<std::size_t>(std::bit_width(value));
+  }
+
+  /// Inclusive lower bound of bucket b (0 for b = 0, else 2^(b-1)); the
+  /// bucket's exclusive upper bound is 2^b.
+  static std::uint64_t BucketLowerBound(std::size_t b) {
+    return b == 0 ? 0 : std::uint64_t{1} << (b - 1);
+  }
+
+  void Observe(std::uint64_t value) {
+    buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t bucket_count(std::size_t b) const {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kNumBuckets]{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// One sample of an algorithm's progress: LOCALSEARCH / ANNEALING record
+/// (pass or level, cumulative cost improvement, objects moved);
+/// AGGLOMERATIVE records (merge step, merge height, clusters remaining);
+/// FURTHEST records (centers, candidate cost, accepted).
+struct ConvergencePoint {
+  std::uint64_t step = 0;
+  double value = 0.0;
+  std::uint64_t aux = 0;
+};
+
+/// Fixed-capacity ring buffer of ConvergencePoints: recording never
+/// allocates after construction and a long run keeps its *latest*
+/// `capacity` samples (the interesting end of a convergence curve),
+/// counting how many older points were dropped. Thread-safe.
+class ConvergenceTrace {
+ public:
+  explicit ConvergenceTrace(std::size_t capacity) : capacity_(capacity) {
+    ring_.reserve(capacity_);
+  }
+
+  void Record(std::uint64_t step, double value, std::uint64_t aux = 0);
+
+  /// Retained points, oldest first.
+  std::vector<ConvergencePoint> Points() const;
+
+  std::size_t capacity() const { return capacity_; }
+  /// Points evicted by the ring (total recorded - retained).
+  std::uint64_t dropped() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::vector<ConvergencePoint> ring_;
+  std::size_t next_ = 0;        // ring slot the next Record overwrites
+  std::uint64_t recorded_ = 0;  // total Record calls ever
+};
+
+/// One node of the phase tree: a named interval with a parent (kNoParent
+/// for roots). Indices refer to Telemetry::Spans() order (creation
+/// order).
+struct Span {
+  static constexpr std::size_t kNoParent = static_cast<std::size_t>(-1);
+  std::string name;
+  std::size_t parent = kNoParent;
+  std::uint64_t start_nanos = 0;
+  std::uint64_t end_nanos = 0;  // 0 while the span is still open
+};
+
+/// The per-run telemetry sink: a registry of named counters / gauges /
+/// histograms / convergence traces plus a scoped-span tracer building a
+/// parent/child phase tree (build-X -> cluster -> refine). Attach one to
+/// a RunContext with RunContext::WithTelemetry and every instrumented
+/// layer it reaches records into it; a null Telemetry* (the default)
+/// records nothing.
+///
+/// Metric handles returned by counter()/gauge()/histogram()/trace() are
+/// stable for the lifetime of the Telemetry and may be used concurrently
+/// from worker threads. Span begin/end must come from one thread at a
+/// time (the orchestration thread) — phases are sequential by nature.
+/// Rendering (ToJson / PrintTable) is deterministic: metrics sort by
+/// name, spans keep creation order, and all timestamps come from the
+/// injected Clock.
+class Telemetry {
+ public:
+  static constexpr std::size_t kDefaultTraceCapacity = 1024;
+
+  explicit Telemetry(const Clock* clock = Clock::Real()) : clock_(clock) {}
+
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  const Clock& clock() const { return *clock_; }
+
+  /// Finds or creates the named metric. Never returns null.
+  Counter* counter(std::string_view name);
+  Gauge* gauge(std::string_view name);
+  Histogram* histogram(std::string_view name);
+  ConvergenceTrace* trace(std::string_view name,
+                          std::size_t capacity = kDefaultTraceCapacity);
+
+  /// Opens a span as a child of the innermost still-open span and
+  /// returns its id (an index into Spans()).
+  std::size_t BeginSpan(std::string_view name);
+
+  /// Closes the span (and any children left open, innermost first).
+  void EndSpan(std::size_t id);
+
+  /// Snapshot of the span tree in creation order.
+  std::vector<Span> Spans() const;
+
+  /// Deterministic JSON rendering of everything recorded (spans,
+  /// counters, gauges, histograms, traces). Stable key order; fixed
+  /// number formatting; byte-identical for identical recorded content.
+  std::string ToJson() const;
+
+  /// Human-readable TablePrinter rendering of the same content.
+  void PrintTable(std::ostream& os) const;
+
+ private:
+  const Clock* clock_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::unique_ptr<ConvergenceTrace>, std::less<>>
+      traces_;
+  std::vector<Span> spans_;
+  std::vector<std::size_t> open_spans_;  // stack of open span ids
+};
+
+/// RAII span helper: opens on construction, closes on destruction; a
+/// null telemetry makes both no-ops. Safe to use unconditionally.
+class ScopedSpan {
+ public:
+  ScopedSpan(Telemetry* telemetry, std::string_view name)
+      : telemetry_(telemetry),
+        id_(telemetry != nullptr ? telemetry->BeginSpan(name) : 0) {}
+  ~ScopedSpan() {
+    if (telemetry_ != nullptr) telemetry_->EndSpan(id_);
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Telemetry* telemetry_;
+  std::size_t id_;
+};
+
+}  // namespace clustagg
+
+#endif  // CLUSTAGG_COMMON_TELEMETRY_H_

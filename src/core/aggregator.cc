@@ -5,6 +5,7 @@
 
 #include "core/best_clustering.h"
 #include "core/correlation_instance.h"
+#include "core/instrumentation.h"
 
 namespace clustagg {
 
@@ -71,8 +72,15 @@ Result<AggregationResult> Aggregate(const ClusteringSet& input,
                                     const AggregatorOptions& options) {
   AggregationResult out;
   const RunContext& run = options.run;
+  Telemetry* telemetry = run.telemetry();
+  InstrumentedSpan aggregate_span(telemetry, "aggregate");
+  TelemetrySetGauge(telemetry, "aggregate.num_objects",
+                    static_cast<std::int64_t>(input.num_objects()));
+  TelemetrySetGauge(telemetry, "aggregate.num_clusterings",
+                    static_cast<std::int64_t>(input.num_clusterings()));
 
   if (options.algorithm == AggregationAlgorithm::kBestClustering) {
+    InstrumentedSpan cluster_span(telemetry, "cluster");
     Result<BestClusteringResult> best =
         BestClustering(input, options.missing, run);
     if (!best.ok()) return best.status();
@@ -97,17 +105,24 @@ Result<AggregationResult> Aggregate(const ClusteringSet& input,
         " (max " + std::to_string(options.exact.max_objects) +
         "); fell back to BALLS + LOCALSEARCH refinement");
     out.outcome = MergeOutcomes(out.outcome, RunOutcome::kFellBack);
+    TelemetryCount(telemetry, "aggregate.fallback.exact_to_balls");
   }
 
   Result<std::unique_ptr<CorrelationClusterer>> clusterer =
       MakeClusterer(effective);
   if (!clusterer.ok()) return clusterer.status();
 
+  // Sampling eligibility is decided by the *requested* algorithm, not the
+  // effective one: sampling_size is documented as ignored for kExact, and
+  // that must stay true when the exact solver degrades to BALLS above
+  // (the recorded fallback promises "BALLS + LOCALSEARCH refinement",
+  // which the sampling path would not deliver).
   const bool use_sampling =
       effective.sampling_size > 0 &&
-      effective.algorithm != AggregationAlgorithm::kExact;
+      options.algorithm != AggregationAlgorithm::kExact;
   Result<Clustering> clustering = [&]() -> Result<Clustering> {
     if (use_sampling) {
+      InstrumentedSpan cluster_span(telemetry, "cluster");
       SamplingOptions sampling = effective.sampling;
       sampling.sample_size = effective.sampling_size;
       sampling.missing = effective.missing;
@@ -122,21 +137,26 @@ Result<AggregationResult> Aggregate(const ClusteringSet& input,
 
     DistanceSourceOptions source_options{effective.backend,
                                          effective.num_threads, run};
-    Result<CorrelationInstance> built =
-        CorrelationInstance::Build(input, effective.missing, source_options);
-    if (!built.ok() && effective.backend == DistanceBackend::kDense &&
-        effective.allow_fallbacks &&
-        built.status().code() == StatusCode::kResourceExhausted) {
-      // Degradation 2: the dense O(n^2/2) matrix did not fit (really, or
-      // via an injected fault). The lazy backend answers bit-identically
-      // from O(n m) memory, just slower per query.
-      out.fallbacks.push_back(
-          "dense backend allocation failed; retried with lazy backend");
-      out.outcome = MergeOutcomes(out.outcome, RunOutcome::kFellBack);
-      source_options.backend = DistanceBackend::kLazy;
-      built =
+    Result<CorrelationInstance> built = [&]() -> Result<CorrelationInstance> {
+      InstrumentedSpan build_span(telemetry, "build_instance");
+      Result<CorrelationInstance> first =
           CorrelationInstance::Build(input, effective.missing, source_options);
-    }
+      if (!first.ok() && effective.backend == DistanceBackend::kDense &&
+          effective.allow_fallbacks &&
+          first.status().code() == StatusCode::kResourceExhausted) {
+        // Degradation 2: the dense O(n^2/2) matrix did not fit (really, or
+        // via an injected fault). The lazy backend answers bit-identically
+        // from O(n m) memory, just slower per query.
+        out.fallbacks.push_back(
+            "dense backend allocation failed; retried with lazy backend");
+        out.outcome = MergeOutcomes(out.outcome, RunOutcome::kFellBack);
+        TelemetryCount(telemetry, "aggregate.fallback.dense_to_lazy");
+        source_options.backend = DistanceBackend::kLazy;
+        return CorrelationInstance::Build(input, effective.missing,
+                                          source_options);
+      }
+      return first;
+    }();
     if (!built.ok()) {
       if (RunContext::IsInterrupt(built.status())) {
         // Degradation 3: the budget fired while the instance was still
@@ -147,12 +167,16 @@ Result<AggregationResult> Aggregate(const ClusteringSet& input,
             "all-singletons partition");
         out.outcome = MergeOutcomes(
             out.outcome, RunContext::OutcomeFromInterrupt(built.status()));
+        TelemetryCount(telemetry, "aggregate.fallback.build_interrupted");
         return Clustering::AllSingletons(input.num_objects());
       }
       return built.status();
     }
     const CorrelationInstance& instance = *built;
-    Result<ClustererRun> result = (*clusterer)->RunControlled(instance, run);
+    Result<ClustererRun> result = [&] {
+      InstrumentedSpan cluster_span(telemetry, "cluster");
+      return (*clusterer)->RunControlled(instance, run);
+    }();
     if (!result.ok()) return result.status();
     out.outcome = MergeOutcomes(out.outcome, result->outcome);
     if (effective.refine_with_local_search &&
@@ -164,8 +188,10 @@ Result<AggregationResult> Aggregate(const ClusteringSet& input,
         out.fallbacks.push_back(
             "budget fired before LOCALSEARCH refinement; returning the "
             "unrefined clustering");
+        TelemetryCount(telemetry, "aggregate.fallback.refine_skipped");
         return std::move(result->clustering);
       }
+      InstrumentedSpan refine_span(telemetry, "refine");
       LocalSearchClusterer refiner(effective.local_search);
       Result<ClustererRun> refined =
           refiner.RunFromControlled(instance, result->clustering, run);
@@ -177,9 +203,12 @@ Result<AggregationResult> Aggregate(const ClusteringSet& input,
   }();
   if (!clustering.ok()) return clustering.status();
 
+  InstrumentedSpan score_span(telemetry, "score");
   Result<double> disagreements =
       input.TotalDisagreements(*clustering, options.missing);
   if (!disagreements.ok()) return disagreements.status();
+  TelemetrySetGauge(telemetry, "aggregate.clusters",
+                    static_cast<std::int64_t>(clustering->NumClusters()));
   out.clustering = std::move(*clustering);
   out.total_disagreements = *disagreements;
   return out;

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/rng.h"
+#include "core/instrumentation.h"
 #include "core/internal/move_state.h"
 
 namespace clustagg {
@@ -64,7 +65,9 @@ Result<ClustererRun> AnnealingClusterer::RunControlled(
   double temperature =
       options_.initial_temperature_factor * mean_abs_delta;
 
+  Telemetry* telemetry = run.telemetry();
   RunOutcome outcome = RunOutcome::kConverged;
+  double cumulative_delta = 0.0;
   for (std::size_t level = 0; level < options_.max_levels; ++level) {
     if ((outcome = run.Poll()) != RunOutcome::kConverged) break;
     std::size_t accepted = 0;
@@ -80,9 +83,17 @@ Result<ClustererRun> AnnealingClusterer::RunControlled(
       if (delta <= 0.0 ||
           rng.NextDouble() < std::exp(-delta / temperature)) {
         state.Apply(v, target);
+        cumulative_delta += delta;
         ++accepted;
       }
     }
+    // Convergence sample per temperature level: cumulative cost change
+    // of all accepted moves (negative = net improvement) and how many
+    // proposals this level accepted.
+    TelemetryTracePoint(telemetry, "annealing", level, cumulative_delta,
+                        accepted);
+    TelemetryCount(telemetry, "annealing.levels");
+    TelemetryCount(telemetry, "annealing.accepted_moves", accepted);
     if (outcome != RunOutcome::kConverged) break;
     const double rate =
         static_cast<double>(accepted) /
@@ -105,7 +116,10 @@ Result<ClustererRun> AnnealingClusterer::RunControlled(
           run.ChargeIterations(64);
           if ((outcome = run.Poll()) != RunOutcome::kConverged) break;
         }
-        any_move |= state.TryImproveBest(v, 1e-7);
+        if (state.TryImproveBest(v, 1e-7)) {
+          any_move = true;
+          TelemetryCount(telemetry, "annealing.descent_moves");
+        }
       }
       if (outcome != RunOutcome::kConverged) break;
       ++passes;

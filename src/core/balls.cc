@@ -6,6 +6,8 @@
 #include <utility>
 #include <vector>
 
+#include "core/instrumentation.h"
+
 namespace clustagg {
 
 Result<ClustererRun> BallsClusterer::RunControlled(
@@ -71,9 +73,14 @@ Result<ClustererRun> BallsClusterer::RunControlled(
     if (!ball.empty() &&
         total / static_cast<double>(ball.size()) <= options_.alpha) {
       for (std::size_t v : ball) labels[v] = cluster;
+      TelemetryCount(run.telemetry(), "balls.balls_accepted");
+      TelemetryCount(run.telemetry(), "balls.members_absorbed", ball.size());
+    } else {
+      // u stays a singleton and the ball members remain available to
+      // later vertices.
+      TelemetryCount(run.telemetry(), "balls.balls_rejected");
     }
-    // Otherwise u stays a singleton and the ball members remain available
-    // to later vertices.
+    TelemetryCount(run.telemetry(), "balls.clusters_opened");
   }
   return ClustererRun{Clustering(std::move(labels)).Normalized(), outcome};
 }

@@ -1,5 +1,7 @@
 #include "core/best_clustering.h"
 
+#include "core/instrumentation.h"
+
 namespace clustagg {
 
 Result<BestClusteringResult> BestClustering(
@@ -24,6 +26,11 @@ Result<BestClusteringResult> BestClustering(const ClusteringSet& input,
     Clustering candidate = input.clustering(i).WithMissingAsSingletons();
     Result<double> d = input.TotalDisagreements(candidate, missing);
     if (!d.ok()) return d.status();
+    // Per-candidate sample: (input index, its total disagreements,
+    // 1 when it became the new best).
+    TelemetryTracePoint(run.telemetry(), "bestclustering", i, *d,
+                        (first || *d < best.total_disagreements) ? 1 : 0);
+    TelemetryCount(run.telemetry(), "bestclustering.candidates_scored");
     if (first || *d < best.total_disagreements) {
       first = false;
       best.index = i;

@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/parallel.h"
+#include "core/instrumentation.h"
 
 namespace clustagg {
 
@@ -96,6 +97,7 @@ Result<double> CorrelationInstance::Cost(const Clustering& candidate,
         "candidate clustering must be complete (no missing labels)");
   }
   if (n == 0) return 0.0;
+  TelemetryCount(run.telemetry(), "instance.cost_evals");
 
   // Each row's pairs (u, v > u) are summed sequentially in ascending v
   // into row_cost[u]; the rows are then reduced in ascending u. Both

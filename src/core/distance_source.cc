@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "common/parallel.h"
 #include "core/clustering.h"
+#include "core/instrumentation.h"
 
 namespace clustagg {
 
@@ -95,6 +96,10 @@ Result<std::shared_ptr<const DenseDistanceSource>> BuildDenseFromColumns(
   std::vector<float>& packed = distances.packed();
   const std::size_t threads =
       EffectiveRowThreads(n, ResolveThreadCount(num_threads));
+  TelemetryCount(run.telemetry(), "build.dense_builds");
+  TelemetrySetGauge(run.telemetry(), "build.dense_threads",
+                    static_cast<std::int64_t>(threads));
+  InstrumentedTimer build_timer(run.telemetry(), "build.dense_nanos");
   // Rows of the triangle are disjoint contiguous slices of the packed
   // store, so every thread writes its own memory and the result is
   // schedule-independent. A half-filled matrix is unusable, so when the
@@ -221,6 +226,7 @@ Result<std::shared_ptr<const DistanceSource>> BuildDistanceSource(
       Result<std::shared_ptr<const LazyDistanceSource>> lazy =
           LazyDistanceSource::Build(input, missing);
       if (!lazy.ok()) return lazy.status();
+      TelemetryCount(options.run.telemetry(), "build.lazy_builds");
       return std::shared_ptr<const DistanceSource>(std::move(lazy).value());
     }
   }
@@ -242,6 +248,7 @@ Result<std::shared_ptr<const DistanceSource>> BuildDistanceSourceSubset(
       Result<std::shared_ptr<const LazyDistanceSource>> lazy =
           LazyDistanceSource::BuildSubset(input, subset, missing);
       if (!lazy.ok()) return lazy.status();
+      TelemetryCount(options.run.telemetry(), "build.lazy_builds");
       return std::shared_ptr<const DistanceSource>(std::move(lazy).value());
     }
   }

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/symmetric_matrix.h"
+#include "core/instrumentation.h"
 
 namespace clustagg {
 
@@ -48,10 +49,12 @@ class ExactSearch {
   /// incumbent starts as the all-in-one-cluster assignment.)
   ClustererRun Solve(const RunContext& run) {
     run_ = &run;
+    telemetry_ = run.telemetry();
     stop_ = RunOutcome::kConverged;
     nodes_ = 0;
     best_cost_ = std::numeric_limits<double>::infinity();
     Recurse(0, 0, 0.0);
+    TelemetryCount(telemetry_, "exact.nodes", nodes_);
     std::vector<Clustering::Label> labels(n_);
     for (std::size_t v = 0; v < n_; ++v) {
       labels[v] = static_cast<Clustering::Label>(best_labels_[v]);
@@ -75,6 +78,9 @@ class ExactSearch {
     if (i == n_) {
       best_cost_ = partial;
       best_labels_ = labels_;
+      // Incumbent improvements: (nodes expanded so far, new best cost,
+      // clusters in the incumbent). Rare relative to node expansions.
+      TelemetryTracePoint(telemetry_, "exact", nodes_, best_cost_, used);
       return;
     }
     // Try clusters 0..used-1 and a fresh cluster `used`.
@@ -96,6 +102,7 @@ class ExactSearch {
   std::vector<double> remaining_lb_;
   double best_cost_ = 0.0;
   const RunContext* run_ = nullptr;
+  Telemetry* telemetry_ = nullptr;
   RunOutcome stop_ = RunOutcome::kConverged;
   std::uint64_t nodes_ = 0;
 };

@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/parallel.h"
+#include "core/instrumentation.h"
 
 namespace clustagg {
 
@@ -143,6 +144,11 @@ Result<ClustererRun> FurthestClusterer::RunControlled(
       }
       return cost.status();
     }
+    // Convergence sample per traversal step: (centers tried, candidate
+    // cost, 1 when the candidate became the new best).
+    TelemetryTracePoint(run.telemetry(), "furthest", centers.size(), *cost,
+                        *cost < *best_cost ? 1 : 0);
+    TelemetryCount(run.telemetry(), "furthest.candidates");
     if (*cost < *best_cost) {
       best_cost = *cost;
       best_clustering = std::move(candidate);

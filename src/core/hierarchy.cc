@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/union_find.h"
+#include "core/instrumentation.h"
 
 namespace clustagg {
 
@@ -148,6 +149,14 @@ Result<Dendrogram> AgglomerateFull(SymmetricMatrix<double> distances,
         const std::size_t a = std::min(c, prev);
         const std::size_t b = std::max(c, prev);
         dendrogram.merges.push_back({rep[a], rep[b], best_dist});
+        // Merge trajectory: (merge step, linkage distance of the pair
+        // merged, clusters remaining after the merge). Note the NN-chain
+        // discovers merges out of height order; the trace preserves
+        // discovery order.
+        TelemetryTracePoint(run.telemetry(), "agglomerative",
+                            dendrogram.merges.size() - 1, best_dist,
+                            num_active - 1);
+        TelemetryCount(run.telemetry(), "agglomerative.merges");
         const double sa = sizes[a];
         const double sb = sizes[b];
         const double dab = distances(a, b);

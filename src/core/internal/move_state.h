@@ -90,8 +90,12 @@ class MoveState {
 
   /// Greedy step: evaluates every move for v and applies the best one if
   /// it improves on staying by more than `min_improvement` (allocation-
-  /// free; the hot path of LOCALSEARCH). Returns true if v moved.
-  bool TryImproveBest(std::size_t v, double min_improvement) {
+  /// free; the hot path of LOCALSEARCH). Returns true if v moved; a move
+  /// adds its cost decrease (strictly positive) to *improvement when the
+  /// pointer is non-null, letting callers accumulate a convergence curve
+  /// without re-deriving costs.
+  bool TryImproveBest(std::size_t v, double min_improvement,
+                      double* improvement = nullptr) {
     const std::size_t current = assignment_[v];
     const std::size_t k = sizes_.size();
     double t = 0.0;
@@ -114,6 +118,7 @@ class MoveState {
     if (best == current || stay_cost - best_cost <= min_improvement) {
       return false;
     }
+    if (improvement != nullptr) *improvement += stay_cost - best_cost;
     Apply(v, best);
     return true;
   }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "core/instrumentation.h"
 #include "core/internal/move_state.h"
 
 namespace clustagg {
@@ -78,20 +79,31 @@ Result<ClustererRun> LocalSearchClusterer::RunFromControlled(
   std::vector<std::size_t> order(n);
   for (std::size_t v = 0; v < n; ++v) order[v] = v;
 
+  Telemetry* telemetry = run.telemetry();
   RunOutcome outcome = RunOutcome::kConverged;
+  double cumulative_improvement = 0.0;
   for (std::size_t pass = 0; pass < options_.max_passes; ++pass) {
     if ((outcome = run.Poll()) != RunOutcome::kConverged) break;
     if (options_.shuffle_order) order = rng.Permutation(n);
-    bool any_move = false;
+    std::size_t moves_this_pass = 0;
     for (std::size_t i = 0; i < n; ++i) {
       if (i % 64 == 63) {
         run.ChargeIterations(64);
         if ((outcome = run.Poll()) != RunOutcome::kConverged) break;
       }
-      any_move |= state.TryImproveBest(order[i], options_.min_improvement);
+      if (state.TryImproveBest(order[i], options_.min_improvement,
+                               &cumulative_improvement)) {
+        ++moves_this_pass;
+      }
     }
+    // Convergence sample per pass: cumulative cost decrease since the
+    // starting partition, plus how many objects moved this pass.
+    TelemetryTracePoint(telemetry, "localsearch", pass,
+                        cumulative_improvement, moves_this_pass);
+    TelemetryCount(telemetry, "localsearch.passes");
+    TelemetryCount(telemetry, "localsearch.moves", moves_this_pass);
     if (outcome != RunOutcome::kConverged) break;
-    if (!any_move) break;
+    if (moves_this_pass == 0) break;
   }
   // Every applied move lowered the cost, so the state is valid and at
   // least as good as `initial` wherever the sweep stopped.

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/union_find.h"
+#include "core/instrumentation.h"
 
 namespace clustagg {
 
@@ -17,6 +18,7 @@ Result<ClustererRun> MajorityClusterer::RunControlled(
   UnionFind uf(n);
   std::vector<double> row(n);
   RunOutcome outcome = RunOutcome::kConverged;
+  std::uint64_t links = 0;
   for (std::size_t u = 0; u < n; ++u) {
     run.ChargeIterations(1);
     if ((outcome = run.Poll()) != RunOutcome::kConverged) break;
@@ -24,9 +26,11 @@ Result<ClustererRun> MajorityClusterer::RunControlled(
     for (std::size_t v = u + 1; v < n; ++v) {
       if (row[v] < options_.link_threshold) {
         uf.Union(u, v);
+        ++links;
       }
     }
   }
+  TelemetryCount(run.telemetry(), "majority.links", links);
   // A partial link scan still yields a valid partition: unseen pairs are
   // simply left unlinked, as if they fell below the majority.
   return ClustererRun{Clustering(uf.ComponentLabels()), outcome};

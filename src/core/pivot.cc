@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "core/instrumentation.h"
 
 namespace clustagg {
 
@@ -81,6 +82,11 @@ Result<ClustererRun> PivotClusterer::RunControlled(
       }
       return cost.status();
     }
+    // Convergence sample per repetition: (repetition, candidate cost,
+    // 1 when it became the new best).
+    TelemetryTracePoint(run.telemetry(), "pivot", r, *cost,
+                        (r == 0 || *cost < best_cost) ? 1 : 0);
+    TelemetryCount(run.telemetry(), "pivot.repetitions");
     if (r == 0 || *cost < best_cost) {
       best = std::move(candidate);
       best_cost = *cost;

@@ -12,6 +12,7 @@
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "core/correlation_instance.h"
+#include "core/instrumentation.h"
 
 namespace clustagg {
 
@@ -145,10 +146,15 @@ Result<ClustererRun> SamplingAggregateControlled(
       n, 2), n);
   if (stats != nullptr) *stats = SamplingStats{};
   if (stats != nullptr) stats->sample_size = sample_size;
+  Telemetry* telemetry = run.telemetry();
+  TelemetrySetGauge(telemetry, "sampling.sample_size",
+                    static_cast<std::int64_t>(sample_size));
 
   Stopwatch watch;
 
   // Phase 1: aggregate a uniform sample.
+  const std::size_t sample_span = TelemetryBeginSpan(telemetry,
+                                                     "sampling.sample");
   Rng rng(opts.seed);
   std::vector<std::size_t> sample = rng.SampleWithoutReplacement(n,
                                                                  sample_size);
@@ -171,6 +177,9 @@ Result<ClustererRun> SamplingAggregateControlled(
   const Clustering& sample_clustering = sample_run->clustering;
   if (stats != nullptr) stats->sample_phase_seconds = watch.ElapsedSeconds();
   watch.Restart();
+  TelemetryEndSpan(telemetry, sample_span);
+  const std::size_t assign_span = TelemetryBeginSpan(telemetry,
+                                                     "sampling.assign");
 
   // Cluster member lists in *global* object ids.
   std::vector<std::vector<std::size_t>> clusters;
@@ -257,6 +266,9 @@ Result<ClustererRun> SamplingAggregateControlled(
   }
   if (stats != nullptr) stats->assign_phase_seconds = watch.ElapsedSeconds();
   watch.Restart();
+  TelemetryEndSpan(telemetry, assign_span);
+  const std::size_t recluster_span = TelemetryBeginSpan(
+      telemetry, "sampling.recluster");
 
   // Phase 3: the assignment phase leaves too many singletons (Section
   // 4.1); collect every current singleton — including size-1 sample
@@ -319,6 +331,9 @@ Result<ClustererRun> SamplingAggregateControlled(
     stats->recluster_phase_seconds = watch.ElapsedSeconds();
     stats->singletons_after_assignment = singleton_objects.size();
   }
+  TelemetryEndSpan(telemetry, recluster_span);
+  TelemetrySetGauge(telemetry, "sampling.singletons_after_assignment",
+                    static_cast<std::int64_t>(singleton_objects.size()));
 
   return ClustererRun{Clustering(std::move(final_labels)).Normalized(),
                       outcome};

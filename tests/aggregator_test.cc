@@ -123,6 +123,39 @@ TEST(AggregatorTest, ExactIgnoresSamplingRequest) {
   EXPECT_NEAR(result->total_disagreements, 5.0, 1e-9);
 }
 
+TEST(AggregatorTest, ExactIgnoresSamplingEvenWhenItFallsBack) {
+  // Regression: sampling eligibility is decided by the *requested*
+  // algorithm. When EXACT on a large input degrades to BALLS +
+  // LOCALSEARCH, the documented "sampling_size is ignored for kExact"
+  // contract must survive the swap — the fallback run must match the
+  // non-sampled BALLS reference, not a sampled one.
+  std::vector<Clustering::Label> labels(120);
+  for (std::size_t i = 0; i < 120; ++i) {
+    labels[i] = static_cast<Clustering::Label>((i * 7) % 5);
+  }
+  const Clustering base(labels);
+  const ClusteringSet input = *ClusteringSet::Create({base, base, base});
+
+  AggregatorOptions options;
+  options.algorithm = AggregationAlgorithm::kExact;  // 120 >> tractable
+  options.sampling_size = 20;
+  options.sampling.seed = 5;
+  options.num_threads = 1;
+  Result<AggregationResult> fell_back = Aggregate(input, options);
+  ASSERT_TRUE(fell_back.ok());
+  ASSERT_FALSE(fell_back->fallbacks.empty());
+
+  AggregatorOptions reference = options;
+  reference.algorithm = AggregationAlgorithm::kBalls;
+  reference.refine_with_local_search = true;
+  reference.sampling_size = 0;  // what "ignored" must mean
+  Result<AggregationResult> expected = Aggregate(input, reference);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_TRUE(fell_back->clustering.SamePartition(expected->clustering));
+  EXPECT_DOUBLE_EQ(fell_back->total_disagreements,
+                   expected->total_disagreements);
+}
+
 TEST(AggregatorTest, UnanimousInputsCostZero) {
   const Clustering truth({0, 0, 1, 2, 2});
   const ClusteringSet input = *ClusteringSet::Create({truth, truth});

@@ -52,3 +52,59 @@ execute_process(COMMAND ${CLI} aggregate --csv ${WORK}/votes.csv
 if(rc EQUAL 0)
   message(FATAL_ERROR "unknown backend should fail")
 endif()
+
+# --stats=json telemetry: with telemetry compiled in the dump carries the
+# phase spans and the clusterer's convergence trace; compiled out, every
+# call-site is a no-op and the same flag yields an empty span list.
+# Either way the flag must be accepted and the run must succeed.
+execute_process(COMMAND ${CLI} aggregate --csv ${WORK}/votes.csv
+                --class-column class --algorithm localsearch
+                --threads 1 --fake-clock --stats=json
+                --out ${WORK}/agg_stats.labels
+                RESULT_VARIABLE rc ERROR_VARIABLE stats1)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--stats=json aggregate failed: ${rc}")
+endif()
+if(TELEMETRY)
+  foreach(needle "\"aggregate\"" "\"build_instance\"" "\"cluster\""
+                 "localsearch")
+    if(NOT stats1 MATCHES "${needle}")
+      message(FATAL_ERROR "--stats=json should mention ${needle}, "
+                          "got: ${stats1}")
+    endif()
+  endforeach()
+else()
+  if(NOT stats1 MATCHES "\"spans\": \\[\\]")
+    message(FATAL_ERROR "telemetry-off --stats=json should have no spans, "
+                        "got: ${stats1}")
+  endif()
+endif()
+
+# Byte-stability: the same run under --fake-clock --threads 1 must emit
+# byte-identical JSON (the docs/observability.md determinism contract).
+execute_process(COMMAND ${CLI} aggregate --csv ${WORK}/votes.csv
+                --class-column class --algorithm localsearch
+                --threads 1 --fake-clock --stats=json
+                --out ${WORK}/agg_stats.labels
+                RESULT_VARIABLE rc ERROR_VARIABLE stats2)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "second --stats=json aggregate failed: ${rc}")
+endif()
+if(NOT stats1 STREQUAL stats2)
+  message(FATAL_ERROR "--stats=json under --fake-clock should be "
+                      "byte-stable across runs")
+endif()
+
+# Table mode and flag validation.
+execute_process(COMMAND ${CLI} aggregate --csv ${WORK}/votes.csv
+                --class-column class --algorithm furthest --stats=table
+                RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--stats=table aggregate failed: ${rc}")
+endif()
+execute_process(COMMAND ${CLI} aggregate --csv ${WORK}/votes.csv
+                --class-column class --stats=bogus
+                RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "--stats=bogus should be rejected")
+endif()

@@ -1,0 +1,204 @@
+// Property-based sweep over randomized ClusteringSets: the disagreement
+// distance is a metric, the naive and contingency-table implementations
+// agree exactly, every clusterer's output cost is at least the per-pair
+// lower bound, and the aggregation cost is invariant under label
+// permutation and object reordering. Each check runs over many seeded
+// random instances; the seed is attached via SCOPED_TRACE so a failure
+// names the instance that produced it.
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/aggregator.h"
+#include "core/clustering.h"
+#include "core/clustering_set.h"
+#include "core/disagreement.h"
+#include "core/lower_bound.h"
+
+namespace clustagg {
+namespace {
+
+Clustering RandomClustering(std::size_t n, std::size_t max_clusters,
+                            Rng* rng) {
+  std::vector<Clustering::Label> labels(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    labels[v] = static_cast<Clustering::Label>(
+        rng->NextBounded(max_clusters));
+  }
+  return Clustering(std::move(labels));
+}
+
+ClusteringSet RandomClusteringSet(std::size_t n, std::size_t m,
+                                  std::size_t max_clusters, Rng* rng) {
+  std::vector<Clustering> inputs;
+  inputs.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    inputs.push_back(RandomClustering(n, max_clusters, rng));
+  }
+  Result<ClusteringSet> set = ClusteringSet::Create(std::move(inputs));
+  EXPECT_TRUE(set.ok()) << set.status().message();
+  return *std::move(set);
+}
+
+/// A uniformly random permutation of 0..n-1.
+std::vector<std::size_t> RandomPermutation(std::size_t n, Rng* rng) {
+  std::vector<std::size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  for (std::size_t i = n; i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng->NextBounded(i)]);
+  }
+  return perm;
+}
+
+// (a) d is a metric: d(a, a) = 0, d(a, b) = d(b, a), and the triangle
+// inequality d(a, c) <= d(a, b) + d(b, c) (the paper's Observation 1),
+// checked on sampled triples of random clusterings.
+TEST(PropertyTest, DisagreementDistanceIsAMetric) {
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    SCOPED_TRACE("seed = " + std::to_string(seed));
+    Rng rng(seed);
+    const std::size_t n = 2 + rng.NextBounded(40);
+    const std::size_t k = 1 + rng.NextBounded(6);
+    const Clustering a = RandomClustering(n, k, &rng);
+    const Clustering b = RandomClustering(n, k, &rng);
+    const Clustering c = RandomClustering(n, k, &rng);
+    EXPECT_EQ(*DisagreementDistance(a, a), 0u);
+    EXPECT_EQ(*DisagreementDistance(a, b), *DisagreementDistance(b, a));
+    EXPECT_LE(*DisagreementDistance(a, c),
+              *DisagreementDistance(a, b) + *DisagreementDistance(b, c));
+    // d(a, b) = 0 must mean the partitions are identical up to label
+    // names, i.e. equal after normalization.
+    if (*DisagreementDistance(a, b) == 0) {
+      EXPECT_EQ(a.Normalized().labels(), b.Normalized().labels());
+    }
+  }
+}
+
+// (b) The O(n^2) definition-level count and the contingency-table
+// pair-counting count agree exactly — not approximately — on random
+// complete clusterings of varying shape.
+TEST(PropertyTest, NaiveAndContingencyDistancesAgreeExactly) {
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    SCOPED_TRACE("seed = " + std::to_string(seed));
+    Rng rng(seed);
+    const std::size_t n = 1 + rng.NextBounded(64);
+    const Clustering a =
+        RandomClustering(n, 1 + rng.NextBounded(n), &rng);
+    const Clustering b =
+        RandomClustering(n, 1 + rng.NextBounded(n), &rng);
+    EXPECT_EQ(*DisagreementDistance(a, b), *DisagreementDistanceNaive(a, b));
+  }
+}
+
+// (c) Every clusterer's output cost D(C) is at least the per-pair lower
+// bound sum over pairs of m * min(X_uv, 1 - X_uv): no algorithm may
+// report a cost below what any partition must pay.
+TEST(PropertyTest, EveryClustererCostAtLeastLowerBound) {
+  const AggregationAlgorithm algorithms[] = {
+      AggregationAlgorithm::kBestClustering,
+      AggregationAlgorithm::kBalls,
+      AggregationAlgorithm::kAgglomerative,
+      AggregationAlgorithm::kFurthest,
+      AggregationAlgorithm::kLocalSearch,
+      AggregationAlgorithm::kPivot,
+      AggregationAlgorithm::kAnnealing,
+      AggregationAlgorithm::kMajority,
+      AggregationAlgorithm::kExact,
+  };
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    SCOPED_TRACE("seed = " + std::to_string(seed));
+    Rng rng(seed);
+    // Small enough that EXACT runs as-is (no fallback): its oracle
+    // answer anchors the sweep from below.
+    const std::size_t n = 6 + rng.NextBounded(6);
+    const ClusteringSet input =
+        RandomClusteringSet(n, 3 + rng.NextBounded(4), 4, &rng);
+    const double bound = DisagreementLowerBound(input);
+    double exact_cost = -1.0;
+    for (AggregationAlgorithm algorithm : algorithms) {
+      SCOPED_TRACE(AggregationAlgorithmName(algorithm));
+      AggregatorOptions options;
+      options.algorithm = algorithm;
+      options.num_threads = 1;
+      Result<AggregationResult> result = Aggregate(input, options);
+      ASSERT_TRUE(result.ok()) << result.status().message();
+      // Tolerance only for float rounding in X_uv; the bound itself is
+      // not approximate.
+      EXPECT_GE(result->total_disagreements, bound - 1e-6);
+      if (algorithm == AggregationAlgorithm::kExact) {
+        exact_cost = result->total_disagreements;
+      } else if (exact_cost >= 0.0) {
+        EXPECT_GE(result->total_disagreements, exact_cost - 1e-6);
+      }
+    }
+  }
+}
+
+// (d) D(C) depends only on the partition structure: renaming the
+// candidate's cluster labels changes nothing (bit-exact), and applying
+// one permutation to the objects of every input and the candidate
+// changes at most the accumulation order.
+TEST(PropertyTest, CostInvariantUnderLabelPermutation) {
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    SCOPED_TRACE("seed = " + std::to_string(seed));
+    Rng rng(seed);
+    const std::size_t n = 2 + rng.NextBounded(48);
+    const std::size_t k = 1 + rng.NextBounded(8);
+    const ClusteringSet input =
+        RandomClusteringSet(n, 2 + rng.NextBounded(5), k, &rng);
+    const Clustering candidate = RandomClustering(n, k, &rng);
+    // Rename label L to a distinct arbitrary id (13 L + 7 is injective
+    // over the label range used here).
+    std::vector<Clustering::Label> renamed(n);
+    for (std::size_t v = 0; v < n; ++v) {
+      renamed[v] = 13 * candidate.label(v) + 7;
+    }
+    const Result<double> base = input.TotalDisagreements(candidate);
+    const Result<double> permuted =
+        input.TotalDisagreements(Clustering(std::move(renamed)));
+    ASSERT_TRUE(base.ok() && permuted.ok());
+    EXPECT_EQ(*base, *permuted);
+  }
+}
+
+TEST(PropertyTest, CostInvariantUnderObjectReordering) {
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    SCOPED_TRACE("seed = " + std::to_string(seed));
+    Rng rng(seed);
+    const std::size_t n = 2 + rng.NextBounded(48);
+    const std::size_t k = 1 + rng.NextBounded(8);
+    const std::size_t m = 2 + rng.NextBounded(5);
+    std::vector<Clustering> inputs;
+    for (std::size_t i = 0; i < m; ++i) {
+      inputs.push_back(RandomClustering(n, k, &rng));
+    }
+    const Clustering candidate = RandomClustering(n, k, &rng);
+    const std::vector<std::size_t> perm = RandomPermutation(n, &rng);
+
+    auto reorder = [&](const Clustering& c) {
+      std::vector<Clustering::Label> labels(n);
+      for (std::size_t v = 0; v < n; ++v) labels[perm[v]] = c.label(v);
+      return Clustering(std::move(labels));
+    };
+    std::vector<Clustering> reordered;
+    for (const Clustering& c : inputs) reordered.push_back(reorder(c));
+
+    const ClusteringSet set = *ClusteringSet::Create(std::move(inputs));
+    const ClusteringSet reordered_set =
+        *ClusteringSet::Create(std::move(reordered));
+    const Result<double> base = set.TotalDisagreements(candidate);
+    const Result<double> permuted =
+        reordered_set.TotalDisagreements(reorder(candidate));
+    ASSERT_TRUE(base.ok() && permuted.ok());
+    EXPECT_NEAR(*base, *permuted, 1e-9 * (1.0 + *base));
+  }
+}
+
+}  // namespace
+}  // namespace clustagg

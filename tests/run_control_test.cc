@@ -351,6 +351,69 @@ TEST(RunContextTest, OutcomeNamesAreStable) {
   EXPECT_STREQ(RunOutcomeName(RunOutcome::kFellBack), "fell_back");
 }
 
+// ----------------- outcome truthfulness across the degradation chain
+//
+// A run that both degrades AND hits its budget must report the budget
+// (deadline_exceeded outranks fell_back in MergeOutcomes): the fallback
+// is still listed in `fallbacks`, but the outcome tag tells the caller
+// the answer is a best-so-far, not a completed degraded run.
+
+TEST(RunControlDegradationTest, ExactFallbackPlusIterationBudget) {
+  // n = 40 is beyond EXACT's tractable size, so the pipeline swaps in
+  // BALLS + LOCALSEARCH; an 8-iteration budget then fires inside the
+  // substituted run.
+  AggregatorOptions options;
+  options.algorithm = AggregationAlgorithm::kExact;
+  options.num_threads = 1;
+  options.run = RunContext::WithIterationBudget(8);
+  Result<AggregationResult> result =
+      Aggregate(RandomInputWithMissing(40, 4, 3, 41), options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->fallbacks.empty());
+  EXPECT_NE(result->fallbacks[0].find("EXACT is intractable"),
+            std::string::npos);
+  EXPECT_EQ(result->outcome, RunOutcome::kDeadlineExceeded);
+  ExpectCompletePartition(result->clustering, 40);
+}
+
+TEST(RunControlDegradationTest, ExactFallbackPlusExpiredDeadline) {
+  AggregatorOptions options;
+  options.algorithm = AggregationAlgorithm::kExact;
+  options.num_threads = 1;
+  options.run =
+      RunContext::WithDeadlineAt(RunContext::Clock::now() - milliseconds(1));
+  Result<AggregationResult> result =
+      Aggregate(RandomInputWithMissing(40, 4, 3, 43), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->fallbacks.empty());
+  EXPECT_EQ(result->outcome, RunOutcome::kDeadlineExceeded);
+  ExpectCompletePartition(result->clustering, 40);
+}
+
+TEST(RunControlDegradationTest, DenseToLazyFallbackPlusExpiredDeadline) {
+  // The dense build's allocation fails (fault hook), forcing the lazy
+  // retry; the already-expired deadline then cuts the clustering run
+  // short. Severity: deadline_exceeded, with the dense->lazy note kept.
+  AggregatorOptions options;
+  options.algorithm = AggregationAlgorithm::kBalls;
+  options.backend = DistanceBackend::kDense;
+  options.num_threads = 1;
+  RunContext run =
+      RunContext::WithDeadlineAt(RunContext::Clock::now() - milliseconds(1));
+  FaultHooks hooks;
+  hooks.fail_allocation = [](std::size_t) { return true; };
+  run.set_fault_hooks(hooks);
+  options.run = run;
+  Result<AggregationResult> result =
+      Aggregate(RandomInputWithMissing(50, 4, 3, 47), options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->fallbacks.empty());
+  EXPECT_NE(result->fallbacks[0].find("dense backend allocation failed"),
+            std::string::npos);
+  EXPECT_EQ(result->outcome, RunOutcome::kDeadlineExceeded);
+  ExpectCompletePartition(result->clustering, 50);
+}
+
 TEST(RunContextTest, StopStatusRoundTrips) {
   const RunContext run = RunContext::Cancellable();
   const Status cancelled = run.StopStatus(RunOutcome::kCancelled);

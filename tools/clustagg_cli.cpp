@@ -19,6 +19,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <sstream>
 #include <cstring>
 #include <map>
 #include <optional>
@@ -35,7 +36,8 @@ namespace {
 
 using namespace clustagg;
 
-/// Minimal flag parser: --name value pairs plus positional arguments.
+/// Minimal flag parser: --name value (or --name=value) pairs plus
+/// positional arguments.
 class Args {
  public:
   Args(int argc, char** argv, int first) {
@@ -43,7 +45,10 @@ class Args {
       std::string arg = argv[i];
       if (arg.rfind("--", 0) == 0) {
         std::string name = arg.substr(2);
-        if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        if (const std::size_t eq = name.find('='); eq != std::string::npos) {
+          flags_[name.substr(0, eq)] = name.substr(eq + 1);
+        } else if (i + 1 < argc &&
+                   std::string(argv[i + 1]).rfind("--", 0) != 0) {
           flags_[name] = argv[++i];
         } else {
           flags_[name] = "";  // boolean flag
@@ -177,6 +182,25 @@ int CmdAggregate(const Args& args) {
   }
   options.allow_fallbacks = !args.Has("no-fallbacks");
 
+  // --stats[=json|table] attaches a Telemetry sink to the run and dumps
+  // it to stderr after the aggregation; --fake-clock swaps in the
+  // deterministic FakeClock so the dump is byte-stable across runs
+  // (used by the golden smoke test; see docs/observability.md).
+  const bool want_stats = args.Has("stats");
+  std::string stats_mode = args.Get("stats");
+  if (stats_mode.empty()) stats_mode = "table";
+  if (want_stats && stats_mode != "json" && stats_mode != "table") {
+    return Fail(Status::InvalidArgument("--stats expects 'json' or 'table', "
+                                        "got '" + stats_mode + "'"));
+  }
+  FakeClock fake_clock(0, 1000);
+  Telemetry telemetry(args.Has("fake-clock")
+                          ? static_cast<const clustagg::Clock*>(&fake_clock)
+                          : clustagg::Clock::Real());
+  if (want_stats) {
+    options.run = options.run.WithTelemetry(&telemetry);
+  }
+
   Result<AggregationResult> result = Aggregate(*input, options);
   if (!result.ok()) return Fail(result.status());
 
@@ -205,6 +229,15 @@ int CmdAggregate(const Args& args) {
     const auto sizes = result->clustering.ClusterSizes();
     for (std::size_t c = 0; c < sizes.size(); ++c) {
       std::fprintf(stderr, "  cluster %zu: %zu objects\n", c, sizes[c]);
+    }
+  }
+  if (want_stats) {
+    if (stats_mode == "json") {
+      std::fprintf(stderr, "%s\n", telemetry.ToJson().c_str());
+    } else {
+      std::ostringstream table;
+      telemetry.PrintTable(table);
+      std::fputs(table.str().c_str(), stderr);
     }
   }
 
@@ -332,6 +365,7 @@ int CmdHelp() {
       "            [--backend dense|lazy] [--threads N]\n"
       "            [--weights w1,w2,...] [--deadline-ms N]\n"
       "            [--no-fallbacks] [--out FILE] [--report]\n"
+      "            [--stats[=json|table]] [--fake-clock]\n"
       "      aggregate label files (one clustering per file, labels\n"
       "      whitespace-separated, '?' = missing) or the attribute\n"
       "      clusterings of a categorical CSV. --backend dense (default)\n"
@@ -344,7 +378,11 @@ int CmdHelp() {
       "      'converged'. --no-fallbacks disables graceful degradation\n"
       "      (dense->lazy on allocation failure, exact->balls+localsearch\n"
       "      beyond EXACT's tractable size); degradations taken are\n"
-      "      reported as 'fallback: ...' lines on stderr.\n"
+      "      reported as 'fallback: ...' lines on stderr. --stats dumps\n"
+      "      run telemetry (phase spans, counters, per-clusterer\n"
+      "      convergence traces; see docs/observability.md) to stderr as\n"
+      "      a table or JSON; --fake-clock substitutes a deterministic\n"
+      "      clock so --stats=json output is byte-stable.\n"
       "  eval <truth.labels> <candidate.labels>\n"
       "      rand / adjusted rand / NMI / disagreement distance.\n"
       "  gen <votes|mushrooms|census|gaussian> [--seed N] [--rows N]\n"

@@ -3,11 +3,13 @@
 
 // Shared helpers for the table/figure reproduction harnesses.
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "clustagg/clustagg.h"
@@ -43,6 +45,68 @@ inline void MaybeDumpStats(const std::string& label,
     telemetry.PrintTable(os);
     std::fputs(os.str().c_str(), stderr);
   }
+}
+
+/// Minimal ordered JSON-object builder for the machine-readable
+/// `BENCH_<name>.json` trajectory files: later PRs diff these against
+/// their own runs to catch performance regressions, so keys must stay
+/// stable and insertion-ordered. Values are numbers, strings, or nested
+/// objects; no arrays (a trajectory entry is a flat record of metrics).
+class JsonObject {
+ public:
+  JsonObject& Set(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    return SetRaw(key, buf);
+  }
+  JsonObject& Set(const std::string& key, std::int64_t value) {
+    return SetRaw(key, std::to_string(value));
+  }
+  JsonObject& Set(const std::string& key, std::size_t value) {
+    return SetRaw(key, std::to_string(value));
+  }
+  JsonObject& Set(const std::string& key, const std::string& value) {
+    std::string quoted = "\"";
+    for (char c : value) {
+      if (c == '"' || c == '\\') quoted += '\\';
+      quoted += c;
+    }
+    quoted += '"';
+    return SetRaw(key, quoted);
+  }
+  JsonObject& Set(const std::string& key, const JsonObject& nested) {
+    return SetRaw(key, nested.ToString(2));
+  }
+
+  std::string ToString(int indent = 0) const {
+    const std::string pad(static_cast<std::size_t>(indent) + 2, ' ');
+    std::string out = "{";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      out += i == 0 ? "\n" : ",\n";
+      out += pad + "\"" + fields_[i].first + "\": " + fields_[i].second;
+    }
+    out += "\n" + std::string(static_cast<std::size_t>(indent), ' ') + "}";
+    return out;
+  }
+
+ private:
+  JsonObject& SetRaw(const std::string& key, std::string rendered) {
+    fields_.emplace_back(key, std::move(rendered));
+    return *this;
+  }
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Writes one trajectory record to `path` (overwriting) and echoes the
+/// path to stderr so bench logs show where the machine-readable copy
+/// went.
+inline void WriteBenchJson(const std::string& path, const JsonObject& obj) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  CLUSTAGG_CHECK(f != nullptr);
+  const std::string text = obj.ToString() + "\n";
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
 }
 
 /// Ground-truth labels of a Dataset2D as a Clustering, giving each noise

@@ -33,6 +33,7 @@
 #include "core/majority.h"
 #include "core/pivot.h"
 #include "core/sampling.h"
+#include "core/signature_index.h"
 #include "data/synthetic2d.h"
 #include "data/synthetic_categorical.h"
 #include "ensemble/ensemble.h"

@@ -63,8 +63,12 @@ Result<ClustererRun> AgglomerativeClusterer::RunControlled(
   }
 
   RunOutcome outcome = RunOutcome::kConverged;
+  // Folded instances seed the merge sizes with the fold multiplicities,
+  // so average linkage weighs each folded object by the originals it
+  // stands for (empty = all singletons of size 1, the unfolded case).
   Result<Dendrogram> dendrogram = AgglomerateFull(
-      std::move(working), Linkage::kAverage, {}, run, &outcome);
+      std::move(working), Linkage::kAverage, instance.multiplicities(), run,
+      &outcome);
   if (!dendrogram.ok()) return dendrogram.status();
 
   if (options_.target_clusters > 0) {

@@ -1,11 +1,13 @@
 #include "core/aggregator.h"
 
+#include <optional>
 #include <string>
 #include <utility>
 
 #include "core/best_clustering.h"
 #include "core/correlation_instance.h"
 #include "core/instrumentation.h"
+#include "core/signature_index.h"
 
 namespace clustagg {
 
@@ -128,6 +130,7 @@ Result<AggregationResult> Aggregate(const ClusteringSet& input,
       sampling.missing = effective.missing;
       sampling.source.backend = effective.backend;
       sampling.source.num_threads = effective.num_threads;
+      sampling.fold = effective.fold;
       Result<ClustererRun> sampled = SamplingAggregateControlled(
           input, **clusterer, run, sampling);
       if (!sampled.ok()) return sampled.status();
@@ -135,12 +138,37 @@ Result<AggregationResult> Aggregate(const ClusteringSet& input,
       return std::move(sampled->clustering);
     }
 
+    // Duplicate-signature folding: when it shrinks the instance, the
+    // whole pipeline below (build, cluster, refine) runs in s-signature
+    // space and the labels are expanded to object space at the end.
+    std::optional<SignatureIndex> fold_index;
+    if (effective.fold) {
+      InstrumentedSpan fold_span(telemetry, "fold_index");
+      SignatureIndex signatures = SignatureIndex::Build(input);
+      out.fold_signatures = signatures.num_signatures();
+      TelemetrySetGauge(
+          telemetry, "aggregate.fold_signatures",
+          static_cast<std::int64_t>(signatures.num_signatures()));
+      if (!signatures.trivial()) {
+        out.folded = true;
+        TelemetryCount(telemetry, "aggregate.folds");
+        fold_index.emplace(std::move(signatures));
+      }
+    }
+
     DistanceSourceOptions source_options{effective.backend,
                                          effective.num_threads, run};
     Result<CorrelationInstance> built = [&]() -> Result<CorrelationInstance> {
       InstrumentedSpan build_span(telemetry, "build_instance");
-      Result<CorrelationInstance> first =
-          CorrelationInstance::Build(input, effective.missing, source_options);
+      auto build = [&]() {
+        return fold_index
+                   ? CorrelationInstance::BuildSubset(
+                         input, fold_index->representatives(),
+                         effective.missing, source_options)
+                   : CorrelationInstance::Build(input, effective.missing,
+                                                source_options);
+      };
+      Result<CorrelationInstance> first = build();
       if (!first.ok() && effective.backend == DistanceBackend::kDense &&
           effective.allow_fallbacks &&
           first.status().code() == StatusCode::kResourceExhausted) {
@@ -152,11 +180,18 @@ Result<AggregationResult> Aggregate(const ClusteringSet& input,
         out.outcome = MergeOutcomes(out.outcome, RunOutcome::kFellBack);
         TelemetryCount(telemetry, "aggregate.fallback.dense_to_lazy");
         source_options.backend = DistanceBackend::kLazy;
-        return CorrelationInstance::Build(input, effective.missing,
-                                          source_options);
+        return build();
       }
       return first;
     }();
+    if (built.ok() && fold_index) {
+      // Re-wrap the folded source with the signature multiplicities so
+      // every clusterer and reduction weighs each representative by the
+      // originals it stands for.
+      built = CorrelationInstance::FromSource(built->shared_source(),
+                                              effective.num_threads,
+                                              fold_index->multiplicities());
+    }
     if (!built.ok()) {
       if (RunContext::IsInterrupt(built.status())) {
         // Degradation 3: the budget fired while the instance was still
@@ -173,6 +208,11 @@ Result<AggregationResult> Aggregate(const ClusteringSet& input,
       return built.status();
     }
     const CorrelationInstance& instance = *built;
+    // Folded runs produce labels over the s signatures; expand maps them
+    // back to the n objects (a no-op lambda otherwise).
+    auto finish = [&](Clustering c) {
+      return fold_index ? fold_index->Expand(c) : std::move(c);
+    };
     Result<ClustererRun> result = [&] {
       InstrumentedSpan cluster_span(telemetry, "cluster");
       return (*clusterer)->RunControlled(instance, run);
@@ -189,7 +229,7 @@ Result<AggregationResult> Aggregate(const ClusteringSet& input,
             "budget fired before LOCALSEARCH refinement; returning the "
             "unrefined clustering");
         TelemetryCount(telemetry, "aggregate.fallback.refine_skipped");
-        return std::move(result->clustering);
+        return finish(std::move(result->clustering));
       }
       InstrumentedSpan refine_span(telemetry, "refine");
       LocalSearchClusterer refiner(effective.local_search);
@@ -197,9 +237,9 @@ Result<AggregationResult> Aggregate(const ClusteringSet& input,
           refiner.RunFromControlled(instance, result->clustering, run);
       if (!refined.ok()) return refined.status();
       out.outcome = MergeOutcomes(out.outcome, refined->outcome);
-      return std::move(refined->clustering);
+      return finish(std::move(refined->clustering));
     }
-    return std::move(result->clustering);
+    return finish(std::move(result->clustering));
   }();
   if (!clustering.ok()) return clustering.status();
 

@@ -79,6 +79,20 @@ struct AggregatorOptions {
   std::size_t sampling_size = 0;
   SamplingOptions sampling;
 
+  /// Opt-in duplicate-signature folding: group objects whose full m-label
+  /// tuple is identical across the inputs (SignatureIndex), build the
+  /// s x s instance over one representative per signature with the group
+  /// sizes as multiplicity weights, run the clusterer there, and expand
+  /// the labels back to object space. Exact — duplicates have pairwise
+  /// distance 0 and identical distance rows, so the folded objective
+  /// equals the original one — and a documented no-op when every object
+  /// is unique (s == n), where the full instance is built as usual.
+  /// Categorical datasets shaped like the paper's Mushrooms / Census
+  /// evaluations shrink dramatically (dense build O(n^2 m) -> O(s^2 m)).
+  /// Under sampling, the sampled sub-instances are folded instead.
+  /// Ignored for kBestClustering (which never builds an instance).
+  bool fold = false;
+
   /// Wall-clock / iteration budget, cancellation flag, and fault hooks
   /// for the whole pipeline (instance build, clustering, refinement).
   /// Default: unlimited. When the budget fires the pipeline returns the
@@ -110,6 +124,15 @@ struct AggregationResult {
   /// Human-readable notes, one per degradation taken (e.g.
   /// "dense backend allocation failed; retried with lazy backend").
   std::vector<std::string> fallbacks;
+  /// True when AggregatorOptions::fold was on and actually shrank the
+  /// instance (s < n distinct signatures). False when folding was off,
+  /// was a no-op (every object unique), or the run went through sampling
+  /// (whose per-subset folds are not surfaced here).
+  bool folded = false;
+  /// Number of distinct signatures s found when folding was requested
+  /// (== num_objects when the fold was a no-op); 0 when folding was off
+  /// or the run went through sampling.
+  std::size_t fold_signatures = 0;
 };
 
 /// Instantiates the requested correlation clusterer (not

@@ -56,22 +56,29 @@ Result<ClustererRun> BallsClusterer::RunControlled(
     }
     // Gather the ball: unclustered vertices within distance 1/2 of u.
     // One bulk row query per ball center keeps the lazy backend at one
-    // O(n m) pass per opened cluster.
+    // O(n m) pass per opened cluster. Under folding each member counts
+    // with its multiplicity, and the w_u - 1 originals folded into u
+    // itself sit in the ball at distance 0 — so the weighted average
+    // equals the unfolded ball average exactly. Unfolded instances have
+    // every weight 1.0, reproducing the historical count arithmetic bit
+    // for bit.
     instance.FillRow(u, row);
     ball.clear();
     double total = 0.0;
+    double ball_weight = instance.multiplicity(u) - 1.0;
     for (std::size_t v = 0; v < n; ++v) {
       if (v == u || labels[v] != Clustering::kMissing) continue;
       const double x = row[v];
       if (x <= 0.5) {
+        const double wv = instance.multiplicity(v);
         ball.push_back(v);
-        total += x;
+        total += wv * x;
+        ball_weight += wv;
       }
     }
     const Clustering::Label cluster = next_label++;
     labels[u] = cluster;
-    if (!ball.empty() &&
-        total / static_cast<double>(ball.size()) <= options_.alpha) {
+    if (ball_weight > 0.0 && total / ball_weight <= options_.alpha) {
       for (std::size_t v : ball) labels[v] = cluster;
       TelemetryCount(run.telemetry(), "balls.balls_accepted");
       TelemetryCount(run.telemetry(), "balls.members_absorbed", ball.size());

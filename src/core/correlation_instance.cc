@@ -65,8 +65,13 @@ Result<CorrelationInstance> CorrelationInstance::BuildSubset(
 }
 
 CorrelationInstance CorrelationInstance::FromSource(
-    std::shared_ptr<const DistanceSource> source, std::size_t num_threads) {
-  return CorrelationInstance(std::move(source), num_threads);
+    std::shared_ptr<const DistanceSource> source, std::size_t num_threads,
+    std::vector<double> multiplicities) {
+  if (!multiplicities.empty() && source != nullptr) {
+    CLUSTAGG_CHECK(multiplicities.size() == source->size());
+  }
+  return CorrelationInstance(std::move(source), num_threads,
+                             std::move(multiplicities));
 }
 
 CorrelationInstance CorrelationInstance::FromClusterings(
@@ -102,7 +107,11 @@ Result<double> CorrelationInstance::Cost(const Clustering& candidate,
   // Each row's pairs (u, v > u) are summed sequentially in ascending v
   // into row_cost[u]; the rows are then reduced in ascending u. Both
   // orders are fixed, so the result is bit-identical for every thread
-  // count and backend.
+  // count and backend. Folded instances weight pair (u, v) by
+  // mult[u] * mult[v]: each folded pair stands for that many original
+  // pairs at the same distance.
+  const double* mult =
+      multiplicities_.empty() ? nullptr : multiplicities_.data();
   std::vector<double> row_cost(n, 0.0);
   const std::size_t threads = ReductionThreads(n, num_threads_);
   bool completed;
@@ -114,9 +123,18 @@ Result<double> CorrelationInstance::Cost(const Clustering& candidate,
           const float* tail = packed.data() + dense_->PackedIndex(u, u + 1);
           const Clustering::Label lu = candidate.label(u);
           double cost = 0.0;
-          for (std::size_t v = u + 1; v < n; ++v) {
-            const double x = tail[v - u - 1];
-            cost += lu == candidate.label(v) ? x : 1.0 - x;
+          if (mult == nullptr) {
+            for (std::size_t v = u + 1; v < n; ++v) {
+              const double x = tail[v - u - 1];
+              cost += lu == candidate.label(v) ? x : 1.0 - x;
+            }
+          } else {
+            const double wu = mult[u];
+            for (std::size_t v = u + 1; v < n; ++v) {
+              const double x = tail[v - u - 1];
+              cost += (lu == candidate.label(v) ? x : 1.0 - x) *
+                      (wu * mult[v]);
+            }
           }
           row_cost[u] = cost;
         });
@@ -129,9 +147,18 @@ Result<double> CorrelationInstance::Cost(const Clustering& candidate,
           source_->FillRow(u, row);
           const Clustering::Label lu = candidate.label(u);
           double cost = 0.0;
-          for (std::size_t v = u + 1; v < n; ++v) {
-            const double x = row[v];
-            cost += lu == candidate.label(v) ? x : 1.0 - x;
+          if (mult == nullptr) {
+            for (std::size_t v = u + 1; v < n; ++v) {
+              const double x = row[v];
+              cost += lu == candidate.label(v) ? x : 1.0 - x;
+            }
+          } else {
+            const double wu = mult[u];
+            for (std::size_t v = u + 1; v < n; ++v) {
+              const double x = row[v];
+              cost += (lu == candidate.label(v) ? x : 1.0 - x) *
+                      (wu * mult[v]);
+            }
           }
           row_cost[u] = cost;
         });
@@ -151,6 +178,8 @@ double CorrelationInstance::LowerBound() const {
 Result<double> CorrelationInstance::LowerBound(const RunContext& run) const {
   const std::size_t n = size();
   if (n == 0) return 0.0;
+  const double* mult =
+      multiplicities_.empty() ? nullptr : multiplicities_.data();
   std::vector<double> row_bound(n, 0.0);
   const std::size_t threads = ReductionThreads(n, num_threads_);
   bool completed;
@@ -161,9 +190,18 @@ Result<double> CorrelationInstance::LowerBound(const RunContext& run) const {
           if (u + 1 >= n) return;
           const float* tail = packed.data() + dense_->PackedIndex(u, u + 1);
           double bound = 0.0;
-          for (std::size_t v = u + 1; v < n; ++v) {
-            const float x = tail[v - u - 1];
-            bound += std::min<double>(x, 1.0 - static_cast<double>(x));
+          if (mult == nullptr) {
+            for (std::size_t v = u + 1; v < n; ++v) {
+              const float x = tail[v - u - 1];
+              bound += std::min<double>(x, 1.0 - static_cast<double>(x));
+            }
+          } else {
+            const double wu = mult[u];
+            for (std::size_t v = u + 1; v < n; ++v) {
+              const float x = tail[v - u - 1];
+              bound += std::min<double>(x, 1.0 - static_cast<double>(x)) *
+                       (wu * mult[v]);
+            }
           }
           row_bound[u] = bound;
         });
@@ -175,8 +213,15 @@ Result<double> CorrelationInstance::LowerBound(const RunContext& run) const {
           std::vector<double>& row = rows[tid];
           source_->FillRow(u, row);
           double bound = 0.0;
-          for (std::size_t v = u + 1; v < n; ++v) {
-            bound += std::min(row[v], 1.0 - row[v]);
+          if (mult == nullptr) {
+            for (std::size_t v = u + 1; v < n; ++v) {
+              bound += std::min(row[v], 1.0 - row[v]);
+            }
+          } else {
+            const double wu = mult[u];
+            for (std::size_t v = u + 1; v < n; ++v) {
+              bound += std::min(row[v], 1.0 - row[v]) * (wu * mult[v]);
+            }
           }
           row_bound[u] = bound;
         });
@@ -200,18 +245,45 @@ Result<std::vector<double>> CorrelationInstance::TotalIncidentWeights(
   if (n == 0) return weights;
   // weights[u] sums its full row in ascending v, the same association
   // order the serial packed scan produced (pairs (v, u), v < u, arrive
-  // before pairs (u, v), v > u).
+  // before pairs (u, v), v > u). Folded instances weight column v by
+  // mult[v]: each folded neighbor stands for that many originals at the
+  // same distance.
+  const double* mult =
+      multiplicities_.empty() ? nullptr : multiplicities_.data();
   const std::size_t threads = ReductionThreads(n, num_threads_);
   bool completed;
   if (dense_ != nullptr) {
+    const float* packed = dense_->packed().data();
     completed = ParallelForRowsCancellable(
         n, threads, run, [&](std::size_t u, std::size_t) {
           double total = 0.0;
-          for (std::size_t v = 0; v < u; ++v) total += (*dense_)(v, u);
-          if (u + 1 < n) {
-            const float* tail =
-                dense_->packed().data() + dense_->PackedIndex(u, u + 1);
-            for (std::size_t v = u + 1; v < n; ++v) total += tail[v - u - 1];
+          // Column u of the strict upper triangle by packed stride (see
+          // DenseDistanceSource::FillRow): same values, same ascending-v
+          // order, one addition per element instead of a packed-index
+          // multiply.
+          std::size_t idx = u - 1;  // PackedIndex(0, u) when u > 0
+          if (mult == nullptr) {
+            for (std::size_t v = 0; v < u; ++v) {
+              total += packed[idx];
+              idx += n - v - 2;
+            }
+            if (u + 1 < n) {
+              const float* tail = packed + dense_->PackedIndex(u, u + 1);
+              for (std::size_t v = u + 1; v < n; ++v) {
+                total += tail[v - u - 1];
+              }
+            }
+          } else {
+            for (std::size_t v = 0; v < u; ++v) {
+              total += mult[v] * packed[idx];
+              idx += n - v - 2;
+            }
+            if (u + 1 < n) {
+              const float* tail = packed + dense_->PackedIndex(u, u + 1);
+              for (std::size_t v = u + 1; v < n; ++v) {
+                total += mult[v] * tail[v - u - 1];
+              }
+            }
           }
           weights[u] = total;
         });
@@ -222,7 +294,11 @@ Result<std::vector<double>> CorrelationInstance::TotalIncidentWeights(
           std::vector<double>& row = rows[tid];
           source_->FillRow(u, row);
           double total = 0.0;
-          for (std::size_t v = 0; v < n; ++v) total += row[v];
+          if (mult == nullptr) {
+            for (std::size_t v = 0; v < n; ++v) total += row[v];
+          } else {
+            for (std::size_t v = 0; v < n; ++v) total += mult[v] * row[v];
+          }
           weights[u] = total;
         });
   }

@@ -56,10 +56,18 @@ class CorrelationInstance {
       const DistanceSourceOptions& options = {});
 
   /// Wraps an already-built source. num_threads seeds the parallel
-  /// reductions (0 = one per hardware core).
+  /// reductions (0 = one per hardware core). A non-empty `multiplicities`
+  /// (one entry per object, each >= 1) marks a *folded* instance — object
+  /// v stands for multiplicities[v] identical originals — and weights
+  /// every pair (u, v) by multiplicities[u] * multiplicities[v] in Cost /
+  /// LowerBound and every column by multiplicities[v] in
+  /// TotalIncidentWeights, so optimizing the folded instance optimizes
+  /// the original objective. With all-ones multiplicities the weighted
+  /// arithmetic is bit-identical to the unweighted path (multiplying by
+  /// 1.0 is exact).
   static CorrelationInstance FromSource(
       std::shared_ptr<const DistanceSource> source,
-      std::size_t num_threads = 0);
+      std::size_t num_threads = 0, std::vector<double> multiplicities = {});
 
   /// Legacy dense builders, kept for callers predating the pluggable
   /// backends. CHECK-fail if the dense matrix cannot be allocated; prefer
@@ -132,17 +140,38 @@ class CorrelationInstance {
   /// concurrency), reused by its parallel reductions.
   std::size_t num_threads() const { return num_threads_; }
 
+  /// True when this instance carries fold multiplicities (see
+  /// FromSource). Folded instances must be scored with the weighted
+  /// reductions; clusterers read `multiplicity` to weight their own
+  /// internal sums.
+  bool folded() const { return !multiplicities_.empty(); }
+
+  /// Number of original objects represented by folded object v (1.0 for
+  /// unfolded instances).
+  double multiplicity(std::size_t v) const {
+    return multiplicities_.empty() ? 1.0 : multiplicities_[v];
+  }
+
+  /// The raw multiplicity vector; empty for unfolded instances.
+  const std::vector<double>& multiplicities() const {
+    return multiplicities_;
+  }
+
  private:
   CorrelationInstance(std::shared_ptr<const DistanceSource> source,
-                      std::size_t num_threads)
+                      std::size_t num_threads,
+                      std::vector<double> multiplicities = {})
       : source_(std::move(source)),
         dense_(source_ ? source_->dense_matrix() : nullptr),
-        num_threads_(num_threads) {}
+        num_threads_(num_threads),
+        multiplicities_(std::move(multiplicities)) {}
 
   std::shared_ptr<const DistanceSource> source_;
   /// Borrowed from source_ when dense: devirtualized hot-path reads.
   const SymmetricMatrix<float>* dense_ = nullptr;
   std::size_t num_threads_ = 0;
+  /// Fold multiplicities (empty = every object counts once).
+  std::vector<double> multiplicities_;
 };
 
 }  // namespace clustagg

@@ -1,5 +1,6 @@
 #include "core/distance_source.h"
 
+#include <algorithm>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -13,10 +14,13 @@ namespace clustagg {
 
 namespace internal {
 
-/// Per-clustering label columns, hoisted once at build time so that
-/// distance queries never re-walk Clustering objects or re-resolve the
-/// missing-value policy setup per pair. labels[i * n + v] is the label of
-/// object v (in source index space) under input clustering i.
+/// Per-object label rows, hoisted once at build time so that distance
+/// queries never re-walk Clustering objects or re-resolve the
+/// missing-value policy setup per pair. The store is object-major:
+/// labels[v * m + i] is the label of object v (in source index space)
+/// under input clustering i, so the pair (u, v) compares two contiguous
+/// m-length rows — one cache line each for typical m — instead of
+/// striding by n across m separate columns.
 struct DistanceColumns {
   std::size_t n = 0;
   std::size_t m = 0;
@@ -24,6 +28,15 @@ struct DistanceColumns {
   std::vector<double> weights;
   double total_weight = 0.0;
   MissingValueOptions missing;
+  /// True when no object has a missing label under any input clustering
+  /// and every input weight is exactly 1.0. Then X_uv reduces to an
+  /// integer mismatch count over the two label rows divided by m, which
+  /// `ColumnDistance` serves from a branch-free auto-vectorizable loop.
+  /// The count path is bit-identical to the general accumulation: sums
+  /// of 1.0 are exact integers, opinionated == total_weight exactly, so
+  /// the kRandomCoin correction adds exactly 0.0 and both policies
+  /// divide the same numerator by the same denominator.
+  bool uniform_no_missing = false;
 };
 
 }  // namespace internal
@@ -40,28 +53,47 @@ internal::DistanceColumns MakeColumns(const ClusteringSet& input,
   cols.total_weight = input.total_weight();
   cols.weights.resize(cols.m);
   cols.labels.resize(cols.m * cols.n);
+  bool any_missing = false;
+  bool uniform = true;
   for (std::size_t i = 0; i < cols.m; ++i) {
     cols.weights[i] = input.weight(i);
+    if (cols.weights[i] != 1.0) uniform = false;
     const Clustering& c = input.clustering(i);
-    Clustering::Label* out = cols.labels.data() + i * cols.n;
+    Clustering::Label* out = cols.labels.data() + i;
     for (std::size_t v = 0; v < cols.n; ++v) {
-      out[v] = c.label(subset != nullptr ? (*subset)[v] : v);
+      const Clustering::Label label =
+          c.label(subset != nullptr ? (*subset)[v] : v);
+      if (label == Clustering::kMissing) any_missing = true;
+      out[v * cols.m] = label;
     }
   }
+  cols.uniform_no_missing = uniform && !any_missing;
   return cols;
 }
 
-/// X_uv over the hoisted columns. The loop order and accumulation match
-/// ClusteringSet::PairwiseDistance exactly so both backends (and the
-/// legacy serial builder) agree to the last bit.
+/// X_uv over the hoisted label rows. The accumulation order (ascending i)
+/// and arithmetic match ClusteringSet::PairwiseDistance exactly so both
+/// backends (and the legacy serial builder) agree to the last bit; the
+/// mismatch-count fast path produces the same bits by the argument on
+/// DistanceColumns::uniform_no_missing.
 double ColumnDistance(const internal::DistanceColumns& cols, std::size_t u,
                       std::size_t v) {
   if (u == v) return 0.0;
+  const std::size_t m = cols.m;
+  const Clustering::Label* row_u = cols.labels.data() + u * m;
+  const Clustering::Label* row_v = cols.labels.data() + v * m;
+  if (cols.uniform_no_missing) {
+    std::size_t mismatches = 0;
+    for (std::size_t i = 0; i < m; ++i) {
+      mismatches += row_u[i] != row_v[i] ? 1 : 0;
+    }
+    return static_cast<double>(mismatches) / cols.total_weight;
+  }
   double disagreeing = 0.0;
   double opinionated = 0.0;
-  for (std::size_t i = 0; i < cols.m; ++i) {
-    const Clustering::Label lu = cols.labels[i * cols.n + u];
-    const Clustering::Label lv = cols.labels[i * cols.n + v];
+  for (std::size_t i = 0; i < m; ++i) {
+    const Clustering::Label lu = row_u[i];
+    const Clustering::Label lv = row_v[i];
     if (lu == Clustering::kMissing || lv == Clustering::kMissing) continue;
     opinionated += cols.weights[i];
     if (lu != lv) disagreeing += cols.weights[i];
@@ -100,17 +132,35 @@ Result<std::shared_ptr<const DenseDistanceSource>> BuildDenseFromColumns(
   TelemetrySetGauge(run.telemetry(), "build.dense_threads",
                     static_cast<std::int64_t>(threads));
   InstrumentedTimer build_timer(run.telemetry(), "build.dense_nanos");
-  // Rows of the triangle are disjoint contiguous slices of the packed
-  // store, so every thread writes its own memory and the result is
-  // schedule-independent. A half-filled matrix is unusable, so when the
-  // budget fires mid-fill the build fails with the interrupt status
-  // rather than returning garbage.
+  // Cache-blocked fill: the triangle is carved into kTileRows-row bands,
+  // and each band sweeps its columns in kTileCols-wide tiles so the tile's
+  // label rows (kTileCols * m labels) stay cache-resident while every row
+  // of the band visits them. Bands are disjoint contiguous slices of the
+  // packed store, so every thread writes its own memory and the result is
+  // schedule-independent regardless of how bands land on threads. Each
+  // band charges its row count against the iteration budget (the loop
+  // helper charges one unit per band; the top-up below restores per-row
+  // accounting). A half-filled matrix is unusable, so when the budget
+  // fires mid-fill the build fails with the interrupt status rather than
+  // returning garbage.
+  constexpr std::size_t kTileRows = 64;
+  constexpr std::size_t kTileCols = 256;
+  const std::size_t num_bands = (n + kTileRows - 1) / kTileRows;
   const bool completed = ParallelForRowsCancellable(
-      n, threads, run, [&](std::size_t u, std::size_t) {
-        if (u + 1 >= n) return;
-        float* row = packed.data() + distances.PackedIndex(u, u + 1);
-        for (std::size_t v = u + 1; v < n; ++v) {
-          row[v - u - 1] = static_cast<float>(ColumnDistance(cols, u, v));
+      num_bands, threads, run, [&](std::size_t band, std::size_t) {
+        const std::size_t u0 = band * kTileRows;
+        const std::size_t u1 = std::min(n, u0 + kTileRows);
+        if (u1 - u0 > 1) run.ChargeIterations(u1 - u0 - 1);
+        for (std::size_t c0 = u0 + 1; c0 < n; c0 += kTileCols) {
+          const std::size_t c1 = std::min(n, c0 + kTileCols);
+          for (std::size_t u = u0; u < u1; ++u) {
+            const std::size_t v0 = std::max(c0, u + 1);
+            if (v0 >= c1) continue;
+            float* row = packed.data() + distances.PackedIndex(u, v0);
+            for (std::size_t v = v0; v < c1; ++v) {
+              row[v - v0] = static_cast<float>(ColumnDistance(cols, u, v));
+            }
+          }
         }
       });
   if (!completed) {
@@ -162,7 +212,20 @@ DenseDistanceSource::BuildSubset(const ClusteringSet& input,
 void DenseDistanceSource::FillRow(std::size_t u, std::span<double> row) const {
   const std::size_t n = distances_.size();
   CLUSTAGG_CHECK(u < n && row.size() >= n);
-  for (std::size_t v = 0; v < u; ++v) row[v] = distances_(v, u);
+  if (u > 0) {
+    // Column u of the strict upper triangle: entry (v, u) sits at packed
+    // offset PackedIndex(v, u), and stepping v -> v+1 shrinks row v's
+    // remaining tail by one, so consecutive entries are n - v - 2 apart.
+    // Walking by that stride replaces a packed-index multiply per element
+    // with one addition.
+    const float* packed = distances_.packed().data();
+    std::size_t idx = u - 1;  // PackedIndex(0, u)
+    for (std::size_t v = 0; v + 1 < u; ++v) {
+      row[v] = packed[idx];
+      idx += n - v - 2;
+    }
+    row[u - 1] = packed[idx];
+  }
   row[u] = 0.0;
   if (u + 1 < n) {
     const float* tail =

@@ -20,7 +20,7 @@ namespace {
 class ExactSearch {
  public:
   explicit ExactSearch(const CorrelationInstance& instance)
-      : n_(instance.size()), local_(n_), labels_(n_, 0),
+      : n_(instance.size()), local_(n_), w_(n_, 1.0), labels_(n_, 0),
         best_labels_(n_, 0) {
     // The search re-reads every pair exponentially many times, so
     // prefetch a local dense copy whatever the instance backend (the
@@ -30,6 +30,11 @@ class ExactSearch {
         local_.Set(u, v, static_cast<float>(instance.distance(u, v)));
       }
     }
+    // Folded instances weight pair (u, v) by w_u * w_v everywhere; the
+    // all-ones unfolded case multiplies by 1.0, which is exact.
+    if (instance.folded()) {
+      for (std::size_t v = 0; v < n_; ++v) w_[v] = instance.multiplicity(v);
+    }
     // remaining_lb_[i]: lower bound on the cost of all pairs with at
     // least one endpoint >= i (every pair costs at least min(X, 1-X)).
     remaining_lb_.assign(n_ + 1, 0.0);
@@ -37,7 +42,7 @@ class ExactSearch {
       double row = 0.0;
       for (std::size_t u = 0; u < i; ++u) {
         const double x = local_(u, i);
-        row += std::min(x, 1.0 - x);
+        row += std::min(x, 1.0 - x) * (w_[u] * w_[i]);
       }
       remaining_lb_[i] = remaining_lb_[i + 1] + row;
     }
@@ -84,12 +89,13 @@ class ExactSearch {
       return;
     }
     // Try clusters 0..used-1 and a fresh cluster `used`.
+    const double wi = w_[i];
     for (std::size_t c = 0; c <= used; ++c) {
       labels_[i] = c;
       double delta = 0.0;
       for (std::size_t u = 0; u < i; ++u) {
         const double x = local_(u, i);
-        delta += labels_[u] == c ? x : 1.0 - x;
+        delta += (labels_[u] == c ? x : 1.0 - x) * (w_[u] * wi);
       }
       Recurse(i + 1, c == used ? used + 1 : used, partial + delta);
     }
@@ -97,6 +103,8 @@ class ExactSearch {
 
   std::size_t n_;
   SymmetricMatrix<float> local_;
+  /// Fold multiplicities (all 1.0 when unfolded).
+  std::vector<double> w_;
   std::vector<std::size_t> labels_;
   std::vector<std::size_t> best_labels_;
   std::vector<double> remaining_lb_;

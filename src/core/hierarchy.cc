@@ -101,21 +101,27 @@ Result<Dendrogram> AgglomerateFull(SymmetricMatrix<double> distances,
   // Nearest-neighbor-chain over cluster slots 0..n-1. A merge keeps the
   // smaller slot active and deactivates the other. Reducible linkages
   // guarantee this produces the same merge set as global greedy merging.
-  std::vector<bool> active(n, true);
+  //
+  // Active slots live in a compacted ascending array, so the O(#active)
+  // neighbor scans and Lance-Williams updates shrink with every merge
+  // instead of walking all n slots (half of which are dead by the
+  // midpoint of the run). Ascending order preserves the historical scan
+  // order, so the tie-breaking — and therefore the merge sequence — is
+  // unchanged.
   std::vector<double> sizes = std::move(initial_sizes);
   // Representative leaf of each slot's current cluster (for the merge
   // records).
   std::vector<std::size_t> rep(n);
   for (std::size_t i = 0; i < n; ++i) rep[i] = i;
+  std::vector<std::size_t> active_slots(n);
+  for (std::size_t i = 0; i < n; ++i) active_slots[i] = i;
 
   std::vector<std::size_t> chain;
   chain.reserve(n);
-  std::size_t num_active = n;
-  std::size_t next_start = 0;  // first slot to try when the chain is empty
 
-  while (num_active > 1) {
-    // One poll per merge: each merge costs O(n), so the check interval
-    // stays bounded whatever the instance size.
+  while (active_slots.size() > 1) {
+    // One poll per merge: each merge costs O(#active), so the check
+    // interval stays bounded whatever the instance size.
     run.ChargeIterations(1);
     const RunOutcome poll = run.Poll();
     if (poll != RunOutcome::kConverged) {
@@ -123,8 +129,7 @@ Result<Dendrogram> AgglomerateFull(SymmetricMatrix<double> distances,
       break;
     }
     if (chain.empty()) {
-      while (!active[next_start]) ++next_start;
-      chain.push_back(next_start);
+      chain.push_back(active_slots.front());
     }
     for (;;) {
       const std::size_t c = chain.back();
@@ -134,8 +139,8 @@ Result<Dendrogram> AgglomerateFull(SymmetricMatrix<double> distances,
       double best_dist = std::numeric_limits<double>::infinity();
       const std::size_t prev =
           chain.size() >= 2 ? chain[chain.size() - 2] : best;
-      for (std::size_t k = 0; k < n; ++k) {
-        if (!active[k] || k == c) continue;
+      for (std::size_t k : active_slots) {
+        if (k == c) continue;
         const double d = distances(c, k);
         if (d < best_dist || (d == best_dist && k == prev)) {
           best_dist = d;
@@ -155,21 +160,21 @@ Result<Dendrogram> AgglomerateFull(SymmetricMatrix<double> distances,
         // discovery order.
         TelemetryTracePoint(run.telemetry(), "agglomerative",
                             dendrogram.merges.size() - 1, best_dist,
-                            num_active - 1);
+                            active_slots.size() - 1);
         TelemetryCount(run.telemetry(), "agglomerative.merges");
         const double sa = sizes[a];
         const double sb = sizes[b];
         const double dab = distances(a, b);
-        for (std::size_t k = 0; k < n; ++k) {
-          if (!active[k] || k == a || k == b) continue;
+        for (std::size_t k : active_slots) {
+          if (k == a || k == b) continue;
           distances.Set(
               a, k,
               LanceWilliams(linkage, distances(a, k), distances(b, k), dab,
                             sa, sb, sizes[k]));
         }
         sizes[a] = sa + sb;
-        active[b] = false;
-        --num_active;
+        active_slots.erase(std::lower_bound(active_slots.begin(),
+                                            active_slots.end(), b));
         break;
       }
       chain.push_back(best);

@@ -96,6 +96,13 @@ Result<ClustererRun> LocalSearchClusterer::RunFromControlled(
         ++moves_this_pass;
       }
     }
+    // The block charge above only fires at i % 64 == 63, so a pass whose
+    // n is not a multiple of 64 still owes its tail objects. Charging
+    // them here keeps the deterministic budget an exact per-object count
+    // (n per completed pass).
+    if (outcome == RunOutcome::kConverged && n % 64 != 0) {
+      run.ChargeIterations(n % 64);
+    }
     // Convergence sample per pass: cumulative cost decrease since the
     // starting partition, plus how many objects moved this pass.
     TelemetryTracePoint(telemetry, "localsearch", pass,

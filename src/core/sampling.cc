@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -13,6 +14,7 @@
 #include "common/stopwatch.h"
 #include "core/correlation_instance.h"
 #include "core/instrumentation.h"
+#include "core/signature_index.h"
 
 namespace clustagg {
 
@@ -109,6 +111,43 @@ void ApplySubClustering(const Clustering& sub_clustering,
   *next_label += max_label + 1;
 }
 
+/// Builds the correlation instance over `subset` — folded to one weighted
+/// representative per duplicate signature when `opts.fold` is on and the
+/// subset actually has duplicates — runs `base` on it, and expands folded
+/// labels back to subset space, so the caller always receives a clustering
+/// of subset.size() objects. Clusterer runs degrade internally (they
+/// return an outcome, not an interrupt status), so any interrupt status
+/// escaping here came from the instance build.
+Result<ClustererRun> RunBaseOnSubset(const ClusteringSet& input,
+                                     const CorrelationClusterer& base,
+                                     const RunContext& run,
+                                     const SamplingOptions& opts,
+                                     const std::vector<std::size_t>& subset) {
+  std::optional<SignatureIndex> fold;
+  if (opts.fold) {
+    SignatureIndex signatures = SignatureIndex::BuildSubset(input, subset);
+    if (!signatures.trivial()) {
+      TelemetryCount(run.telemetry(), "sampling.folds");
+      fold.emplace(std::move(signatures));
+    }
+  }
+  Result<CorrelationInstance> instance =
+      CorrelationInstance::BuildSubset(
+          input, fold ? fold->representatives() : subset, opts.missing,
+          opts.source);
+  if (!instance.ok()) return instance.status();
+  if (fold) {
+    instance = CorrelationInstance::FromSource(instance->shared_source(),
+                                               opts.source.num_threads,
+                                               fold->multiplicities());
+    if (!instance.ok()) return instance.status();
+  }
+  Result<ClustererRun> result = base.RunControlled(*instance, run);
+  if (!result.ok()) return result.status();
+  if (fold) result->clustering = fold->Expand(result->clustering);
+  return result;
+}
+
 }  // namespace
 
 Result<Clustering> SamplingAggregate(const ClusteringSet& input,
@@ -159,20 +198,18 @@ Result<ClustererRun> SamplingAggregateControlled(
   std::vector<std::size_t> sample = rng.SampleWithoutReplacement(n,
                                                                  sample_size);
   std::sort(sample.begin(), sample.end());
-  Result<CorrelationInstance> sample_instance =
-      CorrelationInstance::BuildSubset(input, sample, opts.missing,
-                                       opts.source);
-  if (!sample_instance.ok()) {
-    if (RunContext::IsInterrupt(sample_instance.status())) {
-      // Nothing was clustered yet; all singletons is the valid floor.
+  Result<ClustererRun> sample_run =
+      RunBaseOnSubset(input, base, run, opts, sample);
+  if (!sample_run.ok()) {
+    if (RunContext::IsInterrupt(sample_run.status())) {
+      // The sample instance build was cut short; nothing was clustered
+      // yet, so all singletons is the valid floor.
       return ClustererRun{
           Clustering::AllSingletons(n),
-          RunContext::OutcomeFromInterrupt(sample_instance.status())};
+          RunContext::OutcomeFromInterrupt(sample_run.status())};
     }
-    return sample_instance.status();
+    return sample_run.status();
   }
-  Result<ClustererRun> sample_run = base.RunControlled(*sample_instance, run);
-  if (!sample_run.ok()) return sample_run.status();
   outcome = MergeOutcomes(outcome, sample_run->outcome);
   const Clustering& sample_clustering = sample_run->clustering;
   if (stats != nullptr) stats->sample_phase_seconds = watch.ElapsedSeconds();
@@ -284,22 +321,19 @@ Result<ClustererRun> SamplingAggregateControlled(
         std::max<std::size_t>(2 * sample_size, 2000);
     if (singleton_objects.size() >= 2 &&
         singleton_objects.size() <= quadratic_cap) {
-      Result<CorrelationInstance> singleton_instance =
-          CorrelationInstance::BuildSubset(input, singleton_objects,
-                                           opts.missing, opts.source);
-      if (!singleton_instance.ok()) {
-        if (RunContext::IsInterrupt(singleton_instance.status())) {
-          // Skip the polish; the assignment-phase partition stands.
+      Result<ClustererRun> reclustered =
+          RunBaseOnSubset(input, base, run, opts, singleton_objects);
+      if (!reclustered.ok()) {
+        if (RunContext::IsInterrupt(reclustered.status())) {
+          // The re-clustering instance build was cut short; skip the
+          // polish — the assignment-phase partition stands.
           outcome = MergeOutcomes(outcome, RunContext::OutcomeFromInterrupt(
-                                               singleton_instance.status()));
+                                               reclustered.status()));
           return ClustererRun{Clustering(std::move(final_labels)).Normalized(),
                               outcome};
         }
-        return singleton_instance.status();
+        return reclustered.status();
       }
-      Result<ClustererRun> reclustered =
-          base.RunControlled(*singleton_instance, run);
-      if (!reclustered.ok()) return reclustered.status();
       outcome = MergeOutcomes(outcome, reclustered->outcome);
       ApplySubClustering(reclustered->clustering, singleton_objects,
                          &final_labels, &next_label);

@@ -40,6 +40,13 @@ struct SamplingOptions {
   /// almost always right; the knob exists so a caller can run the whole
   /// pipeline matrix-free.
   DistanceSourceOptions source;
+
+  /// Fold duplicate signatures inside the sampled (and singleton
+  /// re-clustering) sub-instances: objects of the subset whose full
+  /// m-label tuple is identical are clustered as one weighted
+  /// representative and expanded back afterwards (see SignatureIndex).
+  /// Exact; a no-op when every subset member is unique.
+  bool fold = false;
 };
 
 /// Diagnostics from a SAMPLING run (used by the Figure 5 benches).

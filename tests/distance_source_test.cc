@@ -16,6 +16,7 @@
 #include "core/clustering_set.h"
 #include "core/correlation_instance.h"
 #include "core/distance_source.h"
+#include "core/signature_index.h"
 
 namespace clustagg {
 namespace {
@@ -122,6 +123,85 @@ TEST(DistanceSourceTest, LazyMatchesPairwiseDistanceThroughFloat) {
         EXPECT_EQ((*lazy)->distance(u, v),
                   static_cast<double>(static_cast<float>(
                       input.PairwiseDistance(u, v, missing))));
+      }
+    }
+  }
+}
+
+TEST(DistanceSourceTest, FastPathMatchesGeneralArithmetic) {
+  // No missing labels + unit weights routes every query through the
+  // mismatch-count fast path; it must stay bit-identical to the general
+  // weighted accumulation PairwiseDistance performs (sums of 1.0 are
+  // exact, so counting mismatches and dividing once is the same number).
+  for (const MissingValueOptions& missing : MissingConfigs()) {
+    const ClusteringSet input = RandomInput(48, 5, 4, 59);
+    const BackendPair pair = BuildBoth(input, missing);
+    for (std::size_t u = 0; u < 48; ++u) {
+      for (std::size_t v = 0; v < 48; ++v) {
+        const double expected = static_cast<double>(static_cast<float>(
+            input.PairwiseDistance(u, v, missing)));
+        EXPECT_EQ(pair.dense.distance(u, v), expected);
+        EXPECT_EQ(pair.lazy.distance(u, v), expected);
+      }
+    }
+  }
+}
+
+TEST(DistanceSourceTest, FastPathTiledBuildIsThreadInvariant) {
+  // Unlike ThreadCountDoesNotChangeResults below (which carries missing
+  // labels), this input is complete with unit weights, so the parallel
+  // tiled build runs the mismatch-count kernel; the packed triangle must
+  // not depend on the schedule.
+  const ClusteringSet input = RandomInput(600, 6, 5, 61);
+  Result<std::shared_ptr<const DenseDistanceSource>> serial =
+      DenseDistanceSource::Build(input, {}, 1);
+  ASSERT_TRUE(serial.ok());
+  for (std::size_t threads : {2u, 8u}) {
+    Result<std::shared_ptr<const DenseDistanceSource>> parallel =
+        DenseDistanceSource::Build(input, {}, threads);
+    ASSERT_TRUE(parallel.ok());
+    EXPECT_EQ((*serial)->dense_matrix()->packed(),
+              (*parallel)->dense_matrix()->packed())
+        << "threads=" << threads;
+  }
+}
+
+TEST(DistanceSourceTest, FoldedRepresentativeRowsMatchFullInstance) {
+  // Folding builds the instance over one representative per distinct
+  // signature; every entry of that s x s matrix must be bit-identical to
+  // the corresponding full-instance entry, on both backends, including
+  // missing labels and non-uniform clustering weights.
+  ClusteringSet base = RandomInput(20, 4, 3, 67, 0.2, true);
+  // Duplicate each object three times (object ids interleaved so the
+  // groups are not contiguous).
+  std::vector<Clustering> clusterings;
+  std::vector<double> weights;
+  for (std::size_t i = 0; i < base.num_clusterings(); ++i) {
+    std::vector<Clustering::Label> labels(60);
+    for (std::size_t v = 0; v < 60; ++v) {
+      labels[v] = base.clustering(i).label(v % 20);
+    }
+    clusterings.emplace_back(std::move(labels));
+    weights.push_back(base.weight(i));
+  }
+  const ClusteringSet input =
+      *ClusteringSet::Create(std::move(clusterings), std::move(weights));
+  const SignatureIndex signatures = SignatureIndex::Build(input);
+  ASSERT_LE(signatures.num_signatures(), 20u);
+  const std::vector<std::size_t>& reps = signatures.representatives();
+  for (const MissingValueOptions& missing : MissingConfigs()) {
+    const BackendPair full = BuildBoth(input, missing);
+    for (DistanceBackend backend :
+         {DistanceBackend::kDense, DistanceBackend::kLazy}) {
+      Result<CorrelationInstance> folded = CorrelationInstance::BuildSubset(
+          input, reps, missing, {backend, 0, {}});
+      ASSERT_TRUE(folded.ok()) << folded.status();
+      ASSERT_EQ(folded->size(), reps.size());
+      for (std::size_t i = 0; i < reps.size(); ++i) {
+        for (std::size_t j = 0; j < reps.size(); ++j) {
+          EXPECT_EQ(folded->distance(i, j),
+                    full.dense.distance(reps[i], reps[j]));
+        }
       }
     }
   }

@@ -201,6 +201,23 @@ TEST_P(RunControlMatrixTest, AggregateExpiredDeadlineIsNotAnError) {
   ExpectCompletePartition(result->clustering, kObjects);
 }
 
+TEST(RunControlLocalSearchTest, PassesShorterThanABlockStillCharge) {
+  // Regression: the sweep charges its budget in blocks of 64 objects, so
+  // a pass over n < 64 objects (or the tail of any n not divisible by
+  // 64) used to cost zero iterations and an iteration budget could never
+  // fire. With the tail charged, n = 60 costs exactly 60 per completed
+  // pass: the MoveState build charges 60 more, so a budget of 100 must
+  // fire at the pass-2 poll instead of silently converging.
+  const CorrelationInstance instance = CorrelationInstance::FromClusterings(
+      RandomInputWithMissing(60, 5, 4, 47));
+  const RunContext run = RunContext::WithIterationBudget(100);
+  Result<ClustererRun> result =
+      LocalSearchClusterer().RunControlled(instance, run);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->outcome, RunOutcome::kDeadlineExceeded);
+  ExpectCompletePartition(result->clustering, 60);
+}
+
 // ------------------------------------------------------------- EXACT
 
 TEST(RunControlExactTest, CancellationYieldsValidPartition) {

@@ -171,6 +171,7 @@ int CmdAggregate(const Args& args) {
   }
   options.num_threads =
       static_cast<std::size_t>(args.GetInt("threads", 0));
+  options.fold = args.Has("fold");
   if (args.Has("deadline-ms")) {
     const long long deadline_ms = args.GetInt("deadline-ms", 0);
     if (deadline_ms <= 0) {
@@ -217,6 +218,10 @@ int CmdAggregate(const Args& args) {
   // --report.
   std::fprintf(stderr, "run outcome = %s\n",
                RunOutcomeName(result->outcome));
+  if (result->folded) {
+    std::fprintf(stderr, "folded %zu objects into %zu signatures\n",
+                 input->num_objects(), result->fold_signatures);
+  }
   for (const std::string& note : result->fallbacks) {
     std::fprintf(stderr, "fallback: %s\n", note.c_str());
   }
@@ -362,7 +367,7 @@ int CmdHelp() {
       "             localsearch|pivot|annealing|majority|exact]\n"
       "            [--alpha X] [--refine] [--sample N] [--seed N]\n"
       "            [--missing coin|ignore] [--coin-p P]\n"
-      "            [--backend dense|lazy] [--threads N]\n"
+      "            [--backend dense|lazy] [--threads N] [--fold]\n"
       "            [--weights w1,w2,...] [--deadline-ms N]\n"
       "            [--no-fallbacks] [--out FILE] [--report]\n"
       "            [--stats[=json|table]] [--fake-clock]\n"
@@ -372,6 +377,9 @@ int CmdHelp() {
       "      materializes the O(n^2/2) distance matrix in parallel;\n"
       "      --backend lazy keeps O(n*m) memory and recomputes distances\n"
       "      on demand. --threads 0 (default) = one per hardware core.\n"
+      "      --fold clusters one weighted representative per distinct\n"
+      "      label tuple and expands back — exact, and much faster when\n"
+      "      objects repeat (see docs/performance.md).\n"
       "      --deadline-ms bounds the wall clock: when it fires, the best\n"
       "      clustering found so far is returned (exit 0) and the report\n"
       "      line 'run outcome = deadline_exceeded' is printed instead of\n"

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Sanitizer matrix leg for the streaming subsystem: builds the repo twice
+# (CLUSTAGG_SANITIZE=address, =thread) and runs only the stream-labeled
+# suites — the unit suite, the differential oracle harness, and the CLI
+# replay smoke — so the new code stays cheap to gate on. The full suite
+# still runs sanitized in the heavyweight job; this leg is the fast one
+# wired to every push.
+#
+# Usage: ci/sanitize_stream.sh [jobs]
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+JOBS="${1:-$(nproc)}"
+
+for SAN in address thread; do
+  BUILD="$ROOT/build-sanitize-$SAN"
+  echo "=== CLUSTAGG_SANITIZE=$SAN ==="
+  cmake -B "$BUILD" -S "$ROOT" -DCLUSTAGG_SANITIZE="$SAN" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+  cmake --build "$BUILD" -j"$JOBS" \
+        --target stream_test stream_differential_test clustagg_cli
+  # `stream|differential` (ctest -L matches a regex) covers the unit
+  # suite, the oracle harness, and the CLI replay smoke; the second
+  # pass pins the differential label on its own so a labeling
+  # regression cannot silently empty the leg. --no-tests=error keeps an
+  # empty label set from passing vacuously.
+  (cd "$BUILD" && ctest -L 'stream|differential' --no-tests=error \
+       --output-on-failure -j"$JOBS")
+  (cd "$BUILD" && ctest -L differential --no-tests=error \
+       --output-on-failure -j"$JOBS")
+done
+echo "sanitize_stream: all legs passed"

@@ -42,6 +42,8 @@
 #include "io/clustering_io.h"
 #include "io/csv.h"
 #include "signed/signed_graph.h"
+#include "stream/stream_aggregator.h"
+#include "stream/stream_event.h"
 #include "vanilla/dataset2d.h"
 #include "vanilla/hierarchical.h"
 #include "vanilla/kmeans.h"

@@ -1,0 +1,560 @@
+#include "stream/stream_aggregator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "common/check.h"
+#include "common/symmetric_matrix.h"
+#include "core/distance_source.h"
+#include "core/instrumentation.h"
+
+namespace clustagg {
+
+namespace {
+
+/// Packed column-major strict-lower-triangle index of the pair {u, v},
+/// u < v: column v's entries (0,v) .. (v-1,v) are contiguous, so adding
+/// object n appends the block for column n at the end of the counter
+/// arrays without disturbing existing entries (unlike SymmetricMatrix's
+/// row-major packing, which interleaves new entries into every row).
+std::size_t PairIndex(std::size_t u, std::size_t v) {
+  return v * (v - 1) / 2 + u;
+}
+
+constexpr std::uint64_t kHashOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kHashPrime = 1099511628211ULL;
+
+/// FNV-1a step folding one more clustering's label into a signature
+/// hash. Extending a group hash is O(1) per clustering because all
+/// members of a group share the label being appended.
+std::uint64_t MixHash(std::uint64_t h, Clustering::Label label) {
+  return (h ^ static_cast<std::uint64_t>(static_cast<std::uint32_t>(label))) *
+         kHashPrime;
+}
+
+Status BadLabels(const std::vector<Clustering::Label>& labels,
+                 const char* what) {
+  for (Clustering::Label label : labels) {
+    if (label < 0 && label != Clustering::kMissing) {
+      return Status::InvalidArgument(std::string(what) +
+                                     " carries a negative label " +
+                                     std::to_string(label));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StreamAggregator::StreamAggregator(StreamAggregatorOptions options)
+    : options_(std::move(options)) {}
+
+Status StreamAggregator::Ingest(StreamEvent event) {
+  if (const auto* add = std::get_if<AddClusteringEvent>(&event)) {
+    // While no clustering exists yet (applied or queued) there are no
+    // label tuples to contradict, so the first AddClustering may carry
+    // more labels than the stream has objects: it defines them, exactly
+    // like ClusteringSet::Create infers n from its first clustering.
+    const bool defines_objects =
+        pending_m_ == 0 && add->labels.size() >= pending_n_;
+    if (!defines_objects && add->labels.size() != pending_n_) {
+      return Status::InvalidArgument(
+          "AddClustering carries " + std::to_string(add->labels.size()) +
+          " labels for a stream of " + std::to_string(pending_n_) +
+          " objects (queued events included)");
+    }
+    Status labels_ok = BadLabels(add->labels, "AddClustering");
+    if (!labels_ok.ok()) return labels_ok;
+    if (!std::isfinite(add->weight) || !(add->weight > 0.0)) {
+      return Status::InvalidArgument(
+          "AddClustering weight must be a finite positive number");
+    }
+    if (defines_objects) pending_n_ = add->labels.size();
+    ++pending_m_;
+  } else {
+    const auto& object = std::get<AddObjectEvent>(event);
+    if (object.labels.size() != pending_m_) {
+      return Status::InvalidArgument(
+          "AddObject carries " + std::to_string(object.labels.size()) +
+          " labels for a stream of " + std::to_string(pending_m_) +
+          " clusterings (queued events included)");
+    }
+    Status labels_ok = BadLabels(object.labels, "AddObject");
+    if (!labels_ok.ok()) return labels_ok;
+    ++pending_n_;
+  }
+  pending_.push_back(std::move(event));
+  return Status::OK();
+}
+
+double StreamAggregator::PairDistanceRaw(double disagreeing,
+                                         double opinionated) const {
+  // Mirror of ColumnDistance (src/core/distance_source.cc): the counters
+  // were accumulated in ascending clustering order, so finishing with the
+  // same policy arithmetic reproduces the batch value bit for bit. The
+  // batch kernels' uniform-no-missing mismatch-count fast path needs no
+  // twin here: with unit weights the counters are exact integer sums,
+  // opinionated == total_weight_ exactly, and the kRandomCoin correction
+  // adds exactly 0.0 — the argument on DistanceColumns applies verbatim.
+  if (total_weight_ == 0.0) return 0.0;
+  switch (options_.missing.policy) {
+    case MissingValuePolicy::kRandomCoin:
+      disagreeing += (total_weight_ - opinionated) *
+                     (1.0 - options_.missing.coin_together_probability);
+      return disagreeing / total_weight_;
+    case MissingValuePolicy::kIgnore:
+      if (opinionated == 0.0) return 0.5;
+      return disagreeing / opinionated;
+  }
+  CLUSTAGG_CHECK(false);
+  return 0.0;
+}
+
+double StreamAggregator::PairDistance(std::size_t pair_index) const {
+  // Round through float exactly like both batch backends.
+  return static_cast<float>(
+      PairDistanceRaw(separating_[pair_index], opinionated_[pair_index]));
+}
+
+double StreamAggregator::distance(std::size_t u, std::size_t v) const {
+  CLUSTAGG_CHECK(u < n_ && v < n_);
+  if (u == v || columns_.empty()) return 0.0;
+  if (u > v) std::swap(u, v);
+  return PairDistance(PairIndex(u, v));
+}
+
+double StreamAggregator::drift() const {
+  const std::size_t pairs = n_ > 1 ? n_ * (n_ - 1) / 2 : 0;
+  return pairs == 0 ? 0.0 : drift_accum_ / static_cast<double>(pairs);
+}
+
+void StreamAggregator::ApplyAddClustering(const AddClusteringEvent& event,
+                                          StreamFlushReport* report) {
+  // An object-defining first clustering (see Ingest) materializes its
+  // objects as implicit empty-tuple AddObjects: zeroed counter blocks,
+  // and one all-objects fold group (every empty tuple is one signature).
+  while (n_ < event.labels.size()) {
+    CLUSTAGG_CHECK(columns_.empty());
+    ApplyAddObject(AddObjectEvent{}, report);
+  }
+  CLUSTAGG_CHECK(event.labels.size() == n_);
+  const double old_weight = total_weight_;
+  const std::size_t labeled = labels_.size();
+  // Sweep every pair once: counters change only where both endpoints have
+  // an opinion, but under the coin policy the denominator change moves
+  // every X, so drift (and the tracked cost) must look at all of them.
+  // The loop visits columns ascending, matching the packed layout.
+  std::size_t idx = 0;
+  for (std::size_t v = 1; v < n_; ++v) {
+    const Clustering::Label lv = event.labels[v];
+    for (std::size_t u = 0; u < v; ++u, ++idx) {
+      const double old_x = static_cast<float>(
+          PairDistanceRaw(separating_[idx], opinionated_[idx]));
+      const Clustering::Label lu = event.labels[u];
+      if (lu != Clustering::kMissing && lv != Clustering::kMissing) {
+        opinionated_[idx] += event.weight;
+        if (lu != lv) separating_[idx] += event.weight;
+      }
+      total_weight_ = old_weight + event.weight;
+      const double new_x = static_cast<float>(
+          PairDistanceRaw(separating_[idx], opinionated_[idx]));
+      total_weight_ = old_weight;
+      drift_accum_ += std::abs(new_x - old_x);
+      if (v < labeled) {
+        // Track the solution's cost under the moving distances; pairs
+        // involving objects the solution does not cover yet are charged
+        // wholesale when the solution is extended.
+        predicted_cost_ +=
+            labels_.SameCluster(u, v) ? new_x - old_x : old_x - new_x;
+      }
+    }
+  }
+  total_weight_ = old_weight + event.weight;
+  columns_.push_back(event.labels);
+  weights_.push_back(event.weight);
+  report->pairs_touched += idx;
+  if (options_.fold) RefineFoldGroups(event.labels);
+}
+
+void StreamAggregator::ApplyAddObject(const AddObjectEvent& event,
+                                      StreamFlushReport* report) {
+  const std::size_t m = columns_.size();
+  CLUSTAGG_CHECK(event.labels.size() == m);
+  const std::size_t v = n_;
+  // The new object's pairs occupy the contiguous block for column v; the
+  // counters accumulate over clusterings in ascending index order, the
+  // same order future AddClustering events will extend them in.
+  separating_.resize(separating_.size() + v, 0.0);
+  opinionated_.resize(opinionated_.size() + v, 0.0);
+  const std::size_t base = PairIndex(0, v);
+  for (std::size_t u = 0; u < v; ++u) {
+    double& dis = separating_[base + u];
+    double& opi = opinionated_[base + u];
+    for (std::size_t i = 0; i < m; ++i) {
+      const Clustering::Label lu = columns_[i][u];
+      const Clustering::Label lv = event.labels[i];
+      if (lu == Clustering::kMissing || lv == Clustering::kMissing) continue;
+      opi += weights_[i];
+      if (lu != lv) dis += weights_[i];
+    }
+    // A brand-new pair charges its unavoidable cost mass: whatever the
+    // repaired solution does with it, it pays at least min(X, 1 - X).
+    const double x = static_cast<float>(PairDistanceRaw(dis, opi));
+    drift_accum_ += std::min(x, 1.0 - x);
+  }
+  for (std::size_t i = 0; i < m; ++i) columns_[i].push_back(event.labels[i]);
+  ++n_;
+  report->pairs_touched += v;
+  if (options_.fold) PlaceObjectInFoldGroup(v, event.labels);
+}
+
+void StreamAggregator::RefineFoldGroups(
+    const std::vector<Clustering::Label>& labels) {
+  std::vector<FoldGroup> refined;
+  refined.reserve(groups_.size());
+  for (const FoldGroup& group : groups_) {
+    // Bucket the group's members by their new label in first-seen order;
+    // members are ascending, so each bucket's front is its minimum.
+    std::vector<Clustering::Label> seen;
+    std::vector<std::size_t> bucket_of;
+    const std::size_t first_new = refined.size();
+    for (std::size_t member : group.members) {
+      const Clustering::Label label = labels[member];
+      std::size_t b = 0;
+      while (b < seen.size() && seen[b] != label) ++b;
+      if (b == seen.size()) {
+        seen.push_back(label);
+        FoldGroup split;
+        split.hash = MixHash(group.hash, label);
+        refined.push_back(std::move(split));
+      }
+      refined[first_new + b].members.push_back(member);
+    }
+  }
+  // Renumber by minimum member ascending — SignatureIndex::Build numbers
+  // signatures by first appearance over objects 0..n-1, which is exactly
+  // this order.
+  std::sort(refined.begin(), refined.end(),
+            [](const FoldGroup& a, const FoldGroup& b) {
+              return a.members.front() < b.members.front();
+            });
+  groups_ = std::move(refined);
+  signature_of_.assign(n_, 0);
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    for (std::size_t member : groups_[g].members) signature_of_[member] = g;
+  }
+}
+
+void StreamAggregator::PlaceObjectInFoldGroup(
+    std::size_t v, const std::vector<Clustering::Label>& tuple) {
+  std::uint64_t hash = kHashOffset;
+  for (Clustering::Label label : tuple) hash = MixHash(hash, label);
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    if (groups_[g].hash != hash) continue;
+    const std::size_t rep = groups_[g].members.front();
+    bool equal = true;
+    for (std::size_t i = 0; i < tuple.size(); ++i) {
+      if (columns_[i][rep] != tuple[i]) {
+        equal = false;
+        break;
+      }
+    }
+    if (equal) {
+      // v exceeds every existing id, so the group's minimum — and with it
+      // the ordering invariant — is untouched.
+      groups_[g].members.push_back(v);
+      signature_of_.push_back(g);
+      return;
+    }
+  }
+  FoldGroup fresh;
+  fresh.members.push_back(v);
+  fresh.hash = hash;
+  groups_.push_back(std::move(fresh));
+  signature_of_.push_back(groups_.size() - 1);
+}
+
+void StreamAggregator::ExtendSolutionToNewObjects() {
+  const std::size_t labeled = labels_.size();
+  if (labeled == n_) return;
+  std::vector<Clustering::Label> labels = labels_.labels();
+  Clustering::Label next = 0;
+  for (Clustering::Label label : labels) next = std::max(next, label + 1);
+  labels.reserve(n_);
+  for (std::size_t v = labeled; v < n_; ++v) labels.push_back(next++);
+  labels_ = Clustering(std::move(labels));
+  if (columns_.empty()) return;
+  for (std::size_t v = labeled; v < n_; ++v) {
+    const std::size_t base = PairIndex(0, v);
+    for (std::size_t u = 0; u < v; ++u) {
+      // The fresh singleton is apart from everything.
+      predicted_cost_ += 1.0 - PairDistance(base + u);
+    }
+  }
+}
+
+Result<CorrelationInstance> StreamAggregator::BuildRepairInstance() const {
+  if (options_.fold) {
+    const std::size_t s = groups_.size();
+    Result<SymmetricMatrix<float>> matrix = SymmetricMatrix<float>::Create(s);
+    if (!matrix.ok()) return matrix.status();
+    std::vector<double> multiplicities(s);
+    for (std::size_t g = 0; g < s; ++g) {
+      multiplicities[g] = static_cast<double>(groups_[g].members.size());
+      const std::size_t rep_g = groups_[g].members.front();
+      for (std::size_t h = g + 1; h < s; ++h) {
+        // Group minima are ascending, so rep_g < rep_h and the counter
+        // lookup needs no swap.
+        const std::size_t rep_h = groups_[h].members.front();
+        matrix->Set(g, h,
+                    static_cast<float>(PairDistanceRaw(
+                        separating_[PairIndex(rep_g, rep_h)],
+                        opinionated_[PairIndex(rep_g, rep_h)])));
+      }
+    }
+    return CorrelationInstance::FromSource(
+        std::make_shared<const DenseDistanceSource>(std::move(matrix).value()),
+        options_.num_threads, std::move(multiplicities));
+  }
+  Result<SymmetricMatrix<float>> matrix = SymmetricMatrix<float>::Create(n_);
+  if (!matrix.ok()) return matrix.status();
+  std::size_t idx = 0;
+  for (std::size_t v = 1; v < n_; ++v) {
+    for (std::size_t u = 0; u < v; ++u, ++idx) {
+      matrix->Set(u, v, static_cast<float>(PairDistance(idx)));
+    }
+  }
+  return CorrelationInstance::FromSource(
+      std::make_shared<const DenseDistanceSource>(std::move(matrix).value()),
+      options_.num_threads);
+}
+
+Clustering StreamAggregator::FoldSolution(const Clustering& labels) const {
+  std::vector<Clustering::Label> folded(groups_.size());
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    folded[g] = labels.label(groups_[g].members.front());
+  }
+  return Clustering(std::move(folded));
+}
+
+Clustering StreamAggregator::ExpandSolution(const Clustering& folded) const {
+  std::vector<Clustering::Label> labels(n_);
+  for (std::size_t v = 0; v < n_; ++v) {
+    labels[v] = folded.label(signature_of_[v]);
+  }
+  return Clustering(std::move(labels)).Normalized();
+}
+
+Result<ClusteringSet> StreamAggregator::CurrentInput() const {
+  if (columns_.empty()) {
+    return Status::FailedPrecondition(
+        "the stream has no applied clusterings yet");
+  }
+  std::vector<Clustering> clusterings;
+  clusterings.reserve(columns_.size());
+  for (const std::vector<Clustering::Label>& column : columns_) {
+    clusterings.emplace_back(column);
+  }
+  return ClusteringSet::Create(std::move(clusterings), weights_);
+}
+
+Result<CorrelationInstance> StreamAggregator::Instance() const {
+  if (columns_.empty()) {
+    return Status::FailedPrecondition(
+        "the stream has no applied clusterings yet");
+  }
+  Result<SymmetricMatrix<float>> matrix = SymmetricMatrix<float>::Create(n_);
+  if (!matrix.ok()) return matrix.status();
+  std::size_t idx = 0;
+  for (std::size_t v = 1; v < n_; ++v) {
+    for (std::size_t u = 0; u < v; ++u, ++idx) {
+      matrix->Set(u, v, static_cast<float>(PairDistance(idx)));
+    }
+  }
+  return CorrelationInstance::FromSource(
+      std::make_shared<const DenseDistanceSource>(std::move(matrix).value()),
+      options_.num_threads);
+}
+
+std::size_t StreamAggregator::fold_signatures() const {
+  return options_.fold ? groups_.size() : n_;
+}
+
+std::vector<std::size_t> StreamAggregator::fold_representatives() const {
+  std::vector<std::size_t> reps;
+  if (!options_.fold) {
+    reps.resize(n_);
+    for (std::size_t v = 0; v < n_; ++v) reps[v] = v;
+    return reps;
+  }
+  reps.reserve(groups_.size());
+  for (const FoldGroup& group : groups_) reps.push_back(group.members.front());
+  return reps;
+}
+
+std::vector<double> StreamAggregator::fold_multiplicities() const {
+  if (!options_.fold) return std::vector<double>(n_, 1.0);
+  std::vector<double> multiplicities;
+  multiplicities.reserve(groups_.size());
+  for (const FoldGroup& group : groups_) {
+    multiplicities.push_back(static_cast<double>(group.members.size()));
+  }
+  return multiplicities;
+}
+
+std::size_t StreamAggregator::signature_of(std::size_t v) const {
+  CLUSTAGG_CHECK(v < n_);
+  return options_.fold ? signature_of_[v] : v;
+}
+
+Result<StreamFlushReport> StreamAggregator::Flush(const RunContext& run) {
+  StreamFlushReport report;
+  Telemetry* telemetry = run.telemetry();
+  InstrumentedSpan flush_span(telemetry, "stream.flush");
+  TelemetryCount(telemetry, "stream.flushes");
+  {
+    InstrumentedSpan span(telemetry, "stream.ingest");
+    InstrumentedTimer timer(telemetry, "stream.ingest.batch_nanos");
+    std::size_t applied = 0;
+    while (applied < pending_.size()) {
+      const RunOutcome poll = run.Poll();
+      if (poll != RunOutcome::kConverged) {
+        report.outcome = MergeOutcomes(report.outcome, poll);
+        break;
+      }
+      const StreamEvent& event = pending_[applied];
+      const std::size_t before = report.pairs_touched;
+      if (const auto* add = std::get_if<AddClusteringEvent>(&event)) {
+        ApplyAddClustering(*add, &report);
+        TelemetryCount(telemetry, "stream.ingest.clusterings");
+      } else {
+        ApplyAddObject(std::get<AddObjectEvent>(event), &report);
+        TelemetryCount(telemetry, "stream.ingest.objects");
+      }
+      run.ChargeIterations(report.pairs_touched - before);
+      ++applied;
+    }
+    pending_.erase(pending_.begin(),
+                   pending_.begin() + static_cast<std::ptrdiff_t>(applied));
+    report.events_applied = applied;
+    TelemetryCount(telemetry, "stream.ingest.events", applied);
+    TelemetryCount(telemetry, "stream.ingest.pairs_touched",
+                   report.pairs_touched);
+  }
+  ExtendSolutionToNewObjects();
+  TelemetrySetGauge(telemetry, "stream.objects",
+                    static_cast<std::int64_t>(n_));
+  TelemetrySetGauge(telemetry, "stream.clusterings",
+                    static_cast<std::int64_t>(columns_.size()));
+  report.drift = drift();
+  report.pre_repair = labels_;
+  if (columns_.empty()) {
+    // Nothing expresses an opinion yet: every partition costs 0 and the
+    // extended singletons are as good as any.
+    cost_ = 0.0;
+    predicted_cost_ = 0.0;
+    report.predicted_cost = 0.0;
+    return report;
+  }
+  report.predicted_cost = predicted_cost_;
+  Result<CorrelationInstance> repair_instance = BuildRepairInstance();
+  if (!repair_instance.ok()) return repair_instance.status();
+  const CorrelationInstance& instance = *repair_instance;
+  // A batch cut short mid-apply skips the solution fix-up entirely: the
+  // remaining events arrive at the next Flush, and the current labels are
+  // still a valid partition of everything applied so far.
+  if (report.outcome == RunOutcome::kConverged) {
+    const bool rebuild =
+        !ever_clustered_ || report.drift > options_.rebuild_threshold;
+    if (rebuild) {
+      InstrumentedSpan span(telemetry, "stream.rebuild");
+      InstrumentedTimer timer(telemetry, "stream.repair.rebuild_nanos");
+      Result<ClusteringSet> input = CurrentInput();
+      if (!input.ok()) return input.status();
+      AggregatorOptions aggregate = options_.rebuild;
+      aggregate.missing = options_.missing;
+      aggregate.num_threads = options_.num_threads;
+      aggregate.fold = options_.fold;
+      aggregate.run = run;
+      Result<AggregationResult> result = Aggregate(*input, aggregate);
+      if (!result.ok()) return result.status();
+      labels_ = std::move(result->clustering);
+      report.outcome = MergeOutcomes(report.outcome, result->outcome);
+      report.rebuilt = true;
+      drift_accum_ = 0.0;
+      ever_clustered_ = true;
+      TelemetryCount(telemetry, "stream.repair.rebuilds");
+    } else {
+      InstrumentedSpan span(telemetry, "stream.repair");
+      InstrumentedTimer timer(telemetry, "stream.repair.nanos");
+      const Clustering initial =
+          options_.fold ? FoldSolution(labels_) : labels_;
+      const LocalSearchClusterer repairer(options_.repair);
+      Result<ClustererRun> repaired =
+          repairer.RunFromControlled(instance, initial, run);
+      if (!repaired.ok()) return repaired.status();
+      labels_ = options_.fold ? ExpandSolution(repaired->clustering)
+                              : std::move(repaired->clustering);
+      report.outcome = MergeOutcomes(report.outcome, repaired->outcome);
+      report.repaired = true;
+      TelemetryCount(telemetry, "stream.repair.runs");
+    }
+  }
+  // Final scoring runs outside the batch budget, like Aggregate's: a
+  // report without a cost would be useless.
+  {
+    InstrumentedSpan span(telemetry, "stream.score");
+    const Clustering scored = options_.fold ? FoldSolution(labels_) : labels_;
+    Result<double> cost = instance.Cost(scored);
+    if (!cost.ok()) return cost.status();
+    cost_ = *cost;
+  }
+  predicted_cost_ = cost_;
+  report.cost = cost_;
+  TelemetryTracePoint(telemetry, "stream", flush_count_, cost_,
+                      report.events_applied);
+  ++flush_count_;
+  return report;
+}
+
+Result<StreamReplayResult> ReplayEventLog(
+    StreamAggregator& stream, const std::vector<StreamRecord>& records,
+    const std::function<RunContext()>& make_run) {
+  StreamReplayResult result;
+  const auto flush = [&]() -> Status {
+    const RunContext run = make_run ? make_run() : RunContext();
+    Result<StreamFlushReport> report = stream.Flush(run);
+    if (!report.ok()) return report.status();
+    result.outcome = MergeOutcomes(result.outcome, report->outcome);
+    if (report->rebuilt) ++result.rebuilds;
+    if (report->repaired) ++result.repairs;
+    result.reports.push_back(*std::move(report));
+    return Status::OK();
+  };
+  for (const StreamRecord& record : records) {
+    if (std::holds_alternative<FlushMarker>(record)) {
+      Status status = flush();
+      if (!status.ok()) return status;
+      continue;
+    }
+    StreamEvent event =
+        std::holds_alternative<AddClusteringEvent>(record)
+            ? StreamEvent(std::get<AddClusteringEvent>(record))
+            : StreamEvent(std::get<AddObjectEvent>(record));
+    Status status = stream.Ingest(std::move(event));
+    if (!status.ok()) return status;
+  }
+  if (stream.pending_events() > 0 || result.reports.empty()) {
+    Status status = flush();
+    if (!status.ok()) return status;
+  }
+  return result;
+}
+
+}  // namespace clustagg

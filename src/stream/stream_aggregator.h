@@ -1,0 +1,260 @@
+#ifndef CLUSTAGG_STREAM_STREAM_AGGREGATOR_H_
+#define CLUSTAGG_STREAM_STREAM_AGGREGATOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/run_context.h"
+#include "common/status.h"
+#include "core/aggregator.h"
+#include "core/clustering.h"
+#include "core/clustering_set.h"
+#include "core/correlation_instance.h"
+#include "core/local_search.h"
+#include "stream/stream_event.h"
+
+namespace clustagg {
+
+/// Knobs for the streaming aggregation workload.
+struct StreamAggregatorOptions {
+  /// Missing-value policy defining X_uv; fixed for the stream's lifetime
+  /// (it is baked into every maintained distance).
+  MissingValueOptions missing;
+
+  /// Threads for the parallel reductions of the snapshot instances the
+  /// stream builds (0 = one per hardware core). The maintained X values
+  /// are thread-count independent either way.
+  std::size_t num_threads = 0;
+
+  /// Maintain duplicate-signature folding incrementally: AddClustering
+  /// refines the signature groups by the new labels (a group can only
+  /// split), AddObject matches the new object's label tuple against the
+  /// existing groups. Repair then runs over one weighted representative
+  /// per signature, exactly like AggregatorOptions::fold.
+  bool fold = false;
+
+  /// Warm-start repair sweep applied by Flush: LOCALSEARCH from the
+  /// current solution on the incrementally maintained instance (the
+  /// M(v,C) bookkeeping of src/core/local_search.cc, warm-started
+  /// instead of cold).
+  LocalSearchOptions repair;
+
+  /// Full re-cluster fallback: when accumulated drift exceeds
+  /// rebuild_threshold (or on the very first Flush), the stream abandons
+  /// warm repair and runs the full Aggregate pipeline with these options
+  /// on the reconstructed input set. missing / num_threads / fold / run
+  /// are overridden with the stream's own settings for coherence.
+  AggregatorOptions rebuild;
+
+  /// Accumulated-drift trigger for the rebuild fallback. Drift is the
+  /// mean absolute change of the maintained X entries since the last
+  /// full re-cluster (a brand-new pair charges its unavoidable-cost mass
+  /// min(X, 1-X)); 0 forces a rebuild on every Flush that touched a
+  /// pair, and an unreachably large value keeps warm repair forever.
+  double rebuild_threshold = 0.25;
+};
+
+/// What one Flush did.
+struct StreamFlushReport {
+  /// Pending events applied (may be short of the queue when the batch
+  /// budget fired; the remainder stays queued for the next Flush).
+  std::size_t events_applied = 0;
+  /// Pair entries visited by the applied deltas.
+  std::size_t pairs_touched = 0;
+  /// Accumulated drift at decision time (before any reset).
+  double drift = 0.0;
+  /// True when the rebuild fallback ran (full Aggregate).
+  bool rebuilt = false;
+  /// True when the warm LOCALSEARCH repair ran.
+  bool repaired = false;
+  /// The complete warm-start partition handed to repair (objects added
+  /// by this batch appear as fresh singletons). Set for repaired and
+  /// rebuilt flushes alike — it is the pre-flush solution extended to
+  /// the new objects — so differential oracles can replay the repair.
+  Clustering pre_repair;
+  /// Exact correlation cost of the post-flush solution on the stream's
+  /// maintained instance (the folded instance when folding is active),
+  /// recomputed outside the batch budget like Aggregate's final scoring.
+  /// Equal to the delta-tracked prediction up to float accumulation.
+  double cost = 0.0;
+  /// The delta-tracked running cost before recomputation; its gap to
+  /// `cost` is the numeric drift telemetry reports.
+  double predicted_cost = 0.0;
+  /// kConverged, or how the batch budget cut the flush short.
+  RunOutcome outcome = RunOutcome::kConverged;
+};
+
+/// Online clustering aggregation: ingests AddClustering / AddObject
+/// events and maintains, incrementally,
+///   - the pairwise agree/separate weight counters behind X_uv, updated
+///     O(n) per object and O(n^2) per clustering (delta-batched: events
+///     queue in Ingest and apply on Flush),
+///   - the duplicate-signature fold grouping (optional),
+///   - a current solution, fixed up after each batch by a warm-started
+///     LOCALSEARCH repair, with a drift-triggered fallback to the full
+///     Aggregate pipeline.
+///
+/// The maintained distances are bit-identical to a from-scratch
+/// CorrelationInstance::Build over the same prefix of inputs on either
+/// backend: counters accumulate clustering weights in ascending
+/// clustering order — the exact accumulation order of
+/// ClusteringSet::PairwiseDistance and the dense/lazy kernels — and
+/// every query rounds through float the same way. The differential
+/// suite (tests/stream_differential_test.cc) pins this for every event
+/// log prefix.
+///
+/// Memory: O(n^2) counters plus O(n m) label columns. The counters are
+/// what buy O(1) per-pair updates; streams too large for them should
+/// batch into the lazy-backend Aggregate instead (see docs/streaming.md).
+///
+/// Not thread-safe; one stream is owned by one orchestration thread.
+class StreamAggregator {
+ public:
+  explicit StreamAggregator(StreamAggregatorOptions options = {});
+
+  /// Validates and queues one event (cheap; no counter work). The labels
+  /// must cover the stream's state *including previously queued events*:
+  /// an AddClustering after a queued AddObject covers the new object
+  /// too. While no clustering exists yet, an AddClustering may carry
+  /// more labels than the stream has objects — it defines them, the way
+  /// ClusteringSet::Create infers n from its first clustering. Errors
+  /// leave the queue unchanged.
+  Status Ingest(StreamEvent event);
+
+  /// Applies every queued event to the counters (and fold grouping),
+  /// extends the solution with fresh singletons for new objects, then
+  /// fixes the solution up: warm LOCALSEARCH repair, or the full
+  /// Aggregate rebuild when accumulated drift exceeds the threshold (and
+  /// always on the first Flush). `run` is the *batch* budget: events
+  /// apply atomically with a poll between events, so an interrupt leaves
+  /// the remainder queued for the next Flush and tags the report; repair
+  /// inherits the remaining budget and degrades to best-so-far like
+  /// every clusterer. Final cost scoring runs outside the budget.
+  Result<StreamFlushReport> Flush(const RunContext& run = RunContext());
+
+  /// Applied (post-Flush) dimensions.
+  std::size_t num_objects() const { return n_; }
+  std::size_t num_clusterings() const { return columns_.size(); }
+  /// Dimensions including queued events.
+  std::size_t pending_objects() const { return pending_n_; }
+  std::size_t pending_clusterings() const { return pending_m_; }
+  std::size_t pending_events() const { return pending_.size(); }
+
+  double total_weight() const { return total_weight_; }
+
+  /// The current solution over the applied objects (empty before the
+  /// first Flush of a nonempty stream).
+  const Clustering& labels() const { return labels_; }
+
+  /// Exact cost of labels() on the maintained instance, as of the last
+  /// Flush.
+  double cost() const { return cost_; }
+
+  /// Accumulated drift since the last full re-cluster (see
+  /// StreamAggregatorOptions::rebuild_threshold).
+  double drift() const;
+
+  /// X_uv from the maintained counters (0 when u == v, or before any
+  /// clustering was applied). Bit-identical to the batch backends.
+  double distance(std::size_t u, std::size_t v) const;
+
+  /// Reconstructs the applied inputs as a batch ClusteringSet (with the
+  /// streamed weights) — what a from-scratch rebuild aggregates.
+  Result<ClusteringSet> CurrentInput() const;
+
+  /// Dense snapshot instance over the maintained (unfolded) distances.
+  Result<CorrelationInstance> Instance() const;
+
+  /// Fold-grouping introspection (meaningful when options.fold is set;
+  /// without folding every object is its own signature).
+  std::size_t fold_signatures() const;
+  std::vector<std::size_t> fold_representatives() const;
+  std::vector<double> fold_multiplicities() const;
+  std::size_t signature_of(std::size_t v) const;
+
+  const StreamAggregatorOptions& options() const { return options_; }
+
+ private:
+  struct FoldGroup {
+    std::vector<std::size_t> members;  // ascending object ids
+    std::uint64_t hash = 0;            // running hash of the label tuple
+  };
+
+  void ApplyAddClustering(const AddClusteringEvent& event,
+                          StreamFlushReport* report);
+  void ApplyAddObject(const AddObjectEvent& event,
+                      StreamFlushReport* report);
+  void RefineFoldGroups(const std::vector<Clustering::Label>& labels);
+  void PlaceObjectInFoldGroup(std::size_t v,
+                              const std::vector<Clustering::Label>& tuple);
+  /// Extends labels_ with one fresh singleton per not-yet-labeled object
+  /// and charges their pairs' contribution to the tracked cost.
+  void ExtendSolutionToNewObjects();
+  /// X from one pair's counters, before the float rounding.
+  double PairDistanceRaw(double disagreeing, double opinionated) const;
+  /// X_uv rounded through float (the maintained-instance value).
+  double PairDistance(std::size_t pair_index) const;
+  /// The instance repair sweeps over: folded s x s with multiplicities
+  /// when folding is active, the full n x n otherwise.
+  Result<CorrelationInstance> BuildRepairInstance() const;
+  Clustering FoldSolution(const Clustering& labels) const;
+  Clustering ExpandSolution(const Clustering& folded) const;
+
+  StreamAggregatorOptions options_;
+
+  /// Applied inputs, column per clustering: columns_[i][v] = label of
+  /// object v under clustering i.
+  std::vector<std::vector<Clustering::Label>> columns_;
+  std::vector<double> weights_;
+  double total_weight_ = 0.0;
+  std::size_t n_ = 0;
+
+  /// Packed pair counters, indexed v*(v-1)/2 + u for u < v (the
+  /// column-major triangle, so AddObject appends a contiguous block):
+  /// total weight of applied clusterings separating / having an opinion
+  /// on the pair, accumulated in ascending clustering order.
+  std::vector<double> separating_;
+  std::vector<double> opinionated_;
+
+  /// Queued events plus the dimensions they imply (for validation).
+  std::vector<StreamEvent> pending_;
+  std::size_t pending_n_ = 0;
+  std::size_t pending_m_ = 0;
+
+  /// Incremental fold grouping (maintained only when options_.fold):
+  /// groups ordered by first member ascending — SignatureIndex::Build's
+  /// numbering — and the group of each object.
+  std::vector<FoldGroup> groups_;
+  std::vector<std::size_t> signature_of_;
+
+  Clustering labels_;
+  bool ever_clustered_ = false;
+  double cost_ = 0.0;
+  double predicted_cost_ = 0.0;
+  double drift_accum_ = 0.0;
+  std::uint64_t flush_count_ = 0;
+};
+
+/// Outcome summary of replaying a whole event log.
+struct StreamReplayResult {
+  std::vector<StreamFlushReport> reports;
+  /// Most severe outcome across all flushes.
+  RunOutcome outcome = RunOutcome::kConverged;
+  std::size_t rebuilds = 0;
+  std::size_t repairs = 0;
+};
+
+/// Replays a parsed event log through the stream: ingests records in
+/// order, flushing at every FlushMarker and once more at the end when
+/// events remain (or when no Flush ever ran, so the final solution
+/// exists). `make_run` supplies one fresh RunContext per batch —
+/// deadlines restart per batch — and defaults to the unlimited context.
+Result<StreamReplayResult> ReplayEventLog(
+    StreamAggregator& stream, const std::vector<StreamRecord>& records,
+    const std::function<RunContext()>& make_run = {});
+
+}  // namespace clustagg
+
+#endif  // CLUSTAGG_STREAM_STREAM_AGGREGATOR_H_

@@ -1,0 +1,176 @@
+#include "stream/stream_event.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "io/clustering_io.h"
+
+namespace clustagg {
+
+namespace {
+
+Status LineError(std::size_t line, const std::string& what) {
+  return Status::InvalidArgument("event log line " + std::to_string(line) +
+                                 ": " + what);
+}
+
+/// Splits a line into whitespace-separated tokens.
+std::vector<std::string_view> Tokenize(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t' ||
+                               line[i] == '\r')) {
+      ++i;
+    }
+    const std::size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t' &&
+           line[i] != '\r') {
+      ++i;
+    }
+    if (i > start) tokens.push_back(line.substr(start, i - start));
+  }
+  return tokens;
+}
+
+/// Parses one label token: a non-negative integer up to kMaxParsedLabel,
+/// or `?` for missing.
+Result<Clustering::Label> ParseLabelToken(std::string_view token,
+                                          std::size_t line) {
+  if (token == "?") return Clustering::kMissing;
+  long long value = 0;
+  for (char c : token) {
+    if (c < '0' || c > '9') {
+      return LineError(line, "bad label token '" + std::string(token) +
+                                 "' (expected a non-negative integer or ?)");
+    }
+    value = value * 10 + (c - '0');
+    if (value > static_cast<long long>(kMaxParsedLabel)) {
+      return LineError(line, "label '" + std::string(token) +
+                                 "' exceeds the maximum accepted id " +
+                                 std::to_string(kMaxParsedLabel));
+    }
+  }
+  if (token.empty()) return LineError(line, "empty label token");
+  return static_cast<Clustering::Label>(value);
+}
+
+Result<std::vector<Clustering::Label>> ParseLabels(
+    const std::vector<std::string_view>& tokens, std::size_t first,
+    std::size_t line) {
+  std::vector<Clustering::Label> labels;
+  labels.reserve(tokens.size() - first);
+  for (std::size_t t = first; t < tokens.size(); ++t) {
+    Result<Clustering::Label> label = ParseLabelToken(tokens[t], line);
+    if (!label.ok()) return label.status();
+    labels.push_back(*label);
+  }
+  return labels;
+}
+
+}  // namespace
+
+Result<std::vector<StreamRecord>> ParseEventLog(std::string_view text) {
+  std::vector<StreamRecord> records;
+  std::size_t line_number = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    const std::string_view line =
+        text.substr(pos, eol == std::string_view::npos ? std::string_view::npos
+                                                       : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_number;
+    const std::vector<std::string_view> tokens = Tokenize(line);
+    if (tokens.empty() || tokens[0].front() == '#') continue;
+    const std::string_view directive = tokens[0];
+    if (directive == "flush") {
+      if (tokens.size() != 1) {
+        return LineError(line_number, "'flush' takes no arguments");
+      }
+      records.emplace_back(FlushMarker{});
+    } else if (directive == "clustering") {
+      AddClusteringEvent event;
+      std::size_t first = 1;
+      if (tokens.size() > 1 && tokens[1].rfind("weight=", 0) == 0) {
+        const std::string spec(tokens[1].substr(7));
+        errno = 0;
+        char* end = nullptr;
+        event.weight = std::strtod(spec.c_str(), &end);
+        if (errno != 0 || end == spec.c_str() || *end != '\0' ||
+            !(event.weight > 0.0) || event.weight > 1e300) {
+          return LineError(line_number,
+                           "bad weight '" + spec +
+                               "' (expected a finite positive number)");
+        }
+        first = 2;
+      }
+      Result<std::vector<Clustering::Label>> labels =
+          ParseLabels(tokens, first, line_number);
+      if (!labels.ok()) return labels.status();
+      event.labels = *std::move(labels);
+      records.emplace_back(std::move(event));
+    } else if (directive == "object") {
+      Result<std::vector<Clustering::Label>> labels =
+          ParseLabels(tokens, 1, line_number);
+      if (!labels.ok()) return labels.status();
+      records.emplace_back(AddObjectEvent{*std::move(labels)});
+    } else {
+      return LineError(line_number,
+                       "unknown directive '" + std::string(directive) +
+                           "' (expected clustering, object, or flush)");
+    }
+  }
+  return records;
+}
+
+std::string FormatEventLog(const std::vector<StreamRecord>& records) {
+  std::string out;
+  auto append_labels = [&out](const std::vector<Clustering::Label>& labels) {
+    for (Clustering::Label label : labels) {
+      out += ' ';
+      if (label == Clustering::kMissing) {
+        out += '?';
+      } else {
+        out += std::to_string(label);
+      }
+    }
+  };
+  for (const StreamRecord& record : records) {
+    if (const auto* add = std::get_if<AddClusteringEvent>(&record)) {
+      out += "clustering";
+      if (add->weight != 1.0) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), " weight=%.17g", add->weight);
+        out += buf;
+      }
+      append_labels(add->labels);
+    } else if (const auto* add = std::get_if<AddObjectEvent>(&record)) {
+      out += "object";
+      append_labels(add->labels);
+    } else {
+      out += "flush";
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Result<std::vector<StreamRecord>> ReadEventLogFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot open event log " + path);
+  }
+  std::string text;
+  char buf[1 << 14];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    text.append(buf, got);
+  }
+  std::fclose(f);
+  return ParseEventLog(text);
+}
+
+}  // namespace clustagg

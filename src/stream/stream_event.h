@@ -1,0 +1,68 @@
+#ifndef CLUSTAGG_STREAM_STREAM_EVENT_H_
+#define CLUSTAGG_STREAM_STREAM_EVENT_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+#include "core/clustering.h"
+
+namespace clustagg {
+
+/// Appends one input clustering to the stream: `labels[v]` is the new
+/// clustering's label for object v (Clustering::kMissing allowed), so the
+/// vector must cover every object the stream knows about at apply time —
+/// including objects added by earlier events of the same batch. The
+/// optional weight generalizes to the weighted median-partition objective
+/// exactly like ClusteringSet weights do.
+struct AddClusteringEvent {
+  std::vector<Clustering::Label> labels;
+  double weight = 1.0;
+};
+
+/// Appends one object to the stream: `labels[i]` is the label the i-th
+/// existing input clustering assigns to the new object
+/// (Clustering::kMissing = that clustering has no opinion), covering
+/// every clustering known at apply time.
+struct AddObjectEvent {
+  std::vector<Clustering::Label> labels;
+};
+
+/// One ingestable stream event.
+using StreamEvent = std::variant<AddClusteringEvent, AddObjectEvent>;
+
+/// Explicit batch boundary in a replayable event log: the replayer
+/// flushes (applies pending deltas and repairs the solution) when it
+/// reads one. Logs without markers are one big batch plus the final
+/// flush.
+struct FlushMarker {};
+
+/// One line of a parsed event log.
+using StreamRecord = std::variant<AddClusteringEvent, AddObjectEvent,
+                                  FlushMarker>;
+
+/// Text format for replayable event logs (see docs/streaming.md):
+///   # comment (blank lines ignored)
+///   clustering [weight=W] L1 L2 ... Ln
+///   object L1 L2 ... Lm
+///   flush
+/// Labels are non-negative integers or `?` for missing, exactly like
+/// label files. Malformed input — an unknown directive, a bad weight, a
+/// label that overflows or exceeds kMaxParsedLabel — yields
+/// InvalidArgument naming the offending 1-based line.
+Result<std::vector<StreamRecord>> ParseEventLog(std::string_view text);
+
+/// Serializes records in the ParseEventLog format (one line per record,
+/// trailing newline). Unit weights are omitted; missing labels become
+/// `?`. ParseEventLog(FormatEventLog(r)) round-trips exactly.
+std::string FormatEventLog(const std::vector<StreamRecord>& records);
+
+/// Reads and parses an event log file.
+Result<std::vector<StreamRecord>> ReadEventLogFile(const std::string& path);
+
+}  // namespace clustagg
+
+#endif  // CLUSTAGG_STREAM_STREAM_EVENT_H_

@@ -109,6 +109,46 @@ TEST(ClusteringSetTest, IgnorePolicyNoOpinionIsHalf) {
   EXPECT_NEAR(set->PairwiseDistance(0, 1, ignore), 0.5, 1e-12);
 }
 
+// Groundwork audit for the streaming append paths: ClusteringSet never
+// renormalizes label ids — distances only compare labels for equality —
+// so a set extended with a non-contiguous-label clustering must behave
+// exactly like its normalized twin: same pairwise distances (bit for
+// bit, both policies), same total disagreements, same missing mask.
+TEST(ClusteringSetTest, NonContiguousLabelsBehaveLikeNormalizedTwin) {
+  const Clustering raw({7, 900001, kMissing, 42, 900001, 42});
+  const Clustering base({0, 0, 1, 1, 2, 2});
+  Result<ClusteringSet> appended =
+      ClusteringSet::Create({base, raw});
+  Result<ClusteringSet> normalized =
+      ClusteringSet::Create({base, raw.Normalized()});
+  ASSERT_TRUE(appended.ok() && normalized.ok());
+  EXPECT_EQ(appended->HasMissing(), normalized->HasMissing());
+  for (MissingValuePolicy policy :
+       {MissingValuePolicy::kRandomCoin, MissingValuePolicy::kIgnore}) {
+    MissingValueOptions missing;
+    missing.policy = policy;
+    for (std::size_t u = 0; u < 6; ++u) {
+      for (std::size_t v = u + 1; v < 6; ++v) {
+        EXPECT_EQ(appended->PairwiseDistance(u, v, missing),
+                  normalized->PairwiseDistance(u, v, missing))
+            << "pair (" << u << ", " << v << ")";
+      }
+    }
+    const Clustering candidate({0, 0, 0, 1, 1, 1});
+    EXPECT_EQ(*appended->TotalDisagreements(candidate, missing),
+              *normalized->TotalDisagreements(candidate, missing));
+  }
+  // The missing mask must survive the append untouched: exactly the
+  // object that was missing in the raw clustering is missing in the
+  // stored one, and normalization does not move it.
+  EXPECT_TRUE(appended->clustering(1).has_label(0));
+  EXPECT_FALSE(appended->clustering(1).has_label(2));
+  EXPECT_EQ(appended->clustering(1).CountMissing(),
+            normalized->clustering(1).CountMissing());
+  EXPECT_EQ(appended->clustering(1).labels(), raw.labels())
+      << "Create must store labels verbatim, not renormalize";
+}
+
 TEST(ClusteringSetTest, TotalDisagreementsFigure1) {
   const ClusteringSet set = Figure1Input();
   // The paper's optimum has 5 disagreements.

@@ -1,0 +1,345 @@
+#ifndef CLUSTAGG_TESTS_ORACLE_H_
+#define CLUSTAGG_TESTS_ORACLE_H_
+
+// Reusable differential-testing oracle for the streaming subsystem: a
+// batch mirror that rebuilds from-scratch state (ClusteringSet,
+// CorrelationInstance, SignatureIndex fold) for any event-log prefix,
+// a seeded random event-log generator, and EXPECT helpers that pin the
+// incremental state — X matrix, fold grouping, repaired labels, cost —
+// *bit-identical* to the batch rebuild. Shared by
+// stream_differential_test.cc, stream_test.cc, and the stream axiom
+// block of property_test.cc.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/distance_source.h"
+#include "core/aggregator.h"
+#include "core/clustering.h"
+#include "core/clustering_set.h"
+#include "core/correlation_instance.h"
+#include "core/local_search.h"
+#include "core/signature_index.h"
+#include "stream/stream_aggregator.h"
+#include "stream/stream_event.h"
+
+namespace clustagg {
+namespace oracle {
+
+/// Shape knobs for RandomEventLog.
+struct EventLogShape {
+  /// Objects covered by the first clustering (the log opens with
+  /// `initial_clusterings` AddClustering events over this many objects).
+  std::size_t initial_objects = 5;
+  std::size_t initial_clusterings = 2;
+  /// Random events appended after the opening block.
+  std::size_t events = 16;
+  /// Labels are drawn from [0, max_labels).
+  std::size_t max_labels = 4;
+  /// Probability that a random event is AddObject (else AddClustering).
+  double add_object_probability = 0.45;
+  /// Per-label probability of the missing marker.
+  double missing_probability = 0.0;
+  /// Draw non-unit clustering weights from (0.25, 2.25).
+  bool weighted = false;
+  /// Probability of a FlushMarker after each random event.
+  double flush_probability = 0.3;
+  /// Duplicate an existing object's label tuple instead of drawing a
+  /// fresh one, with this probability — exercises signature folding.
+  double duplicate_object_probability = 0.0;
+};
+
+/// Deterministic random event log: an opening block of
+/// `initial_clusterings` clusterings over `initial_objects` objects,
+/// then `events` random AddClustering / AddObject events with optional
+/// flush markers. Always well-formed for StreamAggregator::Ingest.
+inline std::vector<StreamRecord> RandomEventLog(const EventLogShape& shape,
+                                                Rng* rng) {
+  std::vector<StreamRecord> records;
+  std::size_t n = shape.initial_objects;
+  std::size_t m = 0;
+  // Per-object label tuples, so AddObject events can duplicate an
+  // existing signature on request.
+  std::vector<std::vector<Clustering::Label>> tuples(n);
+  auto draw_label = [&]() -> Clustering::Label {
+    if (shape.missing_probability > 0.0 &&
+        rng->NextBernoulli(shape.missing_probability)) {
+      return Clustering::kMissing;
+    }
+    return static_cast<Clustering::Label>(rng->NextBounded(shape.max_labels));
+  };
+  auto add_clustering = [&]() {
+    AddClusteringEvent event;
+    event.labels.resize(n);
+    for (std::size_t v = 0; v < n; ++v) {
+      event.labels[v] = draw_label();
+      tuples[v].push_back(event.labels[v]);
+    }
+    if (shape.weighted) event.weight = rng->NextUniform(0.25, 2.25);
+    ++m;
+    records.emplace_back(std::move(event));
+  };
+  auto add_object = [&]() {
+    AddObjectEvent event;
+    if (n > 0 && shape.duplicate_object_probability > 0.0 &&
+        rng->NextBernoulli(shape.duplicate_object_probability)) {
+      event.labels = tuples[rng->NextBounded(n)];
+    } else {
+      event.labels.resize(m);
+      for (std::size_t i = 0; i < m; ++i) event.labels[i] = draw_label();
+    }
+    tuples.push_back(event.labels);
+    ++n;
+    records.emplace_back(std::move(event));
+  };
+  for (std::size_t i = 0; i < shape.initial_clusterings; ++i) {
+    add_clustering();
+  }
+  for (std::size_t e = 0; e < shape.events; ++e) {
+    if (rng->NextBernoulli(shape.add_object_probability)) {
+      add_object();
+    } else {
+      add_clustering();
+    }
+    if (rng->NextBernoulli(shape.flush_probability)) {
+      records.emplace_back(FlushMarker{});
+    }
+  }
+  return records;
+}
+
+/// From-scratch mirror of the stream's applied input state: replays the
+/// same events into plain label columns and hands out the batch-side
+/// artifacts (ClusteringSet, instances, fold index) the oracle compares
+/// against.
+class BatchMirror {
+ public:
+  void Apply(const StreamEvent& event) {
+    if (const auto* add = std::get_if<AddClusteringEvent>(&event)) {
+      // A clustering on a clustering-less mirror defines the objects,
+      // matching StreamAggregator::Ingest.
+      if (columns_.empty() && add->labels.size() >= n_) {
+        n_ = add->labels.size();
+      }
+      ASSERT_EQ(add->labels.size(), n_);
+      columns_.push_back(add->labels);
+      weights_.push_back(add->weight);
+    } else {
+      const auto& object = std::get<AddObjectEvent>(event);
+      ASSERT_EQ(object.labels.size(), columns_.size());
+      for (std::size_t i = 0; i < columns_.size(); ++i) {
+        columns_[i].push_back(object.labels[i]);
+      }
+      ++n_;
+    }
+  }
+
+  std::size_t num_objects() const { return n_; }
+  std::size_t num_clusterings() const { return columns_.size(); }
+
+  /// The ClusteringSet a from-scratch rebuild of this prefix aggregates.
+  ClusteringSet Input() const {
+    std::vector<Clustering> clusterings;
+    clusterings.reserve(columns_.size());
+    for (const std::vector<Clustering::Label>& column : columns_) {
+      clusterings.emplace_back(column);
+    }
+    Result<ClusteringSet> set =
+        ClusteringSet::Create(std::move(clusterings), weights_);
+    EXPECT_TRUE(set.ok()) << set.status().message();
+    return *std::move(set);
+  }
+
+ private:
+  std::vector<std::vector<Clustering::Label>> columns_;
+  std::vector<double> weights_;
+  std::size_t n_ = 0;
+};
+
+/// Unfolded batch instance over the prefix, on the requested backend.
+inline CorrelationInstance BatchInstance(const ClusteringSet& input,
+                                         const MissingValueOptions& missing,
+                                         DistanceBackend backend,
+                                         std::size_t num_threads = 1) {
+  DistanceSourceOptions options;
+  options.backend = backend;
+  options.num_threads = num_threads;
+  Result<CorrelationInstance> instance =
+      CorrelationInstance::Build(input, missing, options);
+  EXPECT_TRUE(instance.ok()) << instance.status().message();
+  return *std::move(instance);
+}
+
+/// Folded batch instance: the s x s sub-instance over one representative
+/// per SignatureIndex group, with the group sizes as multiplicities —
+/// exactly what the fold pipeline and the stream's folded repair build.
+inline CorrelationInstance FoldedBatchInstance(
+    const ClusteringSet& input, const SignatureIndex& index,
+    const MissingValueOptions& missing, DistanceBackend backend,
+    std::size_t num_threads = 1) {
+  DistanceSourceOptions options;
+  options.backend = backend;
+  options.num_threads = num_threads;
+  Result<std::shared_ptr<const DistanceSource>> source =
+      BuildDistanceSourceSubset(input, index.representatives(), missing,
+                                options);
+  EXPECT_TRUE(source.ok()) << source.status().message();
+  return CorrelationInstance::FromSource(std::move(source).value(),
+                                         num_threads, index.multiplicities());
+}
+
+/// Folds a full-object partition to signature space by taking each
+/// group's representative's label — the stream's warm-start fold.
+inline Clustering FoldByIndex(const Clustering& labels,
+                              const SignatureIndex& index) {
+  std::vector<Clustering::Label> folded(index.num_signatures());
+  for (std::size_t g = 0; g < index.num_signatures(); ++g) {
+    folded[g] = labels.label(index.representatives()[g]);
+  }
+  return Clustering(std::move(folded));
+}
+
+/// EXPECTs every maintained X_uv bit-identical to the batch instance.
+inline void ExpectSameDistances(const StreamAggregator& stream,
+                                const CorrelationInstance& batch) {
+  ASSERT_EQ(stream.num_objects(), batch.size());
+  for (std::size_t v = 1; v < batch.size(); ++v) {
+    for (std::size_t u = 0; u < v; ++u) {
+      ASSERT_EQ(stream.distance(u, v), batch.distance(u, v))
+          << "X mismatch at pair (" << u << ", " << v << ")";
+    }
+  }
+}
+
+/// EXPECTs the stream's incremental fold grouping identical to a
+/// from-scratch SignatureIndex::Build over the prefix: same signature
+/// count, numbering, representatives, and multiplicities.
+inline void ExpectSameFold(const StreamAggregator& stream,
+                           const SignatureIndex& index) {
+  ASSERT_EQ(stream.fold_signatures(), index.num_signatures());
+  EXPECT_EQ(stream.fold_representatives(), index.representatives());
+  EXPECT_EQ(stream.fold_multiplicities(), index.multiplicities());
+  for (std::size_t v = 0; v < stream.num_objects(); ++v) {
+    ASSERT_EQ(stream.signature_of(v), index.signature_of(v))
+        << "signature mismatch at object " << v;
+  }
+}
+
+/// Full per-prefix differential check against the last flush's report:
+///  - the maintained X matrix equals the batch instance bit for bit on
+///    both backends,
+///  - with folding, the incremental grouping equals SignatureIndex and
+///    the folded distances match too,
+///  - replaying the flush's own fix-up (warm LOCALSEARCH from the
+///    recorded pre-repair partition, or the full Aggregate rebuild) on
+///    the *batch* artifacts yields bit-identical labels,
+///  - the reported cost equals the batch instance's Cost of those labels
+///    bit for bit.
+inline void ExpectStreamMatchesBatch(const StreamAggregator& stream,
+                                     const BatchMirror& mirror,
+                                     const StreamFlushReport& report) {
+  ASSERT_EQ(stream.num_objects(), mirror.num_objects());
+  ASSERT_EQ(stream.num_clusterings(), mirror.num_clusterings());
+  if (mirror.num_clusterings() == 0) return;
+  const StreamAggregatorOptions& options = stream.options();
+  const ClusteringSet input = mirror.Input();
+
+  const CorrelationInstance dense =
+      BatchInstance(input, options.missing, DistanceBackend::kDense);
+  {
+    SCOPED_TRACE("dense backend");
+    ExpectSameDistances(stream, dense);
+  }
+  {
+    SCOPED_TRACE("lazy backend");
+    ExpectSameDistances(
+        stream, BatchInstance(input, options.missing, DistanceBackend::kLazy));
+  }
+
+  // The instance the stream repaired and scored on: folded when folding
+  // is active, the full one otherwise.
+  SignatureIndex index;
+  CorrelationInstance scored = dense;
+  if (options.fold) {
+    index = SignatureIndex::Build(input);
+    ExpectSameFold(stream, index);
+    scored = FoldedBatchInstance(input, index, options.missing,
+                                 DistanceBackend::kDense);
+  }
+
+  // Labels: replay the recorded fix-up on the batch artifacts.
+  if (report.rebuilt) {
+    AggregatorOptions aggregate = options.rebuild;
+    aggregate.missing = options.missing;
+    aggregate.num_threads = options.num_threads;
+    aggregate.fold = options.fold;
+    Result<AggregationResult> batch = Aggregate(input, aggregate);
+    ASSERT_TRUE(batch.ok()) << batch.status().message();
+    EXPECT_EQ(stream.labels().labels(), batch->clustering.labels())
+        << "rebuilt labels diverge from the batch Aggregate";
+  } else if (report.repaired) {
+    const Clustering start = options.fold
+                                 ? FoldByIndex(report.pre_repair, index)
+                                 : report.pre_repair;
+    const LocalSearchClusterer repairer(options.repair);
+    Result<ClustererRun> repaired =
+        repairer.RunFromControlled(scored, start, RunContext());
+    ASSERT_TRUE(repaired.ok()) << repaired.status().message();
+    const Clustering expected =
+        options.fold ? index.Expand(repaired->clustering)
+                     : repaired->clustering;
+    EXPECT_EQ(stream.labels().labels(), expected.labels())
+        << "repaired labels diverge from the batch warm repair";
+  }
+
+  // Cost: the report's exact score must equal the batch instance's.
+  const Clustering batch_labels =
+      options.fold ? FoldByIndex(stream.labels(), index) : stream.labels();
+  Result<double> cost = scored.Cost(batch_labels);
+  ASSERT_TRUE(cost.ok()) << cost.status().message();
+  EXPECT_EQ(report.cost, *cost) << "reported cost diverges from the batch "
+                                   "instance cost (bit-identity required)";
+  EXPECT_EQ(stream.cost(), *cost);
+}
+
+/// Small-n exact oracle: the stream's final cost, measured on the
+/// unfolded batch instance, must be at least the instance's per-pair
+/// lower bound and at least the EXACT optimum's cost on that same
+/// instance. Tolerance covers only summation-order noise; the bounds
+/// themselves are not approximate.
+inline void ExpectCostBracketedByExact(const StreamAggregator& stream,
+                                       const BatchMirror& mirror) {
+  ASSERT_LE(mirror.num_objects(), std::size_t{12})
+      << "the exact oracle is exponential in n";
+  if (mirror.num_clusterings() == 0) return;
+  const ClusteringSet input = mirror.Input();
+  const CorrelationInstance instance = BatchInstance(
+      input, stream.options().missing, DistanceBackend::kDense);
+  Result<double> stream_cost = instance.Cost(stream.labels());
+  ASSERT_TRUE(stream_cost.ok()) << stream_cost.status().message();
+  EXPECT_GE(*stream_cost, instance.LowerBound() - 1e-9);
+  AggregatorOptions exact;
+  exact.algorithm = AggregationAlgorithm::kExact;
+  exact.missing = stream.options().missing;
+  exact.num_threads = 1;
+  Result<AggregationResult> optimum = Aggregate(input, exact);
+  ASSERT_TRUE(optimum.ok()) << optimum.status().message();
+  Result<double> optimum_cost = instance.Cost(optimum->clustering);
+  ASSERT_TRUE(optimum_cost.ok()) << optimum_cost.status().message();
+  EXPECT_GE(*stream_cost, *optimum_cost - 1e-9)
+      << "streamed solution beat the exact optimum — the oracle instance "
+         "and the stream state disagree";
+}
+
+}  // namespace oracle
+}  // namespace clustagg
+
+#endif  // CLUSTAGG_TESTS_ORACLE_H_

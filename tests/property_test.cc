@@ -20,6 +20,8 @@
 #include "core/clustering_set.h"
 #include "core/disagreement.h"
 #include "core/lower_bound.h"
+#include "stream/stream_aggregator.h"
+#include "stream/stream_event.h"
 
 namespace clustagg {
 namespace {
@@ -197,6 +199,115 @@ TEST(PropertyTest, CostInvariantUnderObjectReordering) {
         reordered_set.TotalDisagreements(reorder(candidate));
     ASSERT_TRUE(base.ok() && permuted.ok());
     EXPECT_NEAR(*base, *permuted, 1e-9 * (1.0 + *base));
+  }
+}
+
+// ---- Stream axioms -------------------------------------------------
+//
+// The streaming counters are sums of clustering weights; with unit
+// weights the sums are exact integers, so reordering the summands
+// cannot change them and the axioms below hold *bit-exactly* (missing
+// markers included — they only choose which unit summands appear).
+
+/// Ingests events in order, flushes once, and returns the stream.
+StreamAggregator StreamOf(const std::vector<StreamEvent>& events) {
+  StreamAggregator stream{StreamAggregatorOptions{}};
+  for (const StreamEvent& event : events) {
+    Status status = stream.Ingest(event);
+    EXPECT_TRUE(status.ok()) << status.message();
+  }
+  Result<StreamFlushReport> report = stream.Flush();
+  EXPECT_TRUE(report.ok()) << report.status().message();
+  return stream;
+}
+
+void ExpectSameStreamState(const StreamAggregator& a,
+                           const StreamAggregator& b) {
+  ASSERT_EQ(a.num_objects(), b.num_objects());
+  ASSERT_EQ(a.num_clusterings(), b.num_clusterings());
+  for (std::size_t v = 1; v < a.num_objects(); ++v) {
+    for (std::size_t u = 0; u < v; ++u) {
+      ASSERT_EQ(a.distance(u, v), b.distance(u, v))
+          << "X mismatch at pair (" << u << ", " << v << ")";
+    }
+  }
+  EXPECT_EQ(a.cost(), b.cost());
+  EXPECT_EQ(a.labels().labels(), b.labels().labels());
+}
+
+Clustering RandomClusteringWithMissing(std::size_t n,
+                                       std::size_t max_clusters, double p,
+                                       Rng* rng) {
+  std::vector<Clustering::Label> labels(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    labels[v] = rng->NextBernoulli(p)
+                    ? Clustering::kMissing
+                    : static_cast<Clustering::Label>(
+                          rng->NextBounded(max_clusters));
+  }
+  return Clustering(std::move(labels));
+}
+
+// (e) Ingest-order permutation of AddClustering events yields identical
+// X and cost, bit for bit (unit weights).
+TEST(PropertyTest, StreamClusteringOrderPermutationInvariant) {
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    SCOPED_TRACE("seed = " + std::to_string(seed));
+    Rng rng(seed);
+    const std::size_t n = 2 + rng.NextBounded(12);
+    const std::size_t m = 2 + rng.NextBounded(5);
+    std::vector<StreamEvent> events;
+    for (std::size_t i = 0; i < m; ++i) {
+      events.emplace_back(AddClusteringEvent{
+          RandomClusteringWithMissing(n, 1 + rng.NextBounded(4), 0.15, &rng)
+              .labels(),
+          1.0});
+    }
+    std::vector<StreamEvent> permuted;
+    for (std::size_t i : RandomPermutation(m, &rng)) {
+      permuted.push_back(events[i]);
+    }
+    ExpectSameStreamState(StreamOf(events), StreamOf(permuted));
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+// (f) AddObject then AddClustering commutes with the reverse order when
+// the two events are transposed consistently: the clustering truncated
+// to the old objects first, with the new object's label moved onto the
+// object event.
+TEST(PropertyTest, StreamObjectAndClusteringCommute) {
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    SCOPED_TRACE("seed = " + std::to_string(seed));
+    Rng rng(seed);
+    const std::size_t n = 2 + rng.NextBounded(10);
+    const std::size_t m = 1 + rng.NextBounded(4);
+    std::vector<StreamEvent> base;
+    for (std::size_t i = 0; i < m; ++i) {
+      base.emplace_back(AddClusteringEvent{
+          RandomClusteringWithMissing(n, 3, 0.1, &rng).labels(), 1.0});
+    }
+    // The transposed pair: object tuple over the m existing clusterings,
+    // and a new clustering over n + 1 objects.
+    const Clustering tuple = RandomClusteringWithMissing(m, 3, 0.1, &rng);
+    const Clustering full =
+        RandomClusteringWithMissing(n + 1, 3, 0.1, &rng);
+    std::vector<Clustering::Label> truncated(full.labels().begin(),
+                                             full.labels().end() - 1);
+    std::vector<Clustering::Label> extended_tuple = tuple.labels();
+    extended_tuple.push_back(full.label(n));
+
+    std::vector<StreamEvent> object_first = base;
+    object_first.emplace_back(AddObjectEvent{tuple.labels()});
+    object_first.emplace_back(AddClusteringEvent{full.labels(), 1.0});
+
+    std::vector<StreamEvent> clustering_first = base;
+    clustering_first.emplace_back(AddClusteringEvent{truncated, 1.0});
+    clustering_first.emplace_back(AddObjectEvent{extended_tuple});
+
+    ExpectSameStreamState(StreamOf(object_first),
+                          StreamOf(clustering_first));
+    if (::testing::Test::HasFatalFailure()) return;
   }
 }
 

@@ -1,0 +1,287 @@
+// Unit tests for the streaming subsystem: event-log parsing and
+// round-tripping, Ingest validation, flush edge cases, incremental fold
+// revalidation against SignatureIndex, the drift/rebuild policy, the
+// replay helper, and the stream.* telemetry wiring.
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/run_context.h"
+#include "common/telemetry.h"
+#include "core/clustering.h"
+#include "core/signature_index.h"
+#include "oracle.h"
+#include "stream/stream_aggregator.h"
+#include "stream/stream_event.h"
+
+namespace clustagg {
+namespace {
+
+TEST(StreamEventTest, ParsesDirectivesCommentsAndMissing) {
+  const std::string text =
+      "# a comment\n"
+      "\n"
+      "clustering 0 1 0\n"
+      "clustering weight=2.5 1 1 ?\n"
+      "object 0 ?\n"
+      "flush\n";
+  Result<std::vector<StreamRecord>> records = ParseEventLog(text);
+  ASSERT_TRUE(records.ok()) << records.status().message();
+  ASSERT_EQ(records->size(), 4u);
+  const auto& first = std::get<AddClusteringEvent>((*records)[0]);
+  EXPECT_EQ(first.labels, (std::vector<Clustering::Label>{0, 1, 0}));
+  EXPECT_EQ(first.weight, 1.0);
+  const auto& second = std::get<AddClusteringEvent>((*records)[1]);
+  EXPECT_EQ(second.weight, 2.5);
+  EXPECT_EQ(second.labels[2], Clustering::kMissing);
+  const auto& object = std::get<AddObjectEvent>((*records)[2]);
+  EXPECT_EQ(object.labels,
+            (std::vector<Clustering::Label>{0, Clustering::kMissing}));
+  EXPECT_TRUE(std::holds_alternative<FlushMarker>((*records)[3]));
+}
+
+TEST(StreamEventTest, ErrorsNameTheOffendingLine) {
+  struct Case {
+    const char* text;
+    const char* line;
+  };
+  const Case cases[] = {
+      {"clustering 0 1\nbogus 1 2\n", "line 2"},
+      {"clustering 0 x\n", "line 1"},
+      {"clustering weight=-1 0\n", "line 1"},
+      {"clustering weight=abc 0\n", "line 1"},
+      {"flush now\n", "line 1"},
+      {"clustering 0 99999999999999999999\n", "line 1"},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.text);
+    Result<std::vector<StreamRecord>> records = ParseEventLog(c.text);
+    ASSERT_FALSE(records.ok());
+    EXPECT_NE(records.status().message().find(c.line), std::string::npos)
+        << records.status().message();
+  }
+}
+
+TEST(StreamEventTest, FormatParseRoundTripsExactly) {
+  Rng rng(3);
+  oracle::EventLogShape shape;
+  shape.weighted = true;
+  shape.missing_probability = 0.2;
+  const std::vector<StreamRecord> records =
+      oracle::RandomEventLog(shape, &rng);
+  Result<std::vector<StreamRecord>> reparsed =
+      ParseEventLog(FormatEventLog(records));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().message();
+  ASSERT_EQ(reparsed->size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    SCOPED_TRACE("record " + std::to_string(i));
+    ASSERT_EQ(reparsed->at(i).index(), records[i].index());
+    if (const auto* add = std::get_if<AddClusteringEvent>(&records[i])) {
+      const auto& twin = std::get<AddClusteringEvent>(reparsed->at(i));
+      EXPECT_EQ(twin.labels, add->labels);
+      EXPECT_EQ(twin.weight, add->weight);  // %.17g round-trips doubles
+    } else if (const auto* object =
+                   std::get_if<AddObjectEvent>(&records[i])) {
+      EXPECT_EQ(std::get<AddObjectEvent>(reparsed->at(i)).labels,
+                object->labels);
+    }
+  }
+}
+
+TEST(StreamAggregatorTest, IngestValidatesDimensionsAndLabels) {
+  StreamAggregator stream{StreamAggregatorOptions{}};
+  // The first clustering on an empty stream defines the objects.
+  EXPECT_TRUE(stream.Ingest(AddClusteringEvent{{0, 1}, 1.0}).ok());
+  EXPECT_EQ(stream.pending_objects(), 2u);
+  // Once a clustering is queued the dimension is pinned.
+  EXPECT_FALSE(stream.Ingest(AddClusteringEvent{{0, 0, 1}, 1.0}).ok());
+  EXPECT_FALSE(stream.Ingest(AddClusteringEvent{{0}, 1.0}).ok());
+  // AddObject must cover the queued clustering too.
+  EXPECT_FALSE(stream.Ingest(AddObjectEvent{{}}).ok());
+  EXPECT_TRUE(stream.Ingest(AddObjectEvent{{0}}).ok());
+  // Dimensions include queued events: next clustering covers 3 objects.
+  EXPECT_FALSE(stream.Ingest(AddClusteringEvent{{0, 0}, 1.0}).ok());
+  EXPECT_TRUE(stream.Ingest(AddClusteringEvent{{4, 0, 4}, 1.0}).ok());
+  // Bad labels and weights are rejected.
+  EXPECT_FALSE(stream.Ingest(AddClusteringEvent{{-7, 0, 0}, 1.0}).ok());
+  EXPECT_FALSE(stream.Ingest(AddClusteringEvent{{0, 0, 0}, 0.0}).ok());
+  EXPECT_FALSE(stream.Ingest(AddClusteringEvent{{0, 0, 0}, -1.0}).ok());
+  EXPECT_EQ(stream.pending_events(), 3u);
+  EXPECT_EQ(stream.pending_objects(), 3u);
+  EXPECT_EQ(stream.pending_clusterings(), 2u);
+}
+
+TEST(StreamAggregatorTest, FlushWithNoClusteringsYieldsSingletons) {
+  StreamAggregator stream{StreamAggregatorOptions{}};
+  ASSERT_TRUE(stream.Ingest(AddClusteringEvent{{}, 1.0}).ok());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(stream.Ingest(AddObjectEvent{{static_cast<Clustering::Label>(
+                                  i % 2)}})
+                    .ok());
+  }
+  // Remove the clustering case: a stream of only objects.
+  StreamAggregator objects_only{StreamAggregatorOptions{}};
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(objects_only.Ingest(AddObjectEvent{{}}).ok());
+  }
+  Result<StreamFlushReport> report = objects_only.Flush();
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  EXPECT_EQ(report->cost, 0.0);
+  EXPECT_FALSE(report->repaired);
+  EXPECT_FALSE(report->rebuilt);
+  EXPECT_EQ(objects_only.labels().labels(),
+            (std::vector<Clustering::Label>{0, 1, 2}));
+  EXPECT_EQ(objects_only.distance(0, 2), 0.0);
+}
+
+TEST(StreamAggregatorTest, FirstFlushRebuildsThenWarmRepairs) {
+  StreamAggregatorOptions options;
+  options.rebuild_threshold = 1e9;  // never rebuild on drift
+  StreamAggregator stream(options);
+  ASSERT_TRUE(stream.Ingest(AddClusteringEvent{{0, 0, 1, 1}, 1.0}).ok());
+  Result<StreamFlushReport> first = stream.Flush();
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(first->rebuilt) << "the initial build must be a full rebuild";
+  EXPECT_FALSE(first->repaired);
+  ASSERT_TRUE(stream.Ingest(AddClusteringEvent{{0, 0, 1, 1}, 1.0}).ok());
+  Result<StreamFlushReport> second = stream.Flush();
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->repaired);
+  EXPECT_FALSE(second->rebuilt);
+  EXPECT_EQ(second->cost, 0.0);  // unanimous inputs: perfect aggregation
+  EXPECT_TRUE(stream.labels().SameCluster(0, 1));
+  EXPECT_FALSE(stream.labels().SameCluster(1, 2));
+}
+
+TEST(StreamAggregatorTest, DriftThresholdTriggersRebuild) {
+  StreamAggregatorOptions options;
+  options.rebuild_threshold = 0.05;
+  StreamAggregator stream(options);
+  ASSERT_TRUE(stream.Ingest(AddClusteringEvent{{0, 0, 1, 1}, 1.0}).ok());
+  ASSERT_TRUE(stream.Flush().ok());
+  EXPECT_EQ(stream.drift(), 0.0) << "rebuild must reset drift";
+  // A flatly contradicting clustering moves every X by ~1/2: far past
+  // the threshold.
+  ASSERT_TRUE(stream.Ingest(AddClusteringEvent{{0, 1, 0, 1}, 1.0}).ok());
+  Result<StreamFlushReport> report = stream.Flush();
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->drift, options.rebuild_threshold);
+  EXPECT_TRUE(report->rebuilt);
+  EXPECT_EQ(stream.drift(), 0.0);
+  // An agreeing duplicate of the first clustering moves X by 1/6 per
+  // disagreeing pair on average — below nothing; raise the threshold so
+  // the repair path is taken and drift accumulates across flushes.
+  StreamAggregatorOptions accumulate = options;
+  accumulate.rebuild_threshold = 0.9;
+  StreamAggregator slow(accumulate);
+  ASSERT_TRUE(slow.Ingest(AddClusteringEvent{{0, 0, 1, 1}, 1.0}).ok());
+  ASSERT_TRUE(slow.Flush().ok());
+  double last_drift = 0.0;
+  for (int round = 0; round < 3; ++round) {
+    ASSERT_TRUE(slow.Ingest(AddClusteringEvent{{0, 1, 0, 1}, 1.0}).ok());
+    Result<StreamFlushReport> r = slow.Flush();
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r->repaired);
+    EXPECT_GT(r->drift, last_drift)
+        << "warm repair must not reset accumulated drift";
+    last_drift = r->drift;
+  }
+}
+
+TEST(StreamAggregatorTest, IncrementalFoldMatchesSignatureIndex) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    SCOPED_TRACE("seed = " + std::to_string(seed));
+    Rng rng(seed);
+    oracle::EventLogShape shape;
+    shape.duplicate_object_probability = 0.6;
+    shape.missing_probability = 0.15;
+    shape.max_labels = 3;
+    const std::vector<StreamRecord> records =
+        oracle::RandomEventLog(shape, &rng);
+    StreamAggregatorOptions options;
+    options.fold = true;
+    StreamAggregator stream(options);
+    oracle::BatchMirror mirror;
+    for (const StreamRecord& record : records) {
+      if (std::holds_alternative<FlushMarker>(record)) continue;
+      StreamEvent event =
+          std::holds_alternative<AddClusteringEvent>(record)
+              ? StreamEvent(std::get<AddClusteringEvent>(record))
+              : StreamEvent(std::get<AddObjectEvent>(record));
+      mirror.Apply(event);
+      ASSERT_TRUE(stream.Ingest(std::move(event)).ok());
+      ASSERT_TRUE(stream.Flush().ok());
+      if (mirror.num_clusterings() == 0) continue;
+      // After every event, the incremental grouping equals the
+      // from-scratch index: count, numbering, reps, multiplicities.
+      oracle::ExpectSameFold(stream, SignatureIndex::Build(mirror.Input()));
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST(StreamAggregatorTest, ReplayFlushesAtMarkersAndEnd) {
+  // Two explicit markers plus trailing events: three flushes total.
+  const std::string log =
+      "clustering 0 0 1\n"
+      "flush\n"
+      "object 1\n"
+      "flush\n"
+      "clustering 0 1 1 0\n";
+  Result<std::vector<StreamRecord>> records = ParseEventLog(log);
+  ASSERT_TRUE(records.ok());
+  StreamAggregator stream{StreamAggregatorOptions{}};
+  Result<StreamReplayResult> replay = ReplayEventLog(stream, *records);
+  ASSERT_TRUE(replay.ok()) << replay.status().message();
+  EXPECT_EQ(replay->reports.size(), 3u);
+  EXPECT_EQ(replay->outcome, RunOutcome::kConverged);
+  EXPECT_EQ(stream.num_objects(), 4u);
+  EXPECT_EQ(stream.num_clusterings(), 2u);
+  EXPECT_EQ(stream.pending_events(), 0u);
+  // A marker-free log still gets its final flush.
+  StreamAggregator no_markers{StreamAggregatorOptions{}};
+  Result<std::vector<StreamRecord>> plain =
+      ParseEventLog("clustering 0 1\n");
+  ASSERT_TRUE(plain.ok());
+  Result<StreamReplayResult> once = ReplayEventLog(no_markers, *plain);
+  ASSERT_TRUE(once.ok());
+  EXPECT_EQ(once->reports.size(), 1u);
+  EXPECT_EQ(once->rebuilds, 1u);
+}
+
+#if defined(CLUSTAGG_TELEMETRY_ENABLED)
+TEST(StreamAggregatorTest, TelemetryRecordsIngestAndRepair) {
+  Telemetry telemetry;
+  const RunContext run = RunContext().WithTelemetry(&telemetry);
+  StreamAggregatorOptions options;
+  options.rebuild_threshold = 1e9;
+  StreamAggregator stream(options);
+  ASSERT_TRUE(stream.Ingest(AddClusteringEvent{{0, 0, 1}, 1.0}).ok());
+  ASSERT_TRUE(stream.Ingest(AddObjectEvent{{1}}).ok());
+  ASSERT_TRUE(stream.Flush(run).ok());
+  ASSERT_TRUE(stream.Ingest(AddClusteringEvent{{0, 0, 1, 1}, 1.0}).ok());
+  ASSERT_TRUE(stream.Flush(run).ok());
+  EXPECT_EQ(telemetry.counter("stream.flushes")->value(), 2u);
+  EXPECT_EQ(telemetry.counter("stream.ingest.events")->value(), 3u);
+  EXPECT_EQ(telemetry.counter("stream.ingest.clusterings")->value(), 2u);
+  EXPECT_EQ(telemetry.counter("stream.ingest.objects")->value(), 1u);
+  // The object-defining first clustering materializes its 3 objects
+  // (0+1+2 pair blocks) then sweeps 3 pairs; the new object touches 3;
+  // the second clustering over 4 objects sweeps 6.
+  EXPECT_EQ(telemetry.counter("stream.ingest.pairs_touched")->value(), 15u);
+  EXPECT_EQ(telemetry.counter("stream.repair.rebuilds")->value(), 1u);
+  EXPECT_EQ(telemetry.counter("stream.repair.runs")->value(), 1u);
+  EXPECT_EQ(telemetry.gauge("stream.objects")->value(), 4);
+  EXPECT_EQ(telemetry.gauge("stream.clusterings")->value(), 2);
+  EXPECT_EQ(telemetry.histogram("stream.ingest.batch_nanos")->count(), 2u);
+  EXPECT_EQ(telemetry.histogram("stream.repair.nanos")->count(), 1u);
+}
+#endif  // CLUSTAGG_TELEMETRY_ENABLED
+
+}  // namespace
+}  // namespace clustagg

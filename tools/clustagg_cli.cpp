@@ -110,7 +110,127 @@ std::optional<AggregationAlgorithm> ParseAlgorithm(const std::string& name) {
   return it->second;
 }
 
+/// `aggregate --stream <eventlog>`: replay a recorded event log through
+/// the incremental StreamAggregator instead of one batch Aggregate. Each
+/// `flush` directive in the log closes a batch: pending deltas apply to
+/// the maintained X counters, then the solution is repaired in place
+/// (warm LOCALSEARCH) or rebuilt from scratch when accumulated drift
+/// exceeds --rebuild-threshold. --deadline-ms bounds each batch, not the
+/// whole replay. Per-batch progress goes to stderr; the final labels go
+/// to --out or stdout like a batch aggregate.
+int CmdStream(const Args& args) {
+  Result<std::vector<StreamRecord>> records =
+      ReadEventLogFile(args.Get("stream"));
+  if (!records.ok()) return Fail(records.status());
+
+  StreamAggregatorOptions options;
+  const std::string algorithm = args.Get("algorithm", "agglomerative");
+  if (auto parsed = ParseAlgorithm(algorithm)) {
+    options.rebuild.algorithm = *parsed;
+  } else {
+    return Fail(Status::InvalidArgument(
+        "unknown algorithm '" + algorithm +
+        "' (expected best, balls, agglomerative, furthest, localsearch, "
+        "pivot, annealing, majority, exact)"));
+  }
+  options.rebuild.refine_with_local_search = args.Has("refine");
+  options.rebuild.balls.alpha = args.GetDouble("alpha", 0.4);
+  if (args.Get("missing") == "ignore") {
+    options.missing.policy = MissingValuePolicy::kIgnore;
+  }
+  options.missing.coin_together_probability =
+      args.GetDouble("coin-p", 0.5);
+  options.num_threads =
+      static_cast<std::size_t>(args.GetInt("threads", 0));
+  options.fold = args.Has("fold");
+  options.rebuild_threshold =
+      args.GetDouble("rebuild-threshold", options.rebuild_threshold);
+  if (options.rebuild_threshold < 0) {
+    return Fail(Status::InvalidArgument(
+        "--rebuild-threshold expects a non-negative drift bound"));
+  }
+
+  long long deadline_ms = 0;
+  if (args.Has("deadline-ms")) {
+    deadline_ms = args.GetInt("deadline-ms", 0);
+    if (deadline_ms <= 0) {
+      return Fail(Status::InvalidArgument(
+          "--deadline-ms expects a positive number of milliseconds"));
+    }
+  }
+
+  const bool want_stats = args.Has("stats");
+  std::string stats_mode = args.Get("stats");
+  if (stats_mode.empty()) stats_mode = "table";
+  if (want_stats && stats_mode != "json" && stats_mode != "table") {
+    return Fail(Status::InvalidArgument("--stats expects 'json' or 'table', "
+                                        "got '" + stats_mode + "'"));
+  }
+  FakeClock fake_clock(0, 1000);
+  Telemetry telemetry(args.Has("fake-clock")
+                          ? static_cast<const clustagg::Clock*>(&fake_clock)
+                          : clustagg::Clock::Real());
+
+  StreamAggregator stream(options);
+  // Fresh context per batch: a deadline bounds each flush, not the log.
+  const auto make_run = [&]() {
+    RunContext run =
+        deadline_ms > 0
+            ? RunContext::WithDeadline(std::chrono::milliseconds(deadline_ms))
+            : RunContext();
+    return want_stats ? run.WithTelemetry(&telemetry) : run;
+  };
+  Result<StreamReplayResult> replay =
+      ReplayEventLog(stream, *records, make_run);
+  if (!replay.ok()) return Fail(replay.status());
+
+  for (std::size_t i = 0; i < replay->reports.size(); ++i) {
+    const StreamFlushReport& report = replay->reports[i];
+    std::fprintf(stderr,
+                 "batch %zu: %zu events, %zu pairs touched, drift %.4f, "
+                 "%s, cost = %.1f (%s)\n",
+                 i + 1, report.events_applied, report.pairs_touched,
+                 report.drift,
+                 report.rebuilt ? "rebuilt"
+                                : (report.repaired ? "repaired" : "no-op"),
+                 report.cost, RunOutcomeName(report.outcome));
+  }
+  std::fprintf(stderr,
+               "streamed %zu clusterings of %zu objects in %zu batches "
+               "(%zu rebuilds, %zu repairs): %zu clusters, cost = %.1f\n",
+               stream.num_clusterings(), stream.num_objects(),
+               replay->reports.size(), replay->rebuilds, replay->repairs,
+               stream.labels().NumClusters(), stream.cost());
+  std::fprintf(stderr, "run outcome = %s\n",
+               RunOutcomeName(replay->outcome));
+  if (options.fold) {
+    std::fprintf(stderr, "folded %zu objects into %zu signatures\n",
+                 stream.num_objects(), stream.fold_signatures());
+  }
+  if (want_stats) {
+    if (stats_mode == "json") {
+      std::fprintf(stderr, "%s\n", telemetry.ToJson().c_str());
+    } else {
+      std::ostringstream table;
+      telemetry.PrintTable(table);
+      std::fputs(table.str().c_str(), stderr);
+    }
+  }
+
+  const std::string out = args.Get("out");
+  if (!out.empty()) {
+    if (Status s = WriteClusteringFile(out, stream.labels()); !s.ok()) {
+      return Fail(s);
+    }
+    std::fprintf(stderr, "wrote %s\n", out.c_str());
+  } else {
+    std::fputs(FormatClustering(stream.labels()).c_str(), stdout);
+  }
+  return 0;
+}
+
 int CmdAggregate(const Args& args) {
+  if (args.Has("stream")) return CmdStream(args);
   // Assemble the input clusterings.
   Result<ClusteringSet> input = [&]() -> Result<ClusteringSet> {
     if (args.Has("csv")) {
@@ -391,6 +511,21 @@ int CmdHelp() {
       "      convergence traces; see docs/observability.md) to stderr as\n"
       "      a table or JSON; --fake-clock substitutes a deterministic\n"
       "      clock so --stats=json output is byte-stable.\n"
+      "  aggregate --stream FILE [--rebuild-threshold X] [--fold]\n"
+      "            [--algorithm ...] [--missing coin|ignore] [--coin-p P]\n"
+      "            [--threads N] [--deadline-ms N] [--out FILE]\n"
+      "            [--stats[=json|table]] [--fake-clock]\n"
+      "      replay a recorded event log (directives: 'clustering\n"
+      "      [weight=W] L1..Ln', 'object L1..Lm', 'flush', '#' comments,\n"
+      "      '?' = missing; see docs/streaming.md) through the\n"
+      "      incremental StreamAggregator. Each 'flush' closes a batch:\n"
+      "      deltas apply to the maintained X counters, then the solution\n"
+      "      is repaired in place (warm LOCALSEARCH) or fully rebuilt\n"
+      "      with --algorithm when accumulated drift exceeds\n"
+      "      --rebuild-threshold (default 0.25). --deadline-ms bounds\n"
+      "      each batch; an interrupted batch keeps the remainder queued.\n"
+      "      Per-batch progress goes to stderr, final labels to --out or\n"
+      "      stdout.\n"
       "  eval <truth.labels> <candidate.labels>\n"
       "      rand / adjusted rand / NMI / disagreement distance.\n"
       "  gen <votes|mushrooms|census|gaussian> [--seed N] [--rows N]\n"

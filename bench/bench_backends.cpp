@@ -197,6 +197,10 @@ void DenseConstructionScaling(JsonObject* json) {
   const ClusteringSet input = PlantedInput(n, m, 8, 0.2, 2);
   double serial_seconds = 0.0;
   JsonObject part;
+  // The builder carves the triangle into cost-weighted row bands (equal
+  // pair mass instead of equal height), so late thin bands no longer
+  // starve the workers that drew early fat ones.
+  part.Set("partitioning", std::string("cost_weighted_bands"));
   for (std::size_t threads : {1, 2, 4, 8}) {
     Stopwatch watch;
     Result<CorrelationInstance> instance = CorrelationInstance::Build(

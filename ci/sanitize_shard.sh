@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Sanitizer matrix leg for the shard-and-conquer pipeline: builds the
+# repo twice (CLUSTAGG_SANITIZE=address, =thread) and runs only the
+# shard-labeled suite. The per-shard parallel solve is the library's
+# widest parallel surface — worker threads run whole Aggregate pipelines
+# concurrently against per-thread UnionFind forests and a shared result
+# array — so the TSan leg in particular must stay clean on every push.
+# The full suite still runs sanitized in the heavyweight job; this leg
+# is the fast one wired to every push.
+#
+# Usage: ci/sanitize_shard.sh [jobs]
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+JOBS="${1:-$(nproc)}"
+
+for SAN in address thread; do
+  BUILD="$ROOT/build-sanitize-$SAN"
+  echo "=== CLUSTAGG_SANITIZE=$SAN ==="
+  cmake -B "$BUILD" -S "$ROOT" -DCLUSTAGG_SANITIZE="$SAN" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+  cmake --build "$BUILD" -j"$JOBS" --target shard_test
+  # --no-tests=error keeps a labeling regression from passing the leg
+  # vacuously.
+  (cd "$BUILD" && ctest -L shard --no-tests=error \
+       --output-on-failure -j"$JOBS")
+done
+echo "sanitize_shard: all legs passed"

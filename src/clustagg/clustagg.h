@@ -41,6 +41,9 @@
 #include "eval/metrics.h"
 #include "io/clustering_io.h"
 #include "io/csv.h"
+#include "shard/decompose.h"
+#include "shard/shard_aggregator.h"
+#include "shard/shard_options.h"
 #include "signed/signed_graph.h"
 #include "stream/stream_aggregator.h"
 #include "stream/stream_event.h"

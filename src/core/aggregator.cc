@@ -8,6 +8,7 @@
 #include "core/correlation_instance.h"
 #include "core/instrumentation.h"
 #include "core/signature_index.h"
+#include "shard/shard_aggregator.h"
 
 namespace clustagg {
 
@@ -92,11 +93,22 @@ Result<AggregationResult> Aggregate(const ClusteringSet& input,
     return out;
   }
 
+  // Shard-and-conquer routing: the objective decomposes exactly across
+  // agreement-graph components (docs/sharding.md), so requested sharding
+  // hands the whole pipeline to src/shard/. Sampling keeps precedence —
+  // it already avoids the O(n^2) instance sharding exists to split.
+  if (ShardingRequested(options.shard) && options.sampling_size == 0) {
+    return ShardedAggregate(input, options);
+  }
+
   // Degradation 1: the exact solver beyond its tractable size would be a
   // hard ResourceExhausted; aggregation callers prefer a good answer over
   // none, so swap in BALLS polished by LOCALSEARCH (the paper's
   // recommended refinement) and record the substitution.
   AggregatorOptions effective = options;
+  if (options.max_cluster_size > 0) {
+    effective.local_search.max_cluster_size = options.max_cluster_size;
+  }
   if (options.allow_fallbacks &&
       options.algorithm == AggregationAlgorithm::kExact &&
       input.num_objects() > options.exact.max_objects) {

@@ -18,6 +18,7 @@
 #include "core/majority.h"
 #include "core/pivot.h"
 #include "core/sampling.h"
+#include "shard/shard_options.h"
 
 namespace clustagg {
 
@@ -93,6 +94,27 @@ struct AggregatorOptions {
   /// Ignored for kBestClustering (which never builds an instance).
   bool fold = false;
 
+  /// Shard-and-conquer pipeline (src/shard/, docs/sharding.md): stream
+  /// the agreement graph (pairs with X_uv < 1/2), solve its connected
+  /// components — split when oversized — as independent shards in
+  /// parallel, and stitch. Exact across true components; forced splits
+  /// are covered by the exact AggregationResult::stitch_error_bound.
+  /// Composes with fold (decomposition runs in signature space) and the
+  /// backend choice (per shard). Ignored under sampling_size > 0 — the
+  /// sampling path already avoids the O(n^2) instance — and for
+  /// kBestClustering, which never builds one.
+  ShardOptions shard;
+
+  /// Size-capped clusters as a LOCALSEARCH move filter (Puleo &
+  /// Milenkovic): when nonzero, sweeps reject any move that would grow a
+  /// cluster beyond this many objects, both for kLocalSearch runs and
+  /// for the refine_with_local_search polish. Under folding the cap
+  /// counts original objects (fold multiplicities), not representatives.
+  /// A filter, not a repair: starting partitions already violating the
+  /// cap (Init::kSingleCluster, an oversized refine input) are only
+  /// shrunk when doing so lowers the cost. 0 = uncapped.
+  std::size_t max_cluster_size = 0;
+
   /// Wall-clock / iteration budget, cancellation flag, and fault hooks
   /// for the whole pipeline (instance build, clustering, refinement).
   /// Default: unlimited. When the budget fires the pipeline returns the
@@ -133,6 +155,21 @@ struct AggregationResult {
   /// (== num_objects when the fold was a no-op); 0 when folding was off
   /// or the run went through sampling.
   std::size_t fold_signatures = 0;
+  /// True when the run went through the sharding pipeline (src/shard/):
+  /// decompose, per-shard solve, stitch. False when sharding was off, the
+  /// kAuto trigger did not fire, or a fallback abandoned the plan.
+  bool sharded = false;
+  /// Number of shards solved (only meaningful when sharded).
+  std::size_t shard_count = 0;
+  /// Connected components the agreement graph decomposed into (in
+  /// signature space when folding was active; only when sharded).
+  std::size_t shard_components = 0;
+  /// Exact upper bound on the cost excess attributable to sharding: the
+  /// total weight sum over cut agreement pairs of (1 - 2 X_uv), zero
+  /// unless the size cap forced a component split (docs/sharding.md).
+  /// Whatever the unsharded pipeline would have found, total_disagreements
+  /// of a locally optimal sharded run exceeds it by at most this much.
+  double stitch_error_bound = 0.0;
 };
 
 /// Instantiates the requested correlation clusterer (not

@@ -1,6 +1,7 @@
 #include "core/distance_source.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -132,10 +133,10 @@ Result<std::shared_ptr<const DenseDistanceSource>> BuildDenseFromColumns(
   TelemetrySetGauge(run.telemetry(), "build.dense_threads",
                     static_cast<std::int64_t>(threads));
   InstrumentedTimer build_timer(run.telemetry(), "build.dense_nanos");
-  // Cache-blocked fill: the triangle is carved into kTileRows-row bands,
-  // and each band sweeps its columns in kTileCols-wide tiles so the tile's
-  // label rows (kTileCols * m labels) stay cache-resident while every row
-  // of the band visits them. Bands are disjoint contiguous slices of the
+  // Cache-blocked fill: the triangle is carved into row bands, and each
+  // band sweeps its columns in kTileCols-wide tiles so the tile's label
+  // rows (kTileCols * m labels) stay cache-resident while every row of
+  // the band visits them. Bands are disjoint contiguous slices of the
   // packed store, so every thread writes its own memory and the result is
   // schedule-independent regardless of how bands land on threads. Each
   // band charges its row count against the iteration budget (the loop
@@ -145,11 +146,38 @@ Result<std::shared_ptr<const DenseDistanceSource>> BuildDenseFromColumns(
   // returning garbage.
   constexpr std::size_t kTileRows = 64;
   constexpr std::size_t kTileCols = 256;
-  const std::size_t num_bands = (n + kTileRows - 1) / kTileRows;
+  // Cost-weighted bands: row u owns n - u - 1 pairs, so fixed-height
+  // bands at the top of the triangle carry up to twice the average work
+  // and a chunk of consecutive heavy bands claimed by one thread becomes
+  // the straggler that flattens thread scaling. Bands here grow until
+  // they hold ~kTileRows * n / 2 pairs (an average fixed band's mass) or
+  // hit the kTileRows cache-tile height, so every claimed chunk carries
+  // near-equal work: heavy top rows get short bands, light bottom rows
+  // fill to the tile height. Boundaries depend only on n — never on the
+  // thread count — so the fill and its exact per-row iteration
+  // accounting stay schedule-independent.
+  std::vector<std::size_t> band_start;
+  band_start.reserve(n / (kTileRows / 2) + 2);
+  const std::uint64_t target_pairs =
+      static_cast<std::uint64_t>(kTileRows) * static_cast<std::uint64_t>(n) /
+      2;
+  for (std::size_t u0 = 0; u0 < n;) {
+    band_start.push_back(u0);
+    std::uint64_t mass = 0;
+    std::size_t u1 = u0;
+    while (u1 < n && u1 - u0 < kTileRows) {
+      mass += static_cast<std::uint64_t>(n - u1 - 1);
+      ++u1;
+      if (mass >= target_pairs) break;
+    }
+    u0 = u1;
+  }
+  band_start.push_back(n);
+  const std::size_t num_bands = band_start.size() - 1;
   const bool completed = ParallelForRowsCancellable(
       num_bands, threads, run, [&](std::size_t band, std::size_t) {
-        const std::size_t u0 = band * kTileRows;
-        const std::size_t u1 = std::min(n, u0 + kTileRows);
+        const std::size_t u0 = band_start[band];
+        const std::size_t u1 = band_start[band + 1];
         if (u1 - u0 > 1) run.ChargeIterations(u1 - u0 - 1);
         for (std::size_t c0 = u0 + 1; c0 < n; c0 += kTileCols) {
           const std::size_t c1 = std::min(n, c0 + kTileCols);

@@ -112,9 +112,13 @@ class MoveState {
   /// free; the hot path of LOCALSEARCH). Returns true if v moved; a move
   /// adds its cost decrease (strictly positive) to *improvement when the
   /// pointer is non-null, letting callers accumulate a convergence curve
-  /// without re-deriving costs.
+  /// without re-deriving costs. A nonzero `max_cluster_size` filters the
+  /// join candidates to clusters that would stay within the cap (in
+  /// weighted objects — fold multiplicities count); the fresh-singleton
+  /// target is always legal.
   bool TryImproveBest(std::size_t v, double min_improvement,
-                      double* improvement = nullptr) {
+                      double* improvement = nullptr,
+                      std::size_t max_cluster_size = 0) {
     const std::size_t current = assignment_[v];
     const double wv = w_[v];
     const std::size_t k = sizes_.size();
@@ -125,10 +129,15 @@ class MoveState {
     auto join_cost = [&](std::size_t j) {
       return t + 2.0 * m_[j][v] - SizeWithoutV(j, current, wv);
     };
+    const double cap = static_cast<double>(max_cluster_size);
     const double stay_cost = join_cost(current);
     double best_cost = t;  // fresh singleton
     std::size_t best = kSingletonTarget;
     for (std::size_t j = 0; j < k; ++j) {
+      if (max_cluster_size != 0 && j != current &&
+          SizeWithoutV(j, current, wv) + wv > cap) {
+        continue;
+      }
       const double c = join_cost(j);
       if (c < best_cost) {
         best_cost = c;

@@ -92,7 +92,8 @@ Result<ClustererRun> LocalSearchClusterer::RunFromControlled(
         if ((outcome = run.Poll()) != RunOutcome::kConverged) break;
       }
       if (state.TryImproveBest(order[i], options_.min_improvement,
-                               &cumulative_improvement)) {
+                               &cumulative_improvement,
+                               options_.max_cluster_size)) {
         ++moves_this_pass;
       }
     }

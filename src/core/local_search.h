@@ -41,6 +41,16 @@ struct LocalSearchOptions {
   /// A move must improve the cost by more than this to be taken; guards
   /// against infinite loops on floating-point noise.
   double min_improvement = 1e-7;
+
+  /// Size-capped sweeps (Puleo & Milenkovic's bounded-cluster variant):
+  /// when nonzero, a move may not grow a cluster beyond this many
+  /// objects (fold multiplicities counted, so the cap is in original
+  /// objects). Moves to a fresh singleton stay legal, so with the
+  /// default singleton init every intermediate — and final — cluster
+  /// respects the cap. A filter on moves, not a repair: oversized
+  /// clusters in a starting partition are only broken up when the sweep
+  /// finds improving moves out of them. 0 = uncapped.
+  std::size_t max_cluster_size = 0;
 };
 
 /// The LOCALSEARCH algorithm (Section 4): repeatedly sweep the objects,

@@ -1,0 +1,80 @@
+#ifndef CLUSTAGG_SHARD_DECOMPOSE_H_
+#define CLUSTAGG_SHARD_DECOMPOSE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/run_context.h"
+#include "common/status.h"
+#include "core/distance_source.h"
+#include "shard/shard_options.h"
+
+namespace clustagg {
+
+/// Output of the decompose phase: a partition of the decomposition nodes
+/// (objects, or folded signature representatives) into shards, plus the
+/// exact accounting of what splitting may cost.
+///
+/// The decomposition invariant (docs/sharding.md): the disagreement
+/// objective separates exactly across connected components of the
+/// *agreement graph* — the graph whose edges are the pairs with
+/// X_uv < 1/2. Any inter-component pair has X >= 1/2, so separating it
+/// costs 1 - X = min(X, 1 - X), the pair's unavoidable lower bound;
+/// solving components independently therefore loses nothing. Only edges
+/// cut when an oversized component is *split* can cost extra, and that
+/// excess is at most (1 - 2 X_uv) per cut agreement edge — the exact
+/// total is reported as stitch_error_bound.
+struct ShardPlan {
+  /// Decomposition-space size (n objects, or s signatures under fold).
+  std::size_t num_nodes = 0;
+
+  /// Connected components of the agreement graph.
+  std::size_t num_components = 0;
+  /// Node -> component, labeled 0..k-1 by first appearance (ascending
+  /// node id), so the labeling is deterministic and invariant — as a
+  /// partition — under node permutation.
+  std::vector<std::int32_t> component_of;
+
+  /// The shards: node ids, ascending within each shard; shards ordered by
+  /// their smallest node. Every component lands in exactly one shard
+  /// unless it exceeded the size cap and was split; small components may
+  /// share a shard (packing cuts no agreement edges — cross-component
+  /// pairs have none — so it never adds stitching error).
+  std::vector<std::vector<std::size_t>> shards;
+  /// Node -> shard index.
+  std::vector<std::size_t> shard_of;
+
+  /// Components the size cap forced the BFS partitioner to split.
+  std::size_t split_components = 0;
+  /// Agreement edges (X_uv < 1/2) running between shards — all of them
+  /// created by splits.
+  std::size_t cut_edges = 0;
+  /// Exact bound on the sharded run's cost excess over any unsharded
+  /// solution: sum over cut agreement pairs of w_u * w_v * (1 - 2 X_uv),
+  /// where w are the node multiplicities (1 without folding). Zero when
+  /// nothing was split. In normalized distance units; multiply by the
+  /// input's total clustering weight to compare against
+  /// ClusteringSet::TotalDisagreements (the aggregator does exactly that
+  /// when surfacing AggregationResult::stitch_error_bound).
+  double stitch_error_bound = 0.0;
+};
+
+/// Streams the agreement graph from `source` (one FillRow per node — no
+/// O(n^2) storage is ever materialized), finds its connected components
+/// with UnionFind, splits components above the plan's size cap into
+/// balanced parts by BFS region growing, and packs small components
+/// toward the cap. `multiplicities` weights the cut accounting (empty =
+/// all ones). The scan runs row-parallel over `num_threads` workers with
+/// per-thread union-find forests merged after the join, so the result is
+/// deterministic across thread counts. Polls `run` throughout; an
+/// interrupt abandons the half-scanned graph with the interrupt status
+/// (callers degrade to the unsharded pipeline).
+Result<ShardPlan> DecomposeAgreementGraph(
+    const DistanceSource& source, const std::vector<double>& multiplicities,
+    const ShardOptions& options, std::size_t num_threads = 0,
+    const RunContext& run = RunContext());
+
+}  // namespace clustagg
+
+#endif  // CLUSTAGG_SHARD_DECOMPOSE_H_

@@ -1,0 +1,52 @@
+#include "shard/shard_options.h"
+
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace clustagg {
+
+const char* ShardingModeName(ShardingMode mode) {
+  switch (mode) {
+    case ShardingMode::kOff:
+      return "off";
+    case ShardingMode::kAuto:
+      return "auto";
+    case ShardingMode::kFixed:
+      return "fixed";
+  }
+  CLUSTAGG_CHECK(false);
+  return "unknown";
+}
+
+Result<ShardOptions> ParseShardsFlag(const std::string& value) {
+  ShardOptions options;
+  if (value == "off") {
+    options.mode = ShardingMode::kOff;
+    return options;
+  }
+  if (value == "auto") {
+    options.mode = ShardingMode::kAuto;
+    return options;
+  }
+  if (value.empty() || value.size() > 9) {
+    return Status::InvalidArgument("--shards expects auto, off, or a count: " +
+                                   value);
+  }
+  std::uint64_t n = 0;
+  for (char c : value) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument(
+          "--shards expects auto, off, or a count: " + value);
+    }
+    n = n * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  if (n == 0) {
+    return Status::InvalidArgument("--shards count must be positive");
+  }
+  options.mode = ShardingMode::kFixed;
+  options.num_shards = static_cast<std::size_t>(n);
+  return options;
+}
+
+}  // namespace clustagg

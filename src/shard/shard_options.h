@@ -1,0 +1,60 @@
+#ifndef CLUSTAGG_SHARD_SHARD_OPTIONS_H_
+#define CLUSTAGG_SHARD_SHARD_OPTIONS_H_
+
+#include <cstddef>
+#include <string>
+
+#include "common/status.h"
+
+namespace clustagg {
+
+/// How the shard-and-conquer pipeline is engaged (docs/sharding.md).
+enum class ShardingMode {
+  /// Never shard; the Aggregate facade runs its classic single-instance
+  /// pipeline.
+  kOff,
+  /// Decompose when the instance is large enough to benefit
+  /// (ShardOptions::min_objects) and cap shards at
+  /// ShardOptions::max_shard_size. Small instances skip the O(n^2)
+  /// agreement scan entirely.
+  kAuto,
+  /// Always decompose, targeting ShardOptions::num_shards shards (the
+  /// per-shard size cap becomes ceil(n / num_shards)).
+  kFixed,
+};
+
+/// Stable lowercase name ("off" / "auto" / "fixed") for reports.
+const char* ShardingModeName(ShardingMode mode);
+
+/// Knobs for the sharding pipeline (src/shard/). Kept free of core
+/// dependencies so AggregatorOptions can embed it.
+struct ShardOptions {
+  ShardingMode mode = ShardingMode::kOff;
+
+  /// Target shard count for kFixed (>= 1). With 1 the pipeline still
+  /// runs — decompose, solve the single shard, stitch — which pins the
+  /// single-shard ≡ unsharded equivalence the test suite relies on.
+  std::size_t num_shards = 1;
+
+  /// kAuto size cap: connected components larger than this (measured in
+  /// decomposition nodes — signatures when folding is active) are split
+  /// by the BFS partitioner, and smaller components are packed toward it.
+  std::size_t max_shard_size = 4096;
+
+  /// kAuto trigger: below this many decomposition nodes the agreement
+  /// scan is not worth its O(n^2 m) cost and the run stays unsharded.
+  std::size_t min_objects = 2048;
+};
+
+/// True when the pipeline should route through src/shard/.
+inline bool ShardingRequested(const ShardOptions& options) {
+  return options.mode != ShardingMode::kOff;
+}
+
+/// Parses the CLI surface: "off", "auto", or a positive shard count N
+/// (mode kFixed). Everything else is InvalidArgument.
+Result<ShardOptions> ParseShardsFlag(const std::string& value);
+
+}  // namespace clustagg
+
+#endif  // CLUSTAGG_SHARD_SHARD_OPTIONS_H_

@@ -143,6 +143,23 @@ int CmdStream(const Args& args) {
   options.num_threads =
       static_cast<std::size_t>(args.GetInt("threads", 0));
   options.fold = args.Has("fold");
+  if (args.Has("shards")) {
+    // The drift-triggered full rebuild runs the batch Aggregate pipeline,
+    // so it routes through sharding like any batch run; warm repair is
+    // incremental and never shards.
+    Result<ShardOptions> shards = ParseShardsFlag(args.Get("shards"));
+    if (!shards.ok()) return Fail(shards.status());
+    options.rebuild.shard = *shards;
+  }
+  if (args.Has("max-cluster-size")) {
+    const long long cap = args.GetInt("max-cluster-size", 0);
+    if (cap <= 0) {
+      return Fail(Status::InvalidArgument(
+          "--max-cluster-size expects a positive object count"));
+    }
+    options.rebuild.max_cluster_size = static_cast<std::size_t>(cap);
+    options.repair.max_cluster_size = static_cast<std::size_t>(cap);
+  }
   options.rebuild_threshold =
       args.GetDouble("rebuild-threshold", options.rebuild_threshold);
   if (options.rebuild_threshold < 0) {
@@ -292,6 +309,19 @@ int CmdAggregate(const Args& args) {
   options.num_threads =
       static_cast<std::size_t>(args.GetInt("threads", 0));
   options.fold = args.Has("fold");
+  if (args.Has("shards")) {
+    Result<ShardOptions> shards = ParseShardsFlag(args.Get("shards"));
+    if (!shards.ok()) return Fail(shards.status());
+    options.shard = *shards;
+  }
+  if (args.Has("max-cluster-size")) {
+    const long long cap = args.GetInt("max-cluster-size", 0);
+    if (cap <= 0) {
+      return Fail(Status::InvalidArgument(
+          "--max-cluster-size expects a positive object count"));
+    }
+    options.max_cluster_size = static_cast<std::size_t>(cap);
+  }
   if (args.Has("deadline-ms")) {
     const long long deadline_ms = args.GetInt("deadline-ms", 0);
     if (deadline_ms <= 0) {
@@ -341,6 +371,13 @@ int CmdAggregate(const Args& args) {
   if (result->folded) {
     std::fprintf(stderr, "folded %zu objects into %zu signatures\n",
                  input->num_objects(), result->fold_signatures);
+  }
+  if (result->sharded) {
+    std::fprintf(stderr,
+                 "sharded: %zu shards over %zu agreement components, "
+                 "stitch error bound = %.2f\n",
+                 result->shard_count, result->shard_components,
+                 result->stitch_error_bound);
   }
   for (const std::string& note : result->fallbacks) {
     std::fprintf(stderr, "fallback: %s\n", note.c_str());
@@ -488,6 +525,7 @@ int CmdHelp() {
       "            [--alpha X] [--refine] [--sample N] [--seed N]\n"
       "            [--missing coin|ignore] [--coin-p P]\n"
       "            [--backend dense|lazy] [--threads N] [--fold]\n"
+      "            [--shards auto|off|N] [--max-cluster-size N]\n"
       "            [--weights w1,w2,...] [--deadline-ms N]\n"
       "            [--no-fallbacks] [--out FILE] [--report]\n"
       "            [--stats[=json|table]] [--fake-clock]\n"
@@ -500,6 +538,15 @@ int CmdHelp() {
       "      --fold clusters one weighted representative per distinct\n"
       "      label tuple and expands back — exact, and much faster when\n"
       "      objects repeat (see docs/performance.md).\n"
+      "      --shards decomposes the agreement graph (pairs with\n"
+      "      X_uv < 1/2) into connected components, solves each shard\n"
+      "      independently in parallel, and stitches the results with an\n"
+      "      exact error bound (see docs/sharding.md): 'auto' shards only\n"
+      "      when the instance is large enough to pay off, N forces N\n"
+      "      balanced shards, 'off' (default) disables sharding.\n"
+      "      --max-cluster-size caps how many objects LOCALSEARCH may\n"
+      "      gather into one cluster (size-constrained correlation\n"
+      "      clustering); moves that would overflow the cap are skipped.\n"
       "      --deadline-ms bounds the wall clock: when it fires, the best\n"
       "      clustering found so far is returned (exit 0) and the report\n"
       "      line 'run outcome = deadline_exceeded' is printed instead of\n"
@@ -513,6 +560,7 @@ int CmdHelp() {
       "      clock so --stats=json output is byte-stable.\n"
       "  aggregate --stream FILE [--rebuild-threshold X] [--fold]\n"
       "            [--algorithm ...] [--missing coin|ignore] [--coin-p P]\n"
+      "            [--shards auto|off|N] [--max-cluster-size N]\n"
       "            [--threads N] [--deadline-ms N] [--out FILE]\n"
       "            [--stats[=json|table]] [--fake-clock]\n"
       "      replay a recorded event log (directives: 'clustering\n"

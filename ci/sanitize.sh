@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Unified sanitizer matrix leg: builds the repo twice
+# (CLUSTAGG_SANITIZE=address, =thread) and runs one `ctest -L` pass per
+# label argument. `-L` matches a regex, so a single argument can cover
+# several labels at once, and listing a label again on its own pins it
+# against silently falling out of a combined pass. --no-tests=error
+# keeps a labeling regression from passing a leg vacuously.
+#
+# The per-subsystem fast gates wired to every push:
+#   ci/sanitize.sh 'stream|differential' differential   # streaming
+#   ci/sanitize.sh shard                                # shard pipeline
+#   ci/sanitize.sh durability                           # crash safety
+#
+# The shard leg is the library's widest parallel surface (worker threads
+# run whole Aggregate pipelines concurrently), so its TSan pass in
+# particular must stay clean. The durability leg replays the kill-point
+# crash matrix under both sanitizers: recovery code paths are exactly
+# the ones that only run after something already went wrong, so they
+# get the least organic coverage. The full suite still runs sanitized
+# in the heavyweight job; these legs are the fast ones.
+#
+# Usage: ci/sanitize.sh [-j jobs] LABEL_REGEX [LABEL_REGEX...]
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+JOBS="$(nproc)"
+
+while getopts 'j:' opt; do
+  case "$opt" in
+    j) JOBS="$OPTARG" ;;
+    *) echo "usage: ci/sanitize.sh [-j jobs] LABEL_REGEX..." >&2; exit 2 ;;
+  esac
+done
+shift $((OPTIND - 1))
+
+if [ "$#" -eq 0 ]; then
+  echo "usage: ci/sanitize.sh [-j jobs] LABEL_REGEX..." >&2
+  exit 2
+fi
+
+for SAN in address thread; do
+  BUILD="$ROOT/build-sanitize-$SAN"
+  echo "=== CLUSTAGG_SANITIZE=$SAN ==="
+  cmake -B "$BUILD" -S "$ROOT" -DCLUSTAGG_SANITIZE="$SAN" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+  cmake --build "$BUILD" -j"$JOBS"
+  for LABEL in "$@"; do
+    (cd "$BUILD" && ctest -L "$LABEL" --no-tests=error \
+         --output-on-failure -j"$JOBS")
+  done
+done
+echo "sanitize: all legs passed"

@@ -45,6 +45,9 @@
 #include "shard/shard_aggregator.h"
 #include "shard/shard_options.h"
 #include "signed/signed_graph.h"
+#include "stream/journal.h"
+#include "stream/recovery.h"
+#include "stream/snapshot.h"
 #include "stream/stream_aggregator.h"
 #include "stream/stream_event.h"
 #include "vanilla/dataset2d.h"

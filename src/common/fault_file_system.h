@@ -1,0 +1,182 @@
+#ifndef CLUSTAGG_COMMON_FAULT_FILE_SYSTEM_H_
+#define CLUSTAGG_COMMON_FAULT_FILE_SYSTEM_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+#include "common/file_io.h"
+
+namespace clustagg {
+
+/// Test-only FileSystem decorator with a deterministic *kill-point*
+/// schedule — the durability-layer sibling of
+/// FaultInjectingDistanceSource (core/fault_injection.h). Every
+/// state-changing filesystem primitive registers one or two numbered
+/// kill points in execution order:
+///
+///   append       -> "append.torn" (writes only the first half of the
+///                   data, then dies — a torn write) and "append.post"
+///                   (the data lands fully, then the process dies)
+///   sync         -> "sync.lost" (dies *without* syncing)
+///   open (write/append), remove, truncate
+///                -> one pre-effect kill point each
+///   rename       -> "rename.pre" (dies before the rename happens) and
+///                   "rename.post" (the rename lands, then death)
+///
+/// A schedule is just an index: the k-th registered kill point fires,
+/// takes its documented half-effect, and flips the filesystem into the
+/// *crashed* state, after which every operation — on the filesystem and
+/// on any file it opened — fails with StatusCode::kDataLoss carrying
+/// the kill point's name. Reads never count and never fail: recovery in
+/// a test inspects the post-crash disk through a plain FileSystem
+/// anyway. With kill_at_op == 0 the wrapper only counts, so a dry run
+/// discovers how many kill points a workload has; the crash matrix then
+/// replays it once per index (tests/durability_test.cc).
+///
+/// The schedule is keyed to the operation count, not the clock, so the
+/// simulated crash lands at exactly the same byte on every run —
+/// machine speed and sanitizer slowdown change nothing.
+class CrashPointFileSystem final : public FileSystem {
+ public:
+  explicit CrashPointFileSystem(FileSystem* inner,
+                                std::uint64_t kill_at_op = 0)
+      : inner_(inner), kill_at_op_(kill_at_op) {
+    CLUSTAGG_CHECK(inner_ != nullptr);
+  }
+
+  /// Kill points registered so far (the dry-run count).
+  std::uint64_t ops() const { return ops_.load(std::memory_order_relaxed); }
+
+  bool crashed() const { return crashed_.load(std::memory_order_acquire); }
+
+  /// Name of the kill point that fired ("" before the crash).
+  const std::string& crash_point() const { return crash_point_; }
+
+  Result<std::unique_ptr<WritableFile>> OpenForAppend(
+      const std::string& path) override {
+    if (Status s = Arm("open_append.pre"); !s.ok()) return s;
+    Result<std::unique_ptr<WritableFile>> file =
+        inner_->OpenForAppend(path);
+    if (!file.ok()) return file.status();
+    return std::unique_ptr<WritableFile>(
+        std::make_unique<CrashPointFile>(this, std::move(file).value()));
+  }
+
+  Result<std::unique_ptr<WritableFile>> OpenForWrite(
+      const std::string& path) override {
+    if (Status s = Arm("open_write.pre"); !s.ok()) return s;
+    Result<std::unique_ptr<WritableFile>> file = inner_->OpenForWrite(path);
+    if (!file.ok()) return file.status();
+    return std::unique_ptr<WritableFile>(
+        std::make_unique<CrashPointFile>(this, std::move(file).value()));
+  }
+
+  Result<std::string> ReadFileToString(const std::string& path)
+      const override {
+    return inner_->ReadFileToString(path);
+  }
+
+  bool FileExists(const std::string& path) const override {
+    return inner_->FileExists(path);
+  }
+
+  Result<std::uint64_t> FileSize(const std::string& path) const override {
+    return inner_->FileSize(path);
+  }
+
+  Status Rename(const std::string& from, const std::string& to) override {
+    if (Status s = Arm("rename.pre"); !s.ok()) return s;
+    if (Status s = inner_->Rename(from, to); !s.ok()) return s;
+    return Arm("rename.post");
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    if (Status s = Arm("remove.pre"); !s.ok()) return s;
+    return inner_->RemoveFile(path);
+  }
+
+  Status TruncateFile(const std::string& path,
+                      std::uint64_t size) override {
+    if (Status s = Arm("truncate.pre"); !s.ok()) return s;
+    return inner_->TruncateFile(path, size);
+  }
+
+ private:
+  class CrashPointFile final : public WritableFile {
+   public:
+    CrashPointFile(CrashPointFileSystem* owner,
+                   std::unique_ptr<WritableFile> inner)
+        : owner_(owner), inner_(std::move(inner)) {}
+
+    Status Append(std::string_view data) override {
+      if (owner_->crashed()) return owner_->CrashStatus();
+      if (owner_->ShouldKill("append.torn")) {
+        // The torn write: half the frame reaches the disk, then death.
+        // The inner append's own status is irrelevant — the caller sees
+        // the crash either way.
+        (void)inner_->Append(data.substr(0, data.size() / 2));
+        return owner_->Die("append.torn");
+      }
+      if (Status s = inner_->Append(data); !s.ok()) return s;
+      return owner_->Arm("append.post");
+    }
+
+    Status Sync() override {
+      // "sync.lost" dies *before* the fsync reaches the kernel: with
+      // the write-through inner file the bytes still exist, but the
+      // durability claim the caller was about to rely on was never
+      // made.
+      if (Status s = owner_->Arm("sync.lost"); !s.ok()) return s;
+      return inner_->Sync();
+    }
+
+    Status Close() override {
+      if (owner_->crashed()) return owner_->CrashStatus();
+      return inner_->Close();
+    }
+
+   private:
+    CrashPointFileSystem* owner_;
+    std::unique_ptr<WritableFile> inner_;
+  };
+
+  /// Registers the next kill point; fires it when its index matches the
+  /// schedule, otherwise reports an already-crashed filesystem.
+  Status Arm(const char* point) {
+    if (ShouldKill(point)) return Die(point);
+    if (crashed()) return CrashStatus();
+    return Status::OK();
+  }
+
+  bool ShouldKill(const char* point) {
+    if (crashed()) return false;
+    (void)point;
+    const std::uint64_t op = ops_.fetch_add(1, std::memory_order_relaxed) + 1;
+    return kill_at_op_ != 0 && op == kill_at_op_;
+  }
+
+  Status Die(const char* point) {
+    crash_point_ = point;
+    crashed_.store(true, std::memory_order_release);
+    return CrashStatus();
+  }
+
+  Status CrashStatus() const {
+    return Status::DataLoss("simulated crash at kill point '" +
+                            crash_point_ + "'");
+  }
+
+  FileSystem* inner_;
+  std::uint64_t kill_at_op_;
+  std::atomic<std::uint64_t> ops_{0};
+  std::atomic<bool> crashed_{false};
+  std::string crash_point_;
+};
+
+}  // namespace clustagg
+
+#endif  // CLUSTAGG_COMMON_FAULT_FILE_SYSTEM_H_

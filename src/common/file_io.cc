@@ -1,0 +1,179 @@
+#include "common/file_io.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+namespace clustagg {
+
+namespace {
+
+/// Table-driven CRC-32 (reflected 0xEDB88320 polynomial); generated once
+/// at first use, identical to zlib's crc32().
+const std::array<std::uint32_t, 256>& Crc32Table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+Status ErrnoStatus(const char* op, const std::string& path) {
+  return Status::Internal(std::string(op) + " failed for " + path + ": " +
+                          std::strerror(errno));
+}
+
+/// POSIX descriptor-backed WritableFile: unbuffered write(2) appends so
+/// what Append reports written is what the kernel has, and Sync maps to
+/// fsync(2).
+class PosixWritableFile final : public WritableFile {
+ public:
+  PosixWritableFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(std::string_view data) override {
+    if (fd_ < 0) return Status::Internal("append to closed file " + path_);
+    const char* p = data.data();
+    std::size_t left = data.size();
+    while (left > 0) {
+      const ::ssize_t written = ::write(fd_, p, left);
+      if (written < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus("write", path_);
+      }
+      p += written;
+      left -= static_cast<std::size_t>(written);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (fd_ < 0) return Status::Internal("sync of closed file " + path_);
+    if (::fsync(fd_) != 0) return ErrnoStatus("fsync", path_);
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    const int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) return ErrnoStatus("close", path_);
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+class PosixFileSystem final : public FileSystem {
+ public:
+  Result<std::unique_ptr<WritableFile>> OpenForAppend(
+      const std::string& path) override {
+    return Open(path, O_WRONLY | O_CREAT | O_APPEND);
+  }
+
+  Result<std::unique_ptr<WritableFile>> OpenForWrite(
+      const std::string& path) override {
+    return Open(path, O_WRONLY | O_CREAT | O_TRUNC);
+  }
+
+  Result<std::string> ReadFileToString(const std::string& path)
+      const override {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+      return Status::InvalidArgument("cannot open " + path + ": " +
+                                     std::strerror(errno));
+    }
+    std::string text;
+    char buf[1 << 14];
+    std::size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+      text.append(buf, got);
+    }
+    const bool read_error = std::ferror(f) != 0;
+    std::fclose(f);
+    if (read_error) return ErrnoStatus("read", path);
+    return text;
+  }
+
+  bool FileExists(const std::string& path) const override {
+    struct ::stat st;
+    return ::stat(path.c_str(), &st) == 0;
+  }
+
+  Result<std::uint64_t> FileSize(const std::string& path) const override {
+    struct ::stat st;
+    if (::stat(path.c_str(), &st) != 0) return ErrnoStatus("stat", path);
+    return static_cast<std::uint64_t>(st.st_size);
+  }
+
+  Status Rename(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return ErrnoStatus("rename", from);
+    }
+    return Status::OK();
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+      return ErrnoStatus("unlink", path);
+    }
+    return Status::OK();
+  }
+
+  Status TruncateFile(const std::string& path,
+                      std::uint64_t size) override {
+    if (::truncate(path.c_str(), static_cast<::off_t>(size)) != 0) {
+      return ErrnoStatus("truncate", path);
+    }
+    return Status::OK();
+  }
+
+ private:
+  static Result<std::unique_ptr<WritableFile>> Open(const std::string& path,
+                                                    int flags) {
+    const int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) {
+      return Status::InvalidArgument("cannot open " + path + ": " +
+                                     std::strerror(errno));
+    }
+    return std::unique_ptr<WritableFile>(
+        std::make_unique<PosixWritableFile>(fd, path));
+  }
+};
+
+}  // namespace
+
+std::uint32_t Crc32(std::string_view data, std::uint32_t seed) {
+  const std::array<std::uint32_t, 256>& table = Crc32Table();
+  std::uint32_t crc = seed ^ 0xFFFFFFFFu;
+  for (unsigned char byte : std::string_view(data)) {
+    crc = table[(crc ^ byte) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+FileSystem* FileSystem::Real() {
+  static PosixFileSystem fs;
+  return &fs;
+}
+
+}  // namespace clustagg

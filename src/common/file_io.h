@@ -1,0 +1,87 @@
+#ifndef CLUSTAGG_COMMON_FILE_IO_H_
+#define CLUSTAGG_COMMON_FILE_IO_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace clustagg {
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib/`cksum -o 3` variant) over
+/// `data`, optionally chained: `Crc32(b, Crc32(a))` equals
+/// `Crc32(a + b)`. Used by the durability layer to frame journal
+/// records and to checksum whole snapshot files, so the value must stay
+/// stable across releases — it is part of the on-disk format
+/// (docs/durability.md).
+std::uint32_t Crc32(std::string_view data, std::uint32_t seed = 0);
+
+/// A writable byte sink with explicit durability control. The
+/// durability layer performs *all* file writes through this interface
+/// (never through stdio directly) so tests can interpose a
+/// fault-injecting implementation and kill the process model at any
+/// write, sync, or metadata operation — see
+/// common/fault_file_system.h.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  /// Appends `data` at the current end of the file. A short write is an
+  /// error (no partial success is reported — a *simulated* partial
+  /// write, the torn-tail case, surfaces as an error too).
+  virtual Status Append(std::string_view data) = 0;
+
+  /// Flushes userspace buffers and fsyncs the file: on OK, everything
+  /// appended so far survives a crash.
+  virtual Status Sync() = 0;
+
+  /// Closes the descriptor (without an implicit Sync). Idempotent.
+  virtual Status Close() = 0;
+};
+
+/// Minimal injectable filesystem: the handful of operations the
+/// durability layer needs, virtual so tests can wrap the real one with
+/// deterministic crash points. Paths are plain POSIX paths; all
+/// operations are synchronous.
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+
+  /// Opens (creating if absent) for appending at the end.
+  virtual Result<std::unique_ptr<WritableFile>> OpenForAppend(
+      const std::string& path) = 0;
+
+  /// Opens for writing, truncating any existing content.
+  virtual Result<std::unique_ptr<WritableFile>> OpenForWrite(
+      const std::string& path) = 0;
+
+  /// Reads the whole file into a string.
+  virtual Result<std::string> ReadFileToString(
+      const std::string& path) const = 0;
+
+  virtual bool FileExists(const std::string& path) const = 0;
+
+  /// Returns the file's size in bytes.
+  virtual Result<std::uint64_t> FileSize(const std::string& path) const = 0;
+
+  /// Atomically replaces `to` with `from` (POSIX rename semantics).
+  /// The caller is responsible for having synced `from` first.
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+
+  /// Removes the file; OK if it does not exist.
+  virtual Status RemoveFile(const std::string& path) = 0;
+
+  /// Truncates the file to `size` bytes (used to drop a torn journal
+  /// tail).
+  virtual Status TruncateFile(const std::string& path,
+                              std::uint64_t size) = 0;
+
+  /// Process-wide POSIX-backed singleton.
+  static FileSystem* Real();
+};
+
+}  // namespace clustagg
+
+#endif  // CLUSTAGG_COMMON_FILE_IO_H_

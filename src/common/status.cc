@@ -20,6 +20,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Cancelled";
     case StatusCode::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
   }
   return "Unknown";
 }
@@ -40,6 +42,8 @@ int ExitCodeForStatus(StatusCode code) {
       return 6;
     case StatusCode::kDeadlineExceeded:
       return 7;
+    case StatusCode::kDataLoss:
+      return 8;
   }
   return 5;
 }

@@ -34,6 +34,13 @@ enum class StatusCode {
   /// A RunContext wall-clock deadline or iteration budget fired on a path
   /// that must abandon instead of degrade.
   kDeadlineExceeded,
+  /// Durable state (a journal frame, a snapshot) failed its integrity
+  /// check: bad magic, unsupported version, checksum mismatch, or a
+  /// cursor pointing past the data. Recovery refuses to construct
+  /// partial state from such input (docs/durability.md); the only
+  /// self-healing case is a *torn tail* — an incomplete final journal
+  /// frame — which is truncated instead of reported.
+  kDataLoss,
 };
 
 /// Returns a stable human-readable name ("OK", "InvalidArgument", ...).
@@ -41,8 +48,10 @@ const char* StatusCodeName(StatusCode code);
 
 /// Process exit code for a status code, used by the CLI: 0=OK,
 /// 2=InvalidArgument, 3=FailedPrecondition, 4=ResourceExhausted,
-/// 5=Internal, 6=Cancelled, 7=DeadlineExceeded. (1 is left to generic
-/// usage errors.)
+/// 5=Internal, 6=Cancelled, 7=DeadlineExceeded, 8=DataLoss. (1 is left
+/// to generic usage errors; 9 is the CLI's graceful-shutdown code for a
+/// signal-interrupted stream that flushed cleanly — see
+/// docs/robustness.md.)
 int ExitCodeForStatus(StatusCode code);
 
 /// Lightweight success-or-error value, modeled after the Status idiom used
@@ -76,6 +85,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string message) {
     return Status(StatusCode::kDeadlineExceeded, std::move(message));
+  }
+  static Status DataLoss(std::string message) {
+    return Status(StatusCode::kDataLoss, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,119 @@
+#ifndef CLUSTAGG_STREAM_JOURNAL_H_
+#define CLUSTAGG_STREAM_JOURNAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/file_io.h"
+#include "common/status.h"
+#include "common/telemetry.h"
+#include "stream/stream_event.h"
+
+namespace clustagg {
+
+/// Group-fsync policy for the event journal.
+struct JournalOptions {
+  /// fsync after every N appended records: 1 (default) makes every
+  /// record durable before Append returns; larger N amortizes the fsync
+  /// over a group at the cost of losing up to N-1 trailing records in a
+  /// crash (they are truncated as a torn tail on recovery); 0 never
+  /// fsyncs from Append — only Sync()/Close() do (the OS decides
+  /// durability). See docs/durability.md for the trade-off numbers.
+  std::uint64_t fsync_every = 1;
+};
+
+/// Append-only CRC-framed binary event journal: the durable
+/// write-ahead log of a StreamAggregator's ingest/flush history. Each
+/// frame is
+///
+///   [u32 payload length][u32 CRC-32 of payload][payload]
+///
+/// (integers little-endian) where the payload is the one-line text
+/// serialization of a single StreamRecord — exactly
+/// FormatEventLog({record}) — so the journal reuses the event-log
+/// format's exact round-trip guarantee (weights at %.17g) instead of
+/// inventing a second codec. Framing, not the payload text, is what
+/// detects truncation and corruption.
+class JournalWriter {
+ public:
+  /// Opens `path` for appending (creating it if absent).
+  /// `initial_records` is the number of valid records already in the
+  /// file — recovery passes the replayed count so records_appended()
+  /// stays the journal-wide total, which snapshot cursors are indexed
+  /// by. `telemetry` (borrowed, may be null) receives durability.*
+  /// counters.
+  static Result<JournalWriter> Open(FileSystem* fs, std::string path,
+                                    JournalOptions options = {},
+                                    std::uint64_t initial_records = 0,
+                                    Telemetry* telemetry = nullptr);
+
+  JournalWriter(JournalWriter&&) noexcept = default;
+  JournalWriter& operator=(JournalWriter&&) noexcept = default;
+
+  /// Appends one framed record and applies the group-fsync policy.
+  Status Append(const StreamRecord& record);
+
+  /// Forces an fsync of everything appended so far.
+  Status Sync();
+
+  /// Syncs and closes the file; the writer is unusable afterwards.
+  Status Close();
+
+  /// Total records in the journal (initial + appended by this writer).
+  std::uint64_t records_appended() const { return records_; }
+
+  /// Records appended since the last successful fsync.
+  std::uint64_t unsynced_records() const { return unsynced_; }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  JournalWriter(std::unique_ptr<WritableFile> file, std::string path,
+                JournalOptions options, std::uint64_t initial_records,
+                Telemetry* telemetry)
+      : file_(std::move(file)),
+        path_(std::move(path)),
+        options_(options),
+        records_(initial_records),
+        telemetry_(telemetry) {}
+
+  std::unique_ptr<WritableFile> file_;
+  std::string path_;
+  JournalOptions options_;
+  std::uint64_t records_ = 0;
+  std::uint64_t unsynced_ = 0;
+  Telemetry* telemetry_ = nullptr;
+};
+
+/// What ReadJournal found on disk.
+struct JournalReadResult {
+  std::vector<StreamRecord> records;
+  /// Byte length of the valid frame prefix. Anything beyond it is a
+  /// torn tail (see below) that recovery truncates before reopening the
+  /// journal for appending.
+  std::uint64_t valid_bytes = 0;
+  /// True when the file ended in an incomplete or checksum-failed final
+  /// frame — the signature of a crash mid-append. The torn bytes are
+  /// *not* an error: they were never acknowledged as durable.
+  bool torn_tail = false;
+  /// Bytes past valid_bytes (0 unless torn_tail).
+  std::uint64_t torn_bytes = 0;
+};
+
+/// Parses the journal file. A bad frame that *reaches end of file* —
+/// a truncated header, a declared length past EOF, or a CRC mismatch on
+/// the file's final frame — is a torn tail: reading stops at the last
+/// good frame and reports it for truncation. A bad frame with more data
+/// beyond it is mid-file corruption and yields StatusCode::kDataLoss
+/// (an fsynced prefix can tear only at its end; anything else means the
+/// storage lied). A frame whose CRC passes but whose payload does not
+/// parse as exactly one event-log record is corruption too, wherever it
+/// sits.
+Result<JournalReadResult> ReadJournal(const FileSystem* fs,
+                                      const std::string& path);
+
+}  // namespace clustagg
+
+#endif  // CLUSTAGG_STREAM_JOURNAL_H_

@@ -1,0 +1,152 @@
+#ifndef CLUSTAGG_STREAM_RECOVERY_H_
+#define CLUSTAGG_STREAM_RECOVERY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/file_io.h"
+#include "common/run_context.h"
+#include "common/status.h"
+#include "common/telemetry.h"
+#include "stream/journal.h"
+#include "stream/snapshot.h"
+#include "stream/stream_aggregator.h"
+
+namespace clustagg {
+
+/// Where and how a durable stream persists itself.
+struct DurabilityOptions {
+  /// The event journal (required). Created when absent; recovered from
+  /// when present.
+  std::string journal_path;
+
+  /// Snapshot file ("" = journal_path + ".snap"). Written only when
+  /// snapshot_every > 0, but always *read* on Open when present — a
+  /// snapshot left by an earlier configuration still shortens replay.
+  std::string snapshot_path;
+
+  /// Journal group-fsync policy (see JournalOptions::fsync_every).
+  std::uint64_t fsync_every = 1;
+
+  /// Write an atomic snapshot after every N fully-converged flushes
+  /// (0 = never). Snapshots bound recovery replay to the journal suffix
+  /// past the newest snapshot's cursor.
+  std::uint64_t snapshot_every = 0;
+};
+
+/// What Open found and did to reach a usable state.
+struct RecoveryReport {
+  /// True when Open recovered existing durable state (journal and/or
+  /// snapshot present) rather than starting an empty stream.
+  bool recovered = false;
+  /// True when a valid snapshot seeded the state.
+  bool from_snapshot = false;
+  /// Journal records covered by the snapshot (0 without one).
+  std::uint64_t snapshot_records = 0;
+  /// Valid records in the journal, snapshot-covered ones included.
+  std::uint64_t journal_records = 0;
+  /// Journal records replayed through the stream (journal_records -
+  /// snapshot_records).
+  std::uint64_t replayed_records = 0;
+  /// True when a torn final frame was truncated off the journal.
+  bool truncated_torn_tail = false;
+  /// Bytes the truncation removed.
+  std::uint64_t torn_bytes = 0;
+};
+
+/// A StreamAggregator wrapped in a write-ahead journal and periodic
+/// atomic snapshots, able to come back from a crash at *any* point
+/// bit-identical to a fresh uninterrupted replay of the durable record
+/// prefix (tests/durability_test.cc simulates a crash at every
+/// filesystem kill point and pins exactly that).
+///
+/// Discipline:
+///   - Ingest validates in memory first, then appends the record to the
+///     journal (group-fsynced per DurabilityOptions::fsync_every). A
+///     record is durable no later than its policy-implied fsync.
+///   - Flush runs the in-memory flush; a *fully converged* flush (all
+///     events applied, repair not cut short) is then journaled as a
+///     flush marker — replaying the marker with an unrestricted budget
+///     reproduces it exactly. A budget-degraded flush is deliberately
+///     NOT journaled: the canonical replay of the journal never
+///     degrades, so markers must only record flushes that match it.
+///     The next snapshot re-syncs durable state to in-memory state
+///     exactly (it captures the live state, whatever budgets did).
+///   - Snapshots are written tmp + fsync + rename after every
+///     snapshot_every-th journaled marker, cursor = journal records so
+///     far.
+///
+/// Any failed durable operation poisons the wrapper: every later call
+/// returns the original error, because in-memory state may be ahead of
+/// (or behind) the durable state and continuing would let snapshots
+/// capture the divergence. Recovery is re-Open from disk — which is
+/// exactly what a real crash forces anyway.
+///
+/// Not thread-safe, like the StreamAggregator it wraps.
+class DurableStreamAggregator {
+ public:
+  /// Opens (creating or recovering) the durable stream. When the
+  /// journal or snapshot exists this recovers: load the snapshot if
+  /// present and valid (corrupt → kDataLoss, never partial state),
+  /// read the journal (truncating a torn tail; mid-file corruption →
+  /// kDataLoss), replay the suffix past the snapshot cursor, reopen the
+  /// journal for appending. `fs` and `telemetry` are borrowed and must
+  /// outlive the aggregator; `telemetry` may be null.
+  static Result<std::unique_ptr<DurableStreamAggregator>> Open(
+      StreamAggregatorOptions stream_options, DurabilityOptions durability,
+      FileSystem* fs = FileSystem::Real(), Telemetry* telemetry = nullptr);
+
+  /// Journals and queues one event (see class comment for ordering).
+  Status Ingest(StreamEvent event);
+
+  /// Flushes the wrapped stream, journals the marker when the flush
+  /// fully converged, and snapshots on the configured cadence.
+  Result<StreamFlushReport> Flush(const RunContext& run = RunContext());
+
+  /// Syncs and closes the journal. The wrapper is unusable afterwards;
+  /// queued-but-unflushed events are durable in the journal and become
+  /// pending again on the next Open.
+  Status Close();
+
+  /// The wrapped stream (for queries; mutate only through the wrapper).
+  const StreamAggregator& stream() const { return stream_; }
+
+  /// What Open found on disk.
+  const RecoveryReport& recovery() const { return recovery_; }
+
+  /// Total records in the journal right now.
+  std::uint64_t journal_records() const { return journal_->records_appended(); }
+
+ private:
+  DurableStreamAggregator(StreamAggregator stream, DurabilityOptions options,
+                          FileSystem* fs, Telemetry* telemetry)
+      : stream_(std::move(stream)),
+        options_(std::move(options)),
+        fs_(fs),
+        telemetry_(telemetry) {}
+
+  /// Records a durable-layer failure and returns it; once set, every
+  /// public call short-circuits to it.
+  Status Poison(Status status);
+
+  Status MaybeSnapshot();
+
+  StreamAggregator stream_;
+  DurabilityOptions options_;
+  FileSystem* fs_;
+  Telemetry* telemetry_;
+  std::unique_ptr<JournalWriter> journal_;
+  RecoveryReport recovery_;
+  std::uint64_t markers_since_snapshot_ = 0;
+  Status poisoned_ = Status::OK();
+  bool closed_ = false;
+};
+
+/// The snapshot path Open actually uses for `durability` (the explicit
+/// one, or the journal-derived default).
+std::string EffectiveSnapshotPath(const DurabilityOptions& durability);
+
+}  // namespace clustagg
+
+#endif  // CLUSTAGG_STREAM_RECOVERY_H_

@@ -413,6 +413,95 @@ std::size_t StreamAggregator::signature_of(std::size_t v) const {
   return options_.fold ? signature_of_[v] : v;
 }
 
+Result<StreamAggregatorState> StreamAggregator::ExportState() const {
+  if (!pending_.empty()) {
+    return Status::FailedPrecondition(
+        "cannot export stream state with " +
+        std::to_string(pending_.size()) +
+        " queued events; Flush to a batch boundary first");
+  }
+  StreamAggregatorState state;
+  state.num_objects = n_;
+  state.columns = columns_;
+  state.weights = weights_;
+  state.total_weight = total_weight_;
+  state.separating = separating_;
+  state.opinionated = opinionated_;
+  state.labels = labels_.labels();
+  state.ever_clustered = ever_clustered_;
+  state.cost = cost_;
+  state.predicted_cost = predicted_cost_;
+  state.drift_accum = drift_accum_;
+  state.flush_count = flush_count_;
+  return state;
+}
+
+Status StreamAggregator::RestoreState(StreamAggregatorState state) {
+  if (!pending_.empty()) {
+    return Status::FailedPrecondition(
+        "cannot restore state into a stream with queued events");
+  }
+  const std::size_t n = state.num_objects;
+  const std::size_t pairs = n > 1 ? n * (n - 1) / 2 : 0;
+  if (state.weights.size() != state.columns.size()) {
+    return Status::DataLoss("stream state holds " +
+                            std::to_string(state.weights.size()) +
+                            " weights for " +
+                            std::to_string(state.columns.size()) +
+                            " clusterings");
+  }
+  for (const std::vector<Clustering::Label>& column : state.columns) {
+    if (column.size() != n) {
+      return Status::DataLoss(
+          "stream state clustering covers " + std::to_string(column.size()) +
+          " objects, expected " + std::to_string(n));
+    }
+  }
+  if (state.separating.size() != pairs || state.opinionated.size() != pairs) {
+    return Status::DataLoss(
+        "stream state counter triangles hold " +
+        std::to_string(state.separating.size()) + " / " +
+        std::to_string(state.opinionated.size()) + " pairs, expected " +
+        std::to_string(pairs));
+  }
+  if (!state.labels.empty() && state.labels.size() != n) {
+    return Status::DataLoss("stream state solution labels " +
+                            std::to_string(state.labels.size()) +
+                            " objects, expected " + std::to_string(n));
+  }
+  n_ = n;
+  columns_ = std::move(state.columns);
+  weights_ = std::move(state.weights);
+  total_weight_ = state.total_weight;
+  separating_ = std::move(state.separating);
+  opinionated_ = std::move(state.opinionated);
+  labels_ = Clustering(std::move(state.labels));
+  ever_clustered_ = state.ever_clustered;
+  cost_ = state.cost;
+  predicted_cost_ = state.predicted_cost;
+  drift_accum_ = state.drift_accum;
+  flush_count_ = state.flush_count;
+  pending_n_ = n_;
+  pending_m_ = columns_.size();
+  // Rebuild the fold grouping by placing objects in ascending id order:
+  // each placement appends to an existing signature group or opens a
+  // fresh one whose minimum is the new (maximal) id, so the resulting
+  // groups are ordered by minimum member with the same running hashes
+  // the incremental maintenance would have produced.
+  groups_.clear();
+  signature_of_.clear();
+  if (options_.fold) {
+    std::vector<Clustering::Label> tuple(columns_.size());
+    for (std::size_t v = 0; v < n_; ++v) {
+      for (std::size_t i = 0; i < columns_.size(); ++i) {
+        tuple[i] = columns_[i][v];
+      }
+      PlaceObjectInFoldGroup(v, tuple);
+    }
+  }
+  return Status::OK();
+}
+
 Result<StreamFlushReport> StreamAggregator::Flush(const RunContext& run) {
   StreamFlushReport report;
   Telemetry* telemetry = run.telemetry();

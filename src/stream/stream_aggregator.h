@@ -86,6 +86,35 @@ struct StreamFlushReport {
   RunOutcome outcome = RunOutcome::kConverged;
 };
 
+/// The complete applied state of a StreamAggregator, as captured by
+/// ExportState and reinstalled by RestoreState. It is the *applied*
+/// state only — capture requires an empty pending queue — because the
+/// durable unit of a stream is "everything the journal has": a snapshot
+/// cursor counts whole journal records, never half-applied ones (see
+/// docs/durability.md).
+///
+/// The pair counters are serialized verbatim rather than recomputed
+/// from the columns so a restored stream reproduces the original's
+/// distances bit for bit by construction, not by an argument about
+/// floating-point accumulation order. The fold grouping, by contrast,
+/// is *not* serialized: RestoreState rebuilds it from the columns, and
+/// the rebuild provably reproduces the incrementally maintained
+/// grouping (groups ordered by minimum member, identical FNV hashes).
+struct StreamAggregatorState {
+  std::size_t num_objects = 0;
+  std::vector<std::vector<Clustering::Label>> columns;
+  std::vector<double> weights;
+  double total_weight = 0.0;
+  std::vector<double> separating;
+  std::vector<double> opinionated;
+  std::vector<Clustering::Label> labels;
+  bool ever_clustered = false;
+  double cost = 0.0;
+  double predicted_cost = 0.0;
+  double drift_accum = 0.0;
+  std::uint64_t flush_count = 0;
+};
+
 /// Online clustering aggregation: ingests AddClustering / AddObject
 /// events and maintains, incrementally,
 ///   - the pairwise agree/separate weight counters behind X_uv, updated
@@ -175,6 +204,21 @@ class StreamAggregator {
   std::size_t signature_of(std::size_t v) const;
 
   const StreamAggregatorOptions& options() const { return options_; }
+
+  /// Captures the applied state for snapshotting. Fails with
+  /// FailedPrecondition while events are queued: the snapshot layer
+  /// only calls this at batch boundaries (see StreamAggregatorState).
+  Result<StreamAggregatorState> ExportState() const;
+
+  /// Reinstalls a captured state, replacing whatever this aggregator
+  /// held. The receiving aggregator must be idle (no queued events) and
+  /// must have been constructed with the same options the exporter ran
+  /// under — the state does not carry options, and mixing them silently
+  /// changes every maintained distance. Internally-inconsistent state
+  /// (mismatched column lengths, wrong counter triangle size) yields
+  /// kDataLoss. The fold grouping is rebuilt from the columns when
+  /// options.fold is set.
+  Status RestoreState(StreamAggregatorState state);
 
  private:
   struct FoldGroup {

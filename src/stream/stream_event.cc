@@ -16,20 +16,21 @@ Status LineError(std::size_t line, const std::string& what) {
                                  ": " + what);
 }
 
+/// Everything a hand-edited or Windows-authored log may pad tokens
+/// with: spaces, tabs, the \r of a CRLF line ending (lines are split on
+/// \n only, so the \r trails the last token), and the rarer \v / \f.
+bool IsPadding(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f';
+}
+
 /// Splits a line into whitespace-separated tokens.
 std::vector<std::string_view> Tokenize(std::string_view line) {
   std::vector<std::string_view> tokens;
   std::size_t i = 0;
   while (i < line.size()) {
-    while (i < line.size() && (line[i] == ' ' || line[i] == '\t' ||
-                               line[i] == '\r')) {
-      ++i;
-    }
+    while (i < line.size() && IsPadding(line[i])) ++i;
     const std::size_t start = i;
-    while (i < line.size() && line[i] != ' ' && line[i] != '\t' &&
-           line[i] != '\r') {
-      ++i;
-    }
+    while (i < line.size() && !IsPadding(line[i])) ++i;
     if (i > start) tokens.push_back(line.substr(start, i - start));
   }
   return tokens;
@@ -73,6 +74,12 @@ Result<std::vector<Clustering::Label>> ParseLabels(
 }  // namespace
 
 Result<std::vector<StreamRecord>> ParseEventLog(std::string_view text) {
+  // Tolerate the UTF-8 byte-order mark editors on some platforms
+  // prepend; without this the first directive reads as an unknown
+  // token starting with \xEF.
+  if (text.size() >= 3 && text.substr(0, 3) == "\xEF\xBB\xBF") {
+    text.remove_prefix(3);
+  }
   std::vector<StreamRecord> records;
   std::size_t line_number = 0;
   std::size_t pos = 0;
@@ -169,7 +176,13 @@ Result<std::vector<StreamRecord>> ReadEventLogFile(const std::string& path) {
   while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
     text.append(buf, got);
   }
+  // A short read that is an I/O error, not EOF, must not parse as a
+  // silently truncated log.
+  const bool read_error = std::ferror(f) != 0;
   std::fclose(f);
+  if (read_error) {
+    return Status::Internal("read failed for event log " + path);
+  }
   return ParseEventLog(text);
 }
 

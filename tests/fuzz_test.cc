@@ -4,12 +4,15 @@
 // violation. Seeds are fixed, so failures reproduce.
 
 #include <string>
+#include <variant>
 
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
 #include "io/clustering_io.h"
 #include "io/csv.h"
+#include "stream/snapshot.h"
+#include "stream/stream_event.h"
 
 namespace clustagg {
 namespace {
@@ -214,6 +217,126 @@ TEST(ParserEdgeCaseTest, ParseWeightsRejectsNonFinite) {
   ASSERT_FALSE(bad.ok());
   EXPECT_NE(bad.status().message().find("weight 3"), std::string::npos)
       << bad.status().message();
+}
+
+TEST_P(ParserFuzzTest, ParseEventLogNeverCrashesOnByteSoup) {
+  Rng rng(GetParam() * 122949829 + 19);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::string input = RandomBytes(&rng, 256);
+    Result<std::vector<StreamRecord>> records = ParseEventLog(input);
+    if (records.ok()) {
+      // Whatever parsed must round-trip exactly — the journal leans on
+      // this for its frame payloads.
+      Result<std::vector<StreamRecord>> again =
+          ParseEventLog(FormatEventLog(*records));
+      ASSERT_TRUE(again.ok());
+      EXPECT_EQ(again->size(), records->size());
+    }
+  }
+}
+
+TEST_P(ParserFuzzTest, ParseEventLogStructuredSoup) {
+  // Near-valid logs: real directives padded with the whitespace and
+  // line-ending variants hand-edited or Windows-authored files carry.
+  Rng rng(GetParam() * 141650939 + 23);
+  static const char* kDirectives[] = {"clustering", "object", "flush",
+                                      "clusterin",  "# note", ""};
+  static const char* kTails[] = {"",     " ",    "\t",  "\r",
+                                 " \r",  "\t\r", " \t ", "\v\f"};
+  static const char* kEols[] = {"\n", "\r\n"};
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string input;
+    const std::size_t lines = rng.NextBounded(8);
+    for (std::size_t l = 0; l < lines; ++l) {
+      input += kDirectives[rng.NextBounded(std::size(kDirectives))];
+      const std::size_t labels = rng.NextBounded(4);
+      for (std::size_t i = 0; i < labels; ++i) {
+        input += rng.NextBernoulli(0.2) ? " ?" : " ";
+        if (input.back() == ' ') input += std::to_string(rng.NextBounded(5));
+      }
+      input += kTails[rng.NextBounded(std::size(kTails))];
+      input += kEols[rng.NextBounded(std::size(kEols))];
+    }
+    Result<std::vector<StreamRecord>> records = ParseEventLog(input);
+    if (records.ok()) {
+      Result<std::vector<StreamRecord>> again =
+          ParseEventLog(FormatEventLog(*records));
+      ASSERT_TRUE(again.ok()) << input;
+      EXPECT_EQ(again->size(), records->size());
+    }
+  }
+}
+
+TEST(ParserEdgeCaseTest, ParseEventLogCrlfAndPaddingEquivalence) {
+  // The same log in Unix, CRLF, trailing-whitespace, and BOM-prefixed
+  // spellings parses to identical records.
+  const std::string unix_log =
+      "# header\nclustering weight=2 0 0 1\nobject 1 ?\nflush\n";
+  const std::string crlf_log =
+      "# header\r\nclustering weight=2 0 0 1\r\nobject 1 ?\r\nflush\r\n";
+  const std::string padded_log =
+      "# header  \nclustering weight=2 0 0 1 \t\nobject 1 ? \nflush\t\n";
+  const std::string bom_log = "\xEF\xBB\xBF" + unix_log;
+  Result<std::vector<StreamRecord>> base = ParseEventLog(unix_log);
+  ASSERT_TRUE(base.ok());
+  ASSERT_EQ(base->size(), 3u);
+  for (const std::string& variant : {crlf_log, padded_log, bom_log}) {
+    Result<std::vector<StreamRecord>> parsed = ParseEventLog(variant);
+    ASSERT_TRUE(parsed.ok()) << variant;
+    EXPECT_EQ(FormatEventLog(*parsed), FormatEventLog(*base)) << variant;
+  }
+  // A flush directive with a CRLF tail is still argument-free.
+  Result<std::vector<StreamRecord>> flush = ParseEventLog("flush\r\n");
+  ASSERT_TRUE(flush.ok());
+  ASSERT_EQ(flush->size(), 1u);
+  EXPECT_TRUE(std::holds_alternative<FlushMarker>(flush->front()));
+  // Whereas a flush with a real argument still errors.
+  EXPECT_FALSE(ParseEventLog("flush now\r\n").ok());
+}
+
+TEST_P(ParserFuzzTest, DecodeSnapshotNeverCrashesOnByteSoup) {
+  // Random bytes must never decode (the 4-byte magic plus whole-file
+  // CRC see to that) and must never crash or over-allocate.
+  Rng rng(GetParam() * 175650767 + 29);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::string input = RandomBytes(&rng, 512);
+    Result<StreamSnapshot> snapshot = DecodeSnapshot(input);
+    EXPECT_FALSE(snapshot.ok());
+    EXPECT_EQ(snapshot.status().code(), StatusCode::kDataLoss);
+  }
+}
+
+TEST_P(ParserFuzzTest, DecodeSnapshotRejectsEveryTruncationAndBitFlip) {
+  // A valid snapshot chopped at every prefix length, and with one byte
+  // flipped at every position, must fail closed with kDataLoss.
+  StreamSnapshot snapshot;
+  snapshot.journal_records = 5;
+  snapshot.state.num_objects = 3;
+  snapshot.state.columns = {{0, 0, 1}, {0, 1, 1}};
+  snapshot.state.weights = {1.0, 2.0};
+  snapshot.state.total_weight = 3.0;
+  snapshot.state.separating = {1.0, 1.0, 2.0};
+  snapshot.state.opinionated = {3.0, 3.0, 3.0};
+  snapshot.state.labels = {0, 0, 1};
+  snapshot.state.ever_clustered = true;
+  snapshot.state.flush_count = 2;
+  const std::string encoded = EncodeSnapshot(snapshot);
+  ASSERT_TRUE(DecodeSnapshot(encoded).ok());
+  for (std::size_t cut = 0; cut < encoded.size(); ++cut) {
+    Result<StreamSnapshot> truncated =
+        DecodeSnapshot(std::string_view(encoded).substr(0, cut));
+    ASSERT_FALSE(truncated.ok()) << "prefix of " << cut << " bytes";
+    EXPECT_EQ(truncated.status().code(), StatusCode::kDataLoss);
+  }
+  Rng rng(GetParam() * 198491329 + 31);
+  for (std::size_t pos = 0; pos < encoded.size(); ++pos) {
+    std::string flipped = encoded;
+    flipped[pos] = static_cast<char>(
+        flipped[pos] ^ static_cast<char>(1 + rng.NextBounded(255)));
+    Result<StreamSnapshot> decoded = DecodeSnapshot(flipped);
+    ASSERT_FALSE(decoded.ok()) << "bit flip at byte " << pos;
+    EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss);
+  }
 }
 
 TEST_P(ParserFuzzTest, ParseWeightsNeverCrashesOnByteSoup) {

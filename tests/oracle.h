@@ -310,6 +310,38 @@ inline void ExpectStreamMatchesBatch(const StreamAggregator& stream,
   EXPECT_EQ(stream.cost(), *cost);
 }
 
+/// EXPECTs two streams observably bit-identical: dimensions, weights,
+/// every maintained X_uv, the fold grouping, the current labels, the
+/// exact cost, and the accumulated drift. This is the recovery
+/// invariant of docs/durability.md — a stream recovered from
+/// journal/snapshot must be indistinguishable from one that replayed
+/// the same durable records uninterrupted.
+inline void ExpectStreamsBitIdentical(const StreamAggregator& recovered,
+                                      const StreamAggregator& reference) {
+  ASSERT_EQ(recovered.num_objects(), reference.num_objects());
+  ASSERT_EQ(recovered.num_clusterings(), reference.num_clusterings());
+  EXPECT_EQ(recovered.pending_events(), reference.pending_events());
+  EXPECT_EQ(recovered.total_weight(), reference.total_weight());
+  for (std::size_t v = 1; v < reference.num_objects(); ++v) {
+    for (std::size_t u = 0; u < v; ++u) {
+      ASSERT_EQ(recovered.distance(u, v), reference.distance(u, v))
+          << "X mismatch at pair (" << u << ", " << v << ")";
+    }
+  }
+  EXPECT_EQ(recovered.labels().labels(), reference.labels().labels());
+  EXPECT_EQ(recovered.cost(), reference.cost());
+  EXPECT_EQ(recovered.drift(), reference.drift());
+  ASSERT_EQ(recovered.fold_signatures(), reference.fold_signatures());
+  EXPECT_EQ(recovered.fold_representatives(),
+            reference.fold_representatives());
+  EXPECT_EQ(recovered.fold_multiplicities(),
+            reference.fold_multiplicities());
+  for (std::size_t v = 0; v < reference.num_objects(); ++v) {
+    ASSERT_EQ(recovered.signature_of(v), reference.signature_of(v))
+        << "signature mismatch at object " << v;
+  }
+}
+
 /// Small-n exact oracle: the stream's final cost, measured on the
 /// unfolded batch instance, must be at least the instance's per-pair
 /// lower bound and at least the EXACT optimum's cost on that same

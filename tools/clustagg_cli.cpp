@@ -18,7 +18,9 @@
 //   clustagg gen votes --seed 7 --out votes.csv
 
 #include <chrono>
+#include <csignal>
 #include <cstdio>
+#include <memory>
 #include <sstream>
 #include <cstring>
 #include <map>
@@ -87,11 +89,26 @@ class Args {
 /// All diagnostics go to stderr; stdout carries only results. The exit
 /// code is the status code's mapping (see ExitCodeForStatus): 0 OK,
 /// 2 invalid argument, 3 failed precondition, 4 resource exhausted,
-/// 5 internal, 6 cancelled, 7 deadline exceeded.
+/// 5 internal, 6 cancelled, 7 deadline exceeded, 8 data loss. Exit 9 is
+/// the CLI's own graceful-shutdown code (see kSignalShutdownExit).
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return ExitCodeForStatus(status.code());
 }
+
+/// Exit code for a stream replay stopped by SIGINT/SIGTERM after a
+/// clean shutdown: the pending batch was flushed, the journal synced
+/// and closed, and --stats emitted. Distinct from every
+/// ExitCodeForStatus mapping so wrappers can tell "interrupted but
+/// durable" from both success and failure (docs/robustness.md).
+constexpr int kSignalShutdownExit = 9;
+
+/// Set (to the signal number) by the SIGINT/SIGTERM handler; the
+/// stream replay loop polls it between records. sig_atomic_t is the
+/// only thing a handler may portably write.
+volatile std::sig_atomic_t g_shutdown_signal = 0;
+
+extern "C" void HandleShutdownSignal(int sig) { g_shutdown_signal = sig; }
 
 std::optional<AggregationAlgorithm> ParseAlgorithm(const std::string& name) {
   static const std::map<std::string, AggregationAlgorithm> kNames = {
@@ -118,10 +135,35 @@ std::optional<AggregationAlgorithm> ParseAlgorithm(const std::string& name) {
 /// exceeds --rebuild-threshold. --deadline-ms bounds each batch, not the
 /// whole replay. Per-batch progress goes to stderr; the final labels go
 /// to --out or stdout like a batch aggregate.
+///
+/// --journal=PATH makes the stream durable (docs/durability.md): every
+/// event is written ahead to a CRC-framed journal (--fsync-every
+/// controls group fsync) and --snapshot-every=N writes an atomic
+/// snapshot after every N flushes. `aggregate --recover --journal=PATH`
+/// restores the stream from the newest snapshot plus the journal
+/// suffix (truncating a torn tail), optionally continues with a new
+/// --stream log, and emits the recovered labels. SIGINT/SIGTERM shut
+/// the replay down gracefully: the pending batch is flushed, the
+/// journal synced and closed, stats emitted, exit kSignalShutdownExit.
 int CmdStream(const Args& args) {
-  Result<std::vector<StreamRecord>> records =
-      ReadEventLogFile(args.Get("stream"));
-  if (!records.ok()) return Fail(records.status());
+  const bool recover = args.Has("recover");
+  const bool durable_mode = args.Has("journal");
+  if (recover && !durable_mode) {
+    return Fail(Status::InvalidArgument(
+        "--recover restores durable state and needs --journal=PATH"));
+  }
+  if (!recover && !args.Has("stream")) {
+    return Fail(Status::InvalidArgument(
+        "--journal needs an event log to replay (--stream FILE) or "
+        "--recover"));
+  }
+  std::vector<StreamRecord> records;
+  if (args.Has("stream")) {
+    Result<std::vector<StreamRecord>> parsed =
+        ReadEventLogFile(args.Get("stream"));
+    if (!parsed.ok()) return Fail(parsed.status());
+    records = *std::move(parsed);
+  }
 
   StreamAggregatorOptions options;
   const std::string algorithm = args.Get("algorithm", "agglomerative");
@@ -188,7 +230,41 @@ int CmdStream(const Args& args) {
                           ? static_cast<const clustagg::Clock*>(&fake_clock)
                           : clustagg::Clock::Real());
 
-  StreamAggregator stream(options);
+  // Plain in-memory stream, or the same stream behind the write-ahead
+  // journal when --journal is set. `view` is the read side either way.
+  StreamAggregator plain(options);
+  std::unique_ptr<DurableStreamAggregator> durable;
+  if (durable_mode) {
+    DurabilityOptions durability;
+    durability.journal_path = args.Get("journal");
+    durability.snapshot_path = args.Get("snapshot");
+    const long long fsync_every = args.GetInt("fsync-every", 1);
+    const long long snapshot_every = args.GetInt("snapshot-every", 0);
+    if (fsync_every < 0 || snapshot_every < 0) {
+      return Fail(Status::InvalidArgument(
+          "--fsync-every and --snapshot-every expect non-negative counts"));
+    }
+    durability.fsync_every = static_cast<std::uint64_t>(fsync_every);
+    durability.snapshot_every = static_cast<std::uint64_t>(snapshot_every);
+    Result<std::unique_ptr<DurableStreamAggregator>> opened =
+        DurableStreamAggregator::Open(options, std::move(durability),
+                                      FileSystem::Real(),
+                                      want_stats ? &telemetry : nullptr);
+    if (!opened.ok()) return Fail(opened.status());
+    durable = std::move(opened).value();
+    const RecoveryReport& rec = durable->recovery();
+    if (rec.recovered) {
+      std::fprintf(stderr,
+                   "recovered %llu journal records (%llu from snapshot, "
+                   "%llu replayed)%s\n",
+                   static_cast<unsigned long long>(rec.journal_records),
+                   static_cast<unsigned long long>(rec.snapshot_records),
+                   static_cast<unsigned long long>(rec.replayed_records),
+                   rec.truncated_torn_tail ? ", truncated a torn tail" : "");
+    }
+  }
+  const StreamAggregator& view = durable ? durable->stream() : plain;
+
   // Fresh context per batch: a deadline bounds each flush, not the log.
   const auto make_run = [&]() {
     RunContext run =
@@ -197,12 +273,62 @@ int CmdStream(const Args& args) {
             : RunContext();
     return want_stats ? run.WithTelemetry(&telemetry) : run;
   };
-  Result<StreamReplayResult> replay =
-      ReplayEventLog(stream, *records, make_run);
-  if (!replay.ok()) return Fail(replay.status());
 
-  for (std::size_t i = 0; i < replay->reports.size(); ++i) {
-    const StreamFlushReport& report = replay->reports[i];
+  std::signal(SIGINT, HandleShutdownSignal);
+  std::signal(SIGTERM, HandleShutdownSignal);
+  std::vector<StreamFlushReport> reports;
+  RunOutcome overall = RunOutcome::kConverged;
+  std::size_t rebuilds = 0;
+  std::size_t repairs = 0;
+  const auto flush = [&]() -> Status {
+    const RunContext run = make_run();
+    Result<StreamFlushReport> report =
+        durable ? durable->Flush(run) : plain.Flush(run);
+    if (!report.ok()) return report.status();
+    overall = MergeOutcomes(overall, report->outcome);
+    if (report->rebuilt) ++rebuilds;
+    if (report->repaired) ++repairs;
+    reports.push_back(*std::move(report));
+    return Status::OK();
+  };
+  // The replay loop of ReplayEventLog, inlined so the journal sits
+  // between validation and application and a shutdown signal can stop
+  // cleanly between records.
+  bool interrupted = false;
+  for (const StreamRecord& record : records) {
+    if (g_shutdown_signal != 0) {
+      interrupted = true;
+      break;
+    }
+    if (std::holds_alternative<FlushMarker>(record)) {
+      if (Status s = flush(); !s.ok()) return Fail(s);
+      continue;
+    }
+    StreamEvent event =
+        std::holds_alternative<AddClusteringEvent>(record)
+            ? StreamEvent(std::get<AddClusteringEvent>(record))
+            : StreamEvent(std::get<AddObjectEvent>(record));
+    Status status = durable ? durable->Ingest(std::move(event))
+                            : plain.Ingest(std::move(event));
+    if (!status.ok()) return Fail(status);
+  }
+  // A signal flushes what is already queued and stops; a normal run
+  // also flushes once when no flush ever happened, so the final labels
+  // exist (recover-only runs skip that: recovery already flushed at
+  // every journaled marker).
+  const bool need_final =
+      interrupted ? view.pending_events() > 0
+                  : view.pending_events() > 0 ||
+                        (reports.empty() && !(recover && records.empty()));
+  if (need_final) {
+    if (Status s = flush(); !s.ok()) return Fail(s);
+  }
+  if (durable) {
+    if (Status s = durable->Close(); !s.ok()) return Fail(s);
+  }
+
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const StreamFlushReport& report = reports[i];
     std::fprintf(stderr,
                  "batch %zu: %zu events, %zu pairs touched, drift %.4f, "
                  "%s, cost = %.1f (%s)\n",
@@ -215,14 +341,19 @@ int CmdStream(const Args& args) {
   std::fprintf(stderr,
                "streamed %zu clusterings of %zu objects in %zu batches "
                "(%zu rebuilds, %zu repairs): %zu clusters, cost = %.1f\n",
-               stream.num_clusterings(), stream.num_objects(),
-               replay->reports.size(), replay->rebuilds, replay->repairs,
-               stream.labels().NumClusters(), stream.cost());
-  std::fprintf(stderr, "run outcome = %s\n",
-               RunOutcomeName(replay->outcome));
+               view.num_clusterings(), view.num_objects(), reports.size(),
+               rebuilds, repairs, view.labels().NumClusters(), view.cost());
+  std::fprintf(stderr, "run outcome = %s\n", RunOutcomeName(overall));
   if (options.fold) {
     std::fprintf(stderr, "folded %zu objects into %zu signatures\n",
-                 stream.num_objects(), stream.fold_signatures());
+                 view.num_objects(), view.fold_signatures());
+  }
+  if (interrupted) {
+    std::fprintf(stderr,
+                 "received signal %d: flushed the pending batch%s and "
+                 "stopped before the remaining events\n",
+                 static_cast<int>(g_shutdown_signal),
+                 durable ? ", synced and closed the journal" : "");
   }
   if (want_stats) {
     if (stats_mode == "json") {
@@ -236,18 +367,20 @@ int CmdStream(const Args& args) {
 
   const std::string out = args.Get("out");
   if (!out.empty()) {
-    if (Status s = WriteClusteringFile(out, stream.labels()); !s.ok()) {
+    if (Status s = WriteClusteringFile(out, view.labels()); !s.ok()) {
       return Fail(s);
     }
     std::fprintf(stderr, "wrote %s\n", out.c_str());
   } else {
-    std::fputs(FormatClustering(stream.labels()).c_str(), stdout);
+    std::fputs(FormatClustering(view.labels()).c_str(), stdout);
   }
-  return 0;
+  return interrupted ? kSignalShutdownExit : 0;
 }
 
 int CmdAggregate(const Args& args) {
-  if (args.Has("stream")) return CmdStream(args);
+  if (args.Has("stream") || args.Has("recover") || args.Has("journal")) {
+    return CmdStream(args);
+  }
   // Assemble the input clusterings.
   Result<ClusteringSet> input = [&]() -> Result<ClusteringSet> {
     if (args.Has("csv")) {
@@ -563,6 +696,8 @@ int CmdHelp() {
       "            [--shards auto|off|N] [--max-cluster-size N]\n"
       "            [--threads N] [--deadline-ms N] [--out FILE]\n"
       "            [--stats[=json|table]] [--fake-clock]\n"
+      "            [--journal PATH [--fsync-every N] [--snapshot-every N]\n"
+      "             [--snapshot PATH]] [--recover]\n"
       "      replay a recorded event log (directives: 'clustering\n"
       "      [weight=W] L1..Ln', 'object L1..Lm', 'flush', '#' comments,\n"
       "      '?' = missing; see docs/streaming.md) through the\n"
@@ -574,6 +709,23 @@ int CmdHelp() {
       "      each batch; an interrupted batch keeps the remainder queued.\n"
       "      Per-batch progress goes to stderr, final labels to --out or\n"
       "      stdout.\n"
+      "      --journal writes every event ahead to a CRC-framed journal\n"
+      "      before applying it, so a crash loses nothing durable;\n"
+      "      --fsync-every N (default 1) group-fsyncs every N records\n"
+      "      (0 = let the OS decide), --snapshot-every N writes an atomic\n"
+      "      snapshot after every N flushes (to --snapshot PATH, default\n"
+      "      JOURNAL.snap) to bound recovery replay. SIGINT/SIGTERM stop\n"
+      "      the replay gracefully: the pending batch is flushed, the\n"
+      "      journal synced and closed, stats emitted, exit 9.\n"
+      "  aggregate --recover --journal PATH [--snapshot PATH]\n"
+      "            [--stream FILE] [stream flags as above]\n"
+      "      recover the durable stream: load the newest valid snapshot,\n"
+      "      replay the journal suffix past its cursor (truncating a torn\n"
+      "      final frame; corrupt snapshots and mid-file journal damage\n"
+      "      fail with exit 8, never partial state), then optionally\n"
+      "      continue with a new --stream log. Recovered state is\n"
+      "      bit-identical to an uninterrupted run over the same durable\n"
+      "      records (see docs/durability.md).\n"
       "  eval <truth.labels> <candidate.labels>\n"
       "      rand / adjusted rand / NMI / disagreement distance.\n"
       "  gen <votes|mushrooms|census|gaussian> [--seed N] [--rows N]\n"
@@ -589,7 +741,11 @@ int CmdHelp() {
       "     with --no-fallbacks)\n"
       "  5  internal error\n"
       "  6  cancelled\n"
-      "  7  deadline exceeded (only where no best-so-far result exists)\n");
+      "  7  deadline exceeded (only where no best-so-far result exists)\n"
+      "  8  data loss (corrupt snapshot, mid-file journal corruption, or\n"
+      "     a snapshot cursor past the journal; see docs/durability.md)\n"
+      "  9  graceful signal shutdown (SIGINT/SIGTERM during a stream\n"
+      "     replay: pending batch flushed, journal synced and closed)\n");
   return 0;
 }
 

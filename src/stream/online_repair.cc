@@ -1,0 +1,124 @@
+#include "stream/online_repair.h"
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace clustagg {
+
+namespace {
+
+/// A merge must improve the cost by more than this to be taken — the
+/// same guard LocalSearchOptions::min_improvement applies to moves, so
+/// floating-point noise cannot churn cost-neutral merges.
+constexpr double kMinImprovement = 1e-7;
+
+}  // namespace
+
+Result<ClustererRun> OnlineRepair(const CorrelationInstance& instance,
+                                  const Clustering& initial,
+                                  const RunContext& run) {
+  const std::size_t n = instance.size();
+  if (initial.size() != n) {
+    return Status::InvalidArgument(
+        "online repair starting partition covers " +
+        std::to_string(initial.size()) + " objects, instance has " +
+        std::to_string(n));
+  }
+  ClustererRun result;
+  if (n == 0) {
+    result.clustering = initial;
+    return result;
+  }
+  // Number the starting clusters by first appearance (ascending minimum
+  // member) — the deterministic order every tie-break below refers to.
+  std::vector<std::size_t> cluster_of(n);
+  std::vector<std::vector<std::size_t>> members;
+  {
+    std::vector<Clustering::Label> seen;
+    for (std::size_t v = 0; v < n; ++v) {
+      const Clustering::Label label = initial.label(v);
+      std::size_t c = 0;
+      while (c < seen.size() && seen[c] != label) ++c;
+      if (c == seen.size()) {
+        seen.push_back(label);
+        members.emplace_back();
+      }
+      cluster_of[v] = c;
+      members[c].push_back(v);
+    }
+  }
+  const std::size_t k = members.size();
+  // Cluster-pair merge deltas: delta[a * k + b] is the exact cost change
+  // of merging clusters a and b, additive under union, built once from
+  // the pairwise distances.
+  std::vector<double> delta(k * k, 0.0);
+  for (std::size_t v = 1; v < n; ++v) {
+    const std::size_t cv = cluster_of[v];
+    const double wv = instance.multiplicity(v);
+    for (std::size_t u = 0; u < v; ++u) {
+      const std::size_t cu = cluster_of[u];
+      if (cu == cv) continue;
+      const double d = wv * instance.multiplicity(u) *
+                       (2.0 * instance.distance(u, v) - 1.0);
+      delta[cu * k + cv] += d;
+      delta[cv * k + cu] += d;
+    }
+  }
+  run.ChargeIterations(n > 1 ? n * (n - 1) / 2 : 0);
+  std::vector<bool> alive(k, true);
+  while (true) {
+    const RunOutcome poll = run.Poll();
+    if (poll != RunOutcome::kConverged) {
+      result.outcome = MergeOutcomes(result.outcome, poll);
+      break;
+    }
+    // Most-negative merge first; ties toward the lexicographically
+    // smallest (a, b). Cluster indices never change meaning, so this is
+    // deterministic across replays.
+    std::size_t best_a = k;
+    std::size_t best_b = k;
+    double best = -kMinImprovement;
+    std::size_t examined = 0;
+    for (std::size_t a = 0; a < k; ++a) {
+      if (!alive[a]) continue;
+      for (std::size_t b = a + 1; b < k; ++b) {
+        if (!alive[b]) continue;
+        ++examined;
+        if (delta[a * k + b] < best) {
+          best = delta[a * k + b];
+          best_a = a;
+          best_b = b;
+        }
+      }
+    }
+    run.ChargeIterations(examined);
+    if (best_a == k) break;
+    // Merge best_b into best_a (a < b, so the union keeps cluster a's
+    // minimum member and the first-appearance order of the survivors).
+    for (std::size_t c = 0; c < k; ++c) {
+      if (!alive[c] || c == best_a || c == best_b) continue;
+      delta[best_a * k + c] += delta[best_b * k + c];
+      delta[c * k + best_a] = delta[best_a * k + c];
+    }
+    members[best_a].insert(members[best_a].end(), members[best_b].begin(),
+                           members[best_b].end());
+    members[best_b].clear();
+    alive[best_b] = false;
+  }
+  std::vector<Clustering::Label> labels(n);
+  Clustering::Label next = 0;
+  for (std::size_t c = 0; c < k; ++c) {
+    if (!alive[c]) continue;
+    for (std::size_t v : members[c]) {
+      labels[v] = next;
+    }
+    ++next;
+  }
+  result.clustering = Clustering(std::move(labels));
+  return result;
+}
+
+}  // namespace clustagg

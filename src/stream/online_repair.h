@@ -1,0 +1,41 @@
+#ifndef CLUSTAGG_STREAM_ONLINE_REPAIR_H_
+#define CLUSTAGG_STREAM_ONLINE_REPAIR_H_
+
+#include "common/run_context.h"
+#include "common/status.h"
+#include "core/clusterer.h"
+#include "core/clustering.h"
+#include "core/correlation_instance.h"
+
+namespace clustagg {
+
+/// The online agglomerative repair policy (Mathieu, Sankur, Schudy,
+/// "Online Correlation Clustering"): starting from the warm partition,
+/// greedily merge the pair of clusters whose union lowers the
+/// correlation cost the most, until no merge helps. The cost change of
+/// merging clusters A and B is exactly
+///   delta(A, B) = sum_{u in A, v in B} w_u * w_v * (2 * X_uv - 1)
+/// (each cross pair flips from "apart", paying X, to "together", paying
+/// 1 - X; w are the fold multiplicities, 1.0 unfolded), and delta is
+/// additive under union — delta(A ∪ B, C) = delta(A, C) + delta(B, C) —
+/// so the sweep maintains a cluster-pair delta table in O(k) per merge
+/// after one O(n^2) build. Newcomer singletons joining an existing
+/// cluster are plain merges, so the arrival step of the online
+/// algorithm is subsumed.
+///
+/// Deterministic: ties break toward the lexicographically smallest
+/// cluster pair, clusters ordered by their minimum member. A pure
+/// function of (instance, initial), so differential oracles replay it
+/// on batch-built artifacts (see tests/oracle.h).
+///
+/// Polls `run` once per merge round and charges the pairs examined;
+/// merges only ever lower the cost, so an interrupt returns the
+/// partition as improved so far, tagged with the poll's outcome. The
+/// result never has a higher correlation cost than `initial`.
+Result<ClustererRun> OnlineRepair(const CorrelationInstance& instance,
+                                  const Clustering& initial,
+                                  const RunContext& run = RunContext());
+
+}  // namespace clustagg
+
+#endif  // CLUSTAGG_STREAM_ONLINE_REPAIR_H_

@@ -84,10 +84,8 @@ Result<std::unique_ptr<DurableStreamAggregator>> DurableStreamAggregator::Open(
     if (std::holds_alternative<FlushMarker>(record)) {
       Result<StreamFlushReport> flushed = durable->stream_.Flush();
       status = flushed.status();
-    } else if (const auto* add = std::get_if<AddClusteringEvent>(&record)) {
-      status = durable->stream_.Ingest(*add);
     } else {
-      status = durable->stream_.Ingest(std::get<AddObjectEvent>(record));
+      status = durable->stream_.Ingest(ToStreamEvent(record));
     }
     if (!status.ok()) {
       // The journal frame was CRC-valid, so this is the writer's state
@@ -126,10 +124,7 @@ Status DurableStreamAggregator::Ingest(StreamEvent event) {
   // the journal (it would poison every future recovery), and a record
   // the journal rejects poisons this wrapper instead of diverging
   // silently.
-  const StreamRecord record =
-      std::holds_alternative<AddClusteringEvent>(event)
-          ? StreamRecord(std::get<AddClusteringEvent>(event))
-          : StreamRecord(std::get<AddObjectEvent>(event));
+  const StreamRecord record = ToStreamRecord(event);
   if (Status s = stream_.Ingest(std::move(event)); !s.ok()) return s;
   if (Status s = journal_->Append(record); !s.ok()) return Poison(s);
   return Status::OK();

@@ -130,6 +130,12 @@ std::string EncodeSnapshot(const StreamSnapshot& snapshot) {
   PutDouble(&out, s.predicted_cost);
   PutDouble(&out, s.drift_accum);
   PutU64(&out, s.flush_count);
+  PutU64(&out, s.clustering_ids.size());
+  for (std::uint64_t id : s.clustering_ids) PutU64(&out, id);
+  PutU64(&out, s.object_ids.size());
+  for (std::uint64_t id : s.object_ids) PutU64(&out, id);
+  PutU64(&out, s.next_clustering_id);
+  PutU64(&out, s.next_object_id);
   PutU32(&out, Crc32(out));
   return out;
 }
@@ -183,6 +189,12 @@ Result<StreamSnapshot> DecodeSnapshot(std::string_view bytes) {
   s.predicted_cost = r.Double();
   s.drift_accum = r.Double();
   s.flush_count = r.U64();
+  s.clustering_ids.resize(r.Length(8));
+  for (std::uint64_t& id : s.clustering_ids) id = r.U64();
+  s.object_ids.resize(r.Length(8));
+  for (std::uint64_t& id : s.object_ids) id = r.U64();
+  s.next_clustering_id = r.U64();
+  s.next_object_id = r.U64();
   if (r.failed() || !r.exhausted()) {
     // The CRC passed, so the writer itself emitted an inconsistent
     // body — still data loss, just blamed on the producer.

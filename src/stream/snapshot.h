@@ -25,7 +25,12 @@ struct StreamSnapshot {
 /// checksum mismatch with StatusCode::kDataLoss — never a partial
 /// decode.
 inline constexpr char kSnapshotMagic[4] = {'C', 'A', 'G', 'S'};
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+/// Version history: 1 = PR 7 (no stable ids); 2 = windowed forgetting
+/// (appends the clustering/object id vectors and next-id counters to
+/// the body). Version-1 files predate removal events entirely, so they
+/// are rejected rather than upgraded — a v1 deployment has no removal
+/// journals whose ids a guessed upgrade could get wrong.
+inline constexpr std::uint32_t kSnapshotVersion = 2;
 
 /// Serializes a snapshot:
 ///   "CAGS" | u32 version | body | u32 CRC-32 of everything before it

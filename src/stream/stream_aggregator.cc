@@ -13,6 +13,7 @@
 #include "common/symmetric_matrix.h"
 #include "core/distance_source.h"
 #include "core/instrumentation.h"
+#include "stream/online_repair.h"
 
 namespace clustagg {
 
@@ -50,6 +51,13 @@ Status BadLabels(const std::vector<Clustering::Label>& labels,
   return Status::OK();
 }
 
+/// Index of `id` in an ascending stable-id vector, or npos.
+std::size_t FindId(const std::vector<std::uint64_t>& ids, std::uint64_t id) {
+  const auto it = std::lower_bound(ids.begin(), ids.end(), id);
+  if (it == ids.end() || *it != id) return static_cast<std::size_t>(-1);
+  return static_cast<std::size_t>(it - ids.begin());
+}
+
 }  // namespace
 
 StreamAggregator::StreamAggregator(StreamAggregatorOptions options)
@@ -75,19 +83,54 @@ Status StreamAggregator::Ingest(StreamEvent event) {
       return Status::InvalidArgument(
           "AddClustering weight must be a finite positive number");
     }
-    if (defines_objects) pending_n_ = add->labels.size();
-    ++pending_m_;
-  } else {
-    const auto& object = std::get<AddObjectEvent>(event);
-    if (object.labels.size() != pending_m_) {
+    if (defines_objects) {
+      while (pending_object_ids_.size() < add->labels.size()) {
+        pending_object_ids_.push_back(pending_next_object_id_++);
+      }
+      pending_n_ = pending_object_ids_.size();
+    }
+    pending_clustering_ids_.push_back(pending_next_clustering_id_++);
+    // Mirror the window eviction Flush will perform after applying this
+    // add, so later queued removals validate against what will actually
+    // be alive.
+    while (options_.window > 0 &&
+           pending_clustering_ids_.size() > options_.window) {
+      pending_clustering_ids_.erase(pending_clustering_ids_.begin());
+    }
+    pending_m_ = pending_clustering_ids_.size();
+  } else if (const auto* object = std::get_if<AddObjectEvent>(&event)) {
+    if (object->labels.size() != pending_m_) {
       return Status::InvalidArgument(
-          "AddObject carries " + std::to_string(object.labels.size()) +
+          "AddObject carries " + std::to_string(object->labels.size()) +
           " labels for a stream of " + std::to_string(pending_m_) +
           " clusterings (queued events included)");
     }
-    Status labels_ok = BadLabels(object.labels, "AddObject");
+    Status labels_ok = BadLabels(object->labels, "AddObject");
     if (!labels_ok.ok()) return labels_ok;
-    ++pending_n_;
+    pending_object_ids_.push_back(pending_next_object_id_++);
+    pending_n_ = pending_object_ids_.size();
+  } else if (const auto* rm = std::get_if<RemoveClusteringEvent>(&event)) {
+    const std::size_t pos = FindId(pending_clustering_ids_, rm->id);
+    if (pos == static_cast<std::size_t>(-1)) {
+      return Status::InvalidArgument(
+          "RemoveClustering names unknown or already-removed clustering id " +
+          std::to_string(rm->id) + " (queued events and window evictions "
+          "included)");
+    }
+    pending_clustering_ids_.erase(
+        pending_clustering_ids_.begin() + static_cast<std::ptrdiff_t>(pos));
+    pending_m_ = pending_clustering_ids_.size();
+  } else {
+    const auto& remove = std::get<RemoveObjectEvent>(event);
+    const std::size_t pos = FindId(pending_object_ids_, remove.id);
+    if (pos == static_cast<std::size_t>(-1)) {
+      return Status::InvalidArgument(
+          "RemoveObject names unknown or already-removed object id " +
+          std::to_string(remove.id) + " (queued events included)");
+    }
+    pending_object_ids_.erase(pending_object_ids_.begin() +
+                              static_cast<std::ptrdiff_t>(pos));
+    pending_n_ = pending_object_ids_.size();
   }
   pending_.push_back(std::move(event));
   return Status::OK();
@@ -178,6 +221,7 @@ void StreamAggregator::ApplyAddClustering(const AddClusteringEvent& event,
   total_weight_ = old_weight + event.weight;
   columns_.push_back(event.labels);
   weights_.push_back(event.weight);
+  clustering_ids_.push_back(next_clustering_id_++);
   report->pairs_touched += idx;
   if (options_.fold) RefineFoldGroups(event.labels);
 }
@@ -210,8 +254,150 @@ void StreamAggregator::ApplyAddObject(const AddObjectEvent& event,
   }
   for (std::size_t i = 0; i < m; ++i) columns_[i].push_back(event.labels[i]);
   ++n_;
+  object_ids_.push_back(next_object_id_++);
   report->pairs_touched += v;
   if (options_.fold) PlaceObjectInFoldGroup(v, event.labels);
+}
+
+void StreamAggregator::ApplyRemoveClustering(std::uint64_t id,
+                                             StreamFlushReport* report) {
+  const std::size_t i = FindId(clustering_ids_, id);
+  CLUSTAGG_CHECK(i != static_cast<std::size_t>(-1));  // Ingest validated it.
+  const double removed_weight = weights_[i];
+  // Bit-exactness strategy. The invariant is that every counter equals
+  // the ascending-order accumulation over the alive clusterings, exactly
+  // as the batch kernels compute it. Under uniform unit weights the
+  // counters are integer sums, so subtracting the removed contribution
+  // is exact and order-free. With general weights, floating-point
+  // subtraction cannot undo an addition ((1e16 + 1) - 1e16 != 1), so the
+  // touched counters are re-accumulated over the survivors instead —
+  // O(n^2 m), the same shape as the batch build it must match.
+  bool unit_weights = true;
+  for (double w : weights_) {
+    if (w != 1.0) {
+      unit_weights = false;
+      break;
+    }
+  }
+  double new_total = 0.0;
+  if (unit_weights) {
+    new_total = total_weight_ - removed_weight;
+  } else {
+    for (std::size_t j = 0; j < weights_.size(); ++j) {
+      if (j != i) new_total += weights_[j];
+    }
+  }
+  const std::size_t labeled = labels_.size();
+  const std::vector<Clustering::Label>& column = columns_[i];
+  std::size_t idx = 0;
+  for (std::size_t v = 1; v < n_; ++v) {
+    const Clustering::Label lv = column[v];
+    for (std::size_t u = 0; u < v; ++u, ++idx) {
+      const double old_x = static_cast<float>(
+          PairDistanceRaw(separating_[idx], opinionated_[idx]));
+      if (unit_weights) {
+        const Clustering::Label lu = column[u];
+        if (lu != Clustering::kMissing && lv != Clustering::kMissing) {
+          opinionated_[idx] -= removed_weight;
+          if (lu != lv) separating_[idx] -= removed_weight;
+        }
+      } else {
+        double dis = 0.0;
+        double opi = 0.0;
+        for (std::size_t j = 0; j < columns_.size(); ++j) {
+          if (j == i) continue;
+          const Clustering::Label a = columns_[j][u];
+          const Clustering::Label b = columns_[j][v];
+          if (a == Clustering::kMissing || b == Clustering::kMissing) {
+            continue;
+          }
+          opi += weights_[j];
+          if (a != b) dis += weights_[j];
+        }
+        separating_[idx] = dis;
+        opinionated_[idx] = opi;
+      }
+      const double saved_total = total_weight_;
+      total_weight_ = new_total;
+      const double new_x = static_cast<float>(
+          PairDistanceRaw(separating_[idx], opinionated_[idx]));
+      total_weight_ = saved_total;
+      drift_accum_ += std::abs(new_x - old_x);
+      if (v < labeled) {
+        predicted_cost_ +=
+            labels_.SameCluster(u, v) ? new_x - old_x : old_x - new_x;
+      }
+    }
+  }
+  total_weight_ = new_total;
+  columns_.erase(columns_.begin() + static_cast<std::ptrdiff_t>(i));
+  weights_.erase(weights_.begin() + static_cast<std::ptrdiff_t>(i));
+  clustering_ids_.erase(clustering_ids_.begin() +
+                        static_cast<std::ptrdiff_t>(i));
+  report->pairs_touched += idx;
+  // A removal can merge fold groups (two tuples that differed only in
+  // the removed clustering), which split-only refinement cannot
+  // express: rebuild from the surviving columns.
+  if (options_.fold) RebuildFoldGroups();
+}
+
+void StreamAggregator::ApplyRemoveObject(std::uint64_t id,
+                                         StreamFlushReport* report) {
+  const std::size_t pos = FindId(object_ids_, id);
+  CLUSTAGG_CHECK(pos != static_cast<std::size_t>(-1));  // Ingest validated.
+  const std::size_t labeled = labels_.size();
+  // Charge the vanishing pairs to drift (the mirror image of the
+  // brand-new-pair charge in ApplyAddObject: their unavoidable mass
+  // leaves the objective) and remove their contribution from the
+  // tracked cost where the solution covered them.
+  if (!columns_.empty()) {
+    for (std::size_t u = 0; u < n_; ++u) {
+      if (u == pos) continue;
+      const std::size_t idx =
+          u < pos ? PairIndex(u, pos) : PairIndex(pos, u);
+      const double x = PairDistance(idx);
+      drift_accum_ += std::min(x, 1.0 - x);
+      if (u < labeled && pos < labeled) {
+        predicted_cost_ -= labels_.SameCluster(u, pos) ? x : 1.0 - x;
+      }
+    }
+  }
+  // Compact the packed column-major triangle: walking the old triangle
+  // in packed order and keeping every pair not involving pos emits the
+  // survivors exactly in the new packed order, so each surviving
+  // counter is moved, never recomputed — bit-identical by construction.
+  const std::size_t old_pairs = n_ > 1 ? n_ * (n_ - 1) / 2 : 0;
+  std::vector<double> new_separating;
+  std::vector<double> new_opinionated;
+  if (old_pairs > 0) {
+    const std::size_t kept = (n_ - 1) > 1 ? (n_ - 1) * (n_ - 2) / 2 : 0;
+    new_separating.reserve(kept);
+    new_opinionated.reserve(kept);
+    std::size_t idx = 0;
+    for (std::size_t v = 1; v < n_; ++v) {
+      for (std::size_t u = 0; u < v; ++u, ++idx) {
+        if (u == pos || v == pos) continue;
+        new_separating.push_back(separating_[idx]);
+        new_opinionated.push_back(opinionated_[idx]);
+      }
+    }
+  }
+  separating_ = std::move(new_separating);
+  opinionated_ = std::move(new_opinionated);
+  for (std::vector<Clustering::Label>& column : columns_) {
+    column.erase(column.begin() + static_cast<std::ptrdiff_t>(pos));
+  }
+  object_ids_.erase(object_ids_.begin() + static_cast<std::ptrdiff_t>(pos));
+  if (pos < labeled) {
+    std::vector<Clustering::Label> labels = labels_.labels();
+    labels.erase(labels.begin() + static_cast<std::ptrdiff_t>(pos));
+    labels_ = Clustering(std::move(labels));
+  }
+  --n_;
+  report->pairs_touched += n_;
+  // Every object index above pos shifted down: rebuild the grouping
+  // over the compacted columns.
+  if (options_.fold) RebuildFoldGroups();
 }
 
 void StreamAggregator::RefineFoldGroups(
@@ -278,6 +464,23 @@ void StreamAggregator::PlaceObjectInFoldGroup(
   fresh.hash = hash;
   groups_.push_back(std::move(fresh));
   signature_of_.push_back(groups_.size() - 1);
+}
+
+void StreamAggregator::RebuildFoldGroups() {
+  // Placing objects in ascending id order appends each to an existing
+  // signature group or opens a fresh one whose minimum is the new
+  // (maximal) id, so the groups come out ordered by minimum member with
+  // consistent running hashes — the same grouping the incremental
+  // maintenance produces for the same columns (see RestoreState).
+  groups_.clear();
+  signature_of_.clear();
+  std::vector<Clustering::Label> tuple(columns_.size());
+  for (std::size_t v = 0; v < n_; ++v) {
+    for (std::size_t i = 0; i < columns_.size(); ++i) {
+      tuple[i] = columns_[i][v];
+    }
+    PlaceObjectInFoldGroup(v, tuple);
+  }
 }
 
 void StreamAggregator::ExtendSolutionToNewObjects() {
@@ -433,6 +636,10 @@ Result<StreamAggregatorState> StreamAggregator::ExportState() const {
   state.predicted_cost = predicted_cost_;
   state.drift_accum = drift_accum_;
   state.flush_count = flush_count_;
+  state.clustering_ids = clustering_ids_;
+  state.object_ids = object_ids_;
+  state.next_clustering_id = next_clustering_id_;
+  state.next_object_id = next_object_id_;
   return state;
 }
 
@@ -469,6 +676,32 @@ Status StreamAggregator::RestoreState(StreamAggregatorState state) {
                             std::to_string(state.labels.size()) +
                             " objects, expected " + std::to_string(n));
   }
+  if (state.clustering_ids.size() != state.columns.size()) {
+    return Status::DataLoss("stream state carries " +
+                            std::to_string(state.clustering_ids.size()) +
+                            " clustering ids for " +
+                            std::to_string(state.columns.size()) +
+                            " clusterings");
+  }
+  if (state.object_ids.size() != n) {
+    return Status::DataLoss(
+        "stream state carries " + std::to_string(state.object_ids.size()) +
+        " object ids for " + std::to_string(n) + " objects");
+  }
+  const auto ids_valid = [](const std::vector<std::uint64_t>& ids,
+                            std::uint64_t next) {
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      if (ids[i] >= next) return false;
+      if (i > 0 && ids[i] <= ids[i - 1]) return false;
+    }
+    return true;
+  };
+  if (!ids_valid(state.clustering_ids, state.next_clustering_id) ||
+      !ids_valid(state.object_ids, state.next_object_id)) {
+    return Status::DataLoss(
+        "stream state id vectors are not strictly ascending below their "
+        "next-id counters");
+  }
   n_ = n;
   columns_ = std::move(state.columns);
   weights_ = std::move(state.weights);
@@ -481,24 +714,22 @@ Status StreamAggregator::RestoreState(StreamAggregatorState state) {
   predicted_cost_ = state.predicted_cost;
   drift_accum_ = state.drift_accum;
   flush_count_ = state.flush_count;
+  clustering_ids_ = std::move(state.clustering_ids);
+  object_ids_ = std::move(state.object_ids);
+  next_clustering_id_ = state.next_clustering_id;
+  next_object_id_ = state.next_object_id;
   pending_n_ = n_;
   pending_m_ = columns_.size();
-  // Rebuild the fold grouping by placing objects in ascending id order:
-  // each placement appends to an existing signature group or opens a
-  // fresh one whose minimum is the new (maximal) id, so the resulting
-  // groups are ordered by minimum member with the same running hashes
-  // the incremental maintenance would have produced.
+  pending_clustering_ids_ = clustering_ids_;
+  pending_object_ids_ = object_ids_;
+  pending_next_clustering_id_ = next_clustering_id_;
+  pending_next_object_id_ = next_object_id_;
+  // Rebuild the fold grouping by placing objects in ascending id order
+  // (see RebuildFoldGroups): the result is ordered by minimum member
+  // with the same tuple partition the incremental maintenance held.
   groups_.clear();
   signature_of_.clear();
-  if (options_.fold) {
-    std::vector<Clustering::Label> tuple(columns_.size());
-    for (std::size_t v = 0; v < n_; ++v) {
-      for (std::size_t i = 0; i < columns_.size(); ++i) {
-        tuple[i] = columns_[i][v];
-      }
-      PlaceObjectInFoldGroup(v, tuple);
-    }
-  }
+  if (options_.fold) RebuildFoldGroups();
   return Status::OK();
 }
 
@@ -522,9 +753,28 @@ Result<StreamFlushReport> StreamAggregator::Flush(const RunContext& run) {
       if (const auto* add = std::get_if<AddClusteringEvent>(&event)) {
         ApplyAddClustering(*add, &report);
         TelemetryCount(telemetry, "stream.ingest.clusterings");
-      } else {
-        ApplyAddObject(std::get<AddObjectEvent>(event), &report);
+        // The window evicts the oldest survivor as soon as the add
+        // overflows it — the same order Ingest's pending mirror
+        // simulated, so queued removals stay valid.
+        while (options_.window > 0 && columns_.size() > options_.window) {
+          InstrumentedSpan evict_span(telemetry, "stream.evict");
+          const std::size_t before_evict = report.pairs_touched;
+          ApplyRemoveClustering(clustering_ids_.front(), &report);
+          ++evictions_;
+          ++report.evictions;
+          TelemetryCount(telemetry, "stream.evict.clusterings");
+          TelemetryCount(telemetry, "stream.evict.pairs_touched",
+                         report.pairs_touched - before_evict);
+        }
+      } else if (const auto* object = std::get_if<AddObjectEvent>(&event)) {
+        ApplyAddObject(*object, &report);
         TelemetryCount(telemetry, "stream.ingest.objects");
+      } else if (const auto* rm = std::get_if<RemoveClusteringEvent>(&event)) {
+        ApplyRemoveClustering(rm->id, &report);
+        TelemetryCount(telemetry, "stream.ingest.removals");
+      } else {
+        ApplyRemoveObject(std::get<RemoveObjectEvent>(event).id, &report);
+        TelemetryCount(telemetry, "stream.ingest.removals");
       }
       run.ChargeIterations(report.pairs_touched - before);
       ++applied;
@@ -544,8 +794,9 @@ Result<StreamFlushReport> StreamAggregator::Flush(const RunContext& run) {
   report.drift = drift();
   report.pre_repair = labels_;
   if (columns_.empty()) {
-    // Nothing expresses an opinion yet: every partition costs 0 and the
-    // extended singletons are as good as any.
+    // Nothing expresses an opinion yet (or every clustering was removed
+    // again): every partition costs 0 and the current labels are as
+    // good as any.
     cost_ = 0.0;
     predicted_cost_ = 0.0;
     report.predicted_cost = 0.0;
@@ -584,9 +835,11 @@ Result<StreamFlushReport> StreamAggregator::Flush(const RunContext& run) {
       InstrumentedTimer timer(telemetry, "stream.repair.nanos");
       const Clustering initial =
           options_.fold ? FoldSolution(labels_) : labels_;
-      const LocalSearchClusterer repairer(options_.repair);
       Result<ClustererRun> repaired =
-          repairer.RunFromControlled(instance, initial, run);
+          options_.repair_policy == StreamRepairPolicy::kOnline
+              ? OnlineRepair(instance, initial, run)
+              : LocalSearchClusterer(options_.repair)
+                    .RunFromControlled(instance, initial, run);
       if (!repaired.ok()) return repaired.status();
       labels_ = options_.fold ? ExpandSolution(repaired->clustering)
                               : std::move(repaired->clustering);
@@ -614,7 +867,8 @@ Result<StreamFlushReport> StreamAggregator::Flush(const RunContext& run) {
 
 Result<StreamReplayResult> ReplayEventLog(
     StreamAggregator& stream, const std::vector<StreamRecord>& records,
-    const std::function<RunContext()>& make_run) {
+    const std::function<RunContext()>& make_run,
+    const std::vector<std::size_t>* lines) {
   StreamReplayResult result;
   const auto flush = [&]() -> Status {
     const RunContext run = make_run ? make_run() : RunContext();
@@ -623,21 +877,30 @@ Result<StreamReplayResult> ReplayEventLog(
     result.outcome = MergeOutcomes(result.outcome, report->outcome);
     if (report->rebuilt) ++result.rebuilds;
     if (report->repaired) ++result.repairs;
+    result.evictions += report->evictions;
     result.reports.push_back(*std::move(report));
     return Status::OK();
   };
-  for (const StreamRecord& record : records) {
+  for (std::size_t r = 0; r < records.size(); ++r) {
+    const StreamRecord& record = records[r];
     if (std::holds_alternative<FlushMarker>(record)) {
       Status status = flush();
       if (!status.ok()) return status;
       continue;
     }
-    StreamEvent event =
-        std::holds_alternative<AddClusteringEvent>(record)
-            ? StreamEvent(std::get<AddClusteringEvent>(record))
-            : StreamEvent(std::get<AddObjectEvent>(record));
-    Status status = stream.Ingest(std::move(event));
-    if (!status.ok()) return status;
+    Status status = stream.Ingest(ToStreamEvent(record));
+    if (!status.ok()) {
+      // Ingest rejections are semantic InvalidArguments; with a line map
+      // from ParseEventLog they read like parse errors, pointing at the
+      // offending line of the original file.
+      if (status.code() == StatusCode::kInvalidArgument && lines != nullptr &&
+          r < lines->size()) {
+        return Status::InvalidArgument(
+            "event log line " + std::to_string((*lines)[r]) + ": " +
+            std::string(status.message()));
+      }
+      return status;
+    }
   }
   if (stream.pending_events() > 0 || result.reports.empty()) {
     Status status = flush();

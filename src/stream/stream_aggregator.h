@@ -17,6 +17,18 @@
 
 namespace clustagg {
 
+/// Which solution fix-up Flush runs after applying a batch (below the
+/// drift-triggered rebuild, which always wins).
+enum class StreamRepairPolicy {
+  /// Warm-started LOCALSEARCH from the current solution (the default;
+  /// PR 5 semantics).
+  kLocalSearch,
+  /// The online agglomerative repair of Mathieu–Sankur–Schudy: greedily
+  /// place newcomer singletons, then merge cluster pairs while a merge
+  /// reduces cost (see src/stream/online_repair.h).
+  kOnline,
+};
+
 /// Knobs for the streaming aggregation workload.
 struct StreamAggregatorOptions {
   /// Missing-value policy defining X_uv; fixed for the stream's lifetime
@@ -41,6 +53,16 @@ struct StreamAggregatorOptions {
   /// instead of cold).
   LocalSearchOptions repair;
 
+  /// Which repair the non-rebuild path runs (see StreamRepairPolicy).
+  StreamRepairPolicy repair_policy = StreamRepairPolicy::kLocalSearch;
+
+  /// Sliding window over input clusterings: when nonzero, applying a
+  /// clustering that would leave more than `window` alive auto-evicts
+  /// the oldest surviving clustering first-in-first-out (an implicit
+  /// RemoveClustering of the smallest alive id, identical to the
+  /// explicit event in every observable way). 0 = keep everything.
+  std::size_t window = 0;
+
   /// Full re-cluster fallback: when accumulated drift exceeds
   /// rebuild_threshold (or on the very first Flush), the stream abandons
   /// warm repair and runs the full Aggregate pipeline with these options
@@ -63,11 +85,16 @@ struct StreamFlushReport {
   std::size_t events_applied = 0;
   /// Pair entries visited by the applied deltas.
   std::size_t pairs_touched = 0;
+  /// Window evictions this flush performed (see
+  /// StreamAggregatorOptions::window); explicit RemoveClustering events
+  /// are not counted here, they are ordinary applied events.
+  std::size_t evictions = 0;
   /// Accumulated drift at decision time (before any reset).
   double drift = 0.0;
   /// True when the rebuild fallback ran (full Aggregate).
   bool rebuilt = false;
-  /// True when the warm LOCALSEARCH repair ran.
+  /// True when the warm repair (LOCALSEARCH or online, per
+  /// StreamAggregatorOptions::repair_policy) ran.
   bool repaired = false;
   /// The complete warm-start partition handed to repair (objects added
   /// by this batch appear as fresh singletons). Set for repaired and
@@ -99,7 +126,8 @@ struct StreamFlushReport {
 /// floating-point accumulation order. The fold grouping, by contrast,
 /// is *not* serialized: RestoreState rebuilds it from the columns, and
 /// the rebuild provably reproduces the incrementally maintained
-/// grouping (groups ordered by minimum member, identical FNV hashes).
+/// grouping (groups ordered by minimum member, identical tuple
+/// partition).
 struct StreamAggregatorState {
   std::size_t num_objects = 0;
   std::vector<std::vector<Clustering::Label>> columns;
@@ -113,26 +141,42 @@ struct StreamAggregatorState {
   double predicted_cost = 0.0;
   double drift_accum = 0.0;
   std::uint64_t flush_count = 0;
+  /// Stable ids of the alive clusterings / objects (strictly ascending,
+  /// one per column / object) and the next ids to assign — the window
+  /// queue IS the id vector: eviction order is ascending id. Ids are
+  /// never reused, so removals in a recovered journal suffix keep
+  /// naming the same inputs.
+  std::vector<std::uint64_t> clustering_ids;
+  std::vector<std::uint64_t> object_ids;
+  std::uint64_t next_clustering_id = 0;
+  std::uint64_t next_object_id = 0;
 };
 
-/// Online clustering aggregation: ingests AddClustering / AddObject
-/// events and maintains, incrementally,
+/// Online clustering aggregation: ingests AddClustering / AddObject /
+/// RemoveClustering / RemoveObject events and maintains, incrementally,
 ///   - the pairwise agree/separate weight counters behind X_uv, updated
 ///     O(n) per object and O(n^2) per clustering (delta-batched: events
-///     queue in Ingest and apply on Flush),
+///     queue in Ingest and apply on Flush); removals decrement
+///     symmetrically (see below) and an optional sliding window
+///     auto-evicts the oldest clustering,
 ///   - the duplicate-signature fold grouping (optional),
 ///   - a current solution, fixed up after each batch by a warm-started
-///     LOCALSEARCH repair, with a drift-triggered fallback to the full
-///     Aggregate pipeline.
+///     repair (LOCALSEARCH or the online agglomerative policy), with a
+///     drift-triggered fallback to the full Aggregate pipeline.
 ///
 /// The maintained distances are bit-identical to a from-scratch
-/// CorrelationInstance::Build over the same prefix of inputs on either
+/// CorrelationInstance::Build over the *surviving* inputs on either
 /// backend: counters accumulate clustering weights in ascending
 /// clustering order — the exact accumulation order of
 /// ClusteringSet::PairwiseDistance and the dense/lazy kernels — and
-/// every query rounds through float the same way. The differential
-/// suite (tests/stream_differential_test.cc) pins this for every event
-/// log prefix.
+/// every query rounds through float the same way. Removing a clustering
+/// keeps this exact: with uniform unit weights the counters are integer
+/// sums and the decrement is exact; otherwise the touched counters are
+/// re-accumulated over the survivors in ascending order. Removing an
+/// object never changes a surviving counter at all — the packed
+/// column-major triangle is compacted in order. The differential suite
+/// (tests/stream_differential_test.cc) pins this for every event log
+/// prefix, evictions included.
 ///
 /// Memory: O(n^2) counters plus O(n m) label columns. The counters are
 /// what buy O(1) per-pair updates; streams too large for them should
@@ -148,19 +192,22 @@ class StreamAggregator {
   /// an AddClustering after a queued AddObject covers the new object
   /// too. While no clustering exists yet, an AddClustering may carry
   /// more labels than the stream has objects — it defines them, the way
-  /// ClusteringSet::Create infers n from its first clustering. Errors
-  /// leave the queue unchanged.
+  /// ClusteringSet::Create infers n from its first clustering. A
+  /// removal must name an id alive after every queued event (window
+  /// evictions included) or it is rejected with kInvalidArgument.
+  /// Errors leave the queue unchanged.
   Status Ingest(StreamEvent event);
 
   /// Applies every queued event to the counters (and fold grouping),
+  /// evicting the oldest clustering whenever the window overflows,
   /// extends the solution with fresh singletons for new objects, then
-  /// fixes the solution up: warm LOCALSEARCH repair, or the full
-  /// Aggregate rebuild when accumulated drift exceeds the threshold (and
-  /// always on the first Flush). `run` is the *batch* budget: events
-  /// apply atomically with a poll between events, so an interrupt leaves
-  /// the remainder queued for the next Flush and tags the report; repair
-  /// inherits the remaining budget and degrades to best-so-far like
-  /// every clusterer. Final cost scoring runs outside the budget.
+  /// fixes the solution up: warm repair, or the full Aggregate rebuild
+  /// when accumulated drift exceeds the threshold (and always on the
+  /// first Flush). `run` is the *batch* budget: events apply atomically
+  /// with a poll between events, so an interrupt leaves the remainder
+  /// queued for the next Flush and tags the report; repair inherits the
+  /// remaining budget and degrades to best-so-far like every clusterer.
+  /// Final cost scoring runs outside the budget.
   Result<StreamFlushReport> Flush(const RunContext& run = RunContext());
 
   /// Applied (post-Flush) dimensions.
@@ -172,6 +219,20 @@ class StreamAggregator {
   std::size_t pending_events() const { return pending_.size(); }
 
   double total_weight() const { return total_weight_; }
+
+  /// Stable ids of the alive (applied) clusterings / objects, ascending,
+  /// parallel to the column / object indices. What RemoveClustering /
+  /// RemoveObject events name.
+  const std::vector<std::uint64_t>& clustering_ids() const {
+    return clustering_ids_;
+  }
+  const std::vector<std::uint64_t>& object_ids() const { return object_ids_; }
+
+  /// Window evictions applied since construction (or the last
+  /// RestoreState — the count is operational telemetry, not durable
+  /// state: a snapshot-recovered stream only recounts evictions it
+  /// replays itself).
+  std::uint64_t evictions() const { return evictions_; }
 
   /// The current solution over the applied objects (empty before the
   /// first Flush of a nonempty stream).
@@ -215,7 +276,8 @@ class StreamAggregator {
   /// must have been constructed with the same options the exporter ran
   /// under — the state does not carry options, and mixing them silently
   /// changes every maintained distance. Internally-inconsistent state
-  /// (mismatched column lengths, wrong counter triangle size) yields
+  /// (mismatched column lengths, wrong counter triangle size, id
+  /// vectors that are not strictly ascending below their next-id) yields
   /// kDataLoss. The fold grouping is rebuilt from the columns when
   /// options.fold is set.
   Status RestoreState(StreamAggregatorState state);
@@ -230,9 +292,22 @@ class StreamAggregator {
                           StreamFlushReport* report);
   void ApplyAddObject(const AddObjectEvent& event,
                       StreamFlushReport* report);
+  /// Removes the alive clustering with stable id `id` (which Ingest
+  /// guaranteed exists), decrementing every touched pair counter
+  /// bit-exactly (integer decrement under uniform unit weights,
+  /// ascending re-accumulation over the survivors otherwise).
+  void ApplyRemoveClustering(std::uint64_t id, StreamFlushReport* report);
+  /// Removes the alive object with stable id `id`: compacts the packed
+  /// triangle in order (surviving counters byte-identical), drops the
+  /// object from every column, the solution, and the fold grouping.
+  void ApplyRemoveObject(std::uint64_t id, StreamFlushReport* report);
   void RefineFoldGroups(const std::vector<Clustering::Label>& labels);
   void PlaceObjectInFoldGroup(std::size_t v,
                               const std::vector<Clustering::Label>& tuple);
+  /// Rebuilds the fold grouping from the columns by ascending placement
+  /// (removals can merge groups, which the split-only incremental
+  /// refinement cannot express).
+  void RebuildFoldGroups();
   /// Extends labels_ with one fresh singleton per not-yet-labeled object
   /// and charges their pairs' contribution to the tracked cost.
   void ExtendSolutionToNewObjects();
@@ -255,6 +330,15 @@ class StreamAggregator {
   double total_weight_ = 0.0;
   std::size_t n_ = 0;
 
+  /// Stable ids parallel to columns_ / the object indices, strictly
+  /// ascending (ids are assigned monotonically and erasure preserves
+  /// order). The window evicts clustering_ids_.front().
+  std::vector<std::uint64_t> clustering_ids_;
+  std::vector<std::uint64_t> object_ids_;
+  std::uint64_t next_clustering_id_ = 0;
+  std::uint64_t next_object_id_ = 0;
+  std::uint64_t evictions_ = 0;
+
   /// Packed pair counters, indexed v*(v-1)/2 + u for u < v (the
   /// column-major triangle, so AddObject appends a contiguous block):
   /// total weight of applied clusterings separating / having an opinion
@@ -262,10 +346,17 @@ class StreamAggregator {
   std::vector<double> separating_;
   std::vector<double> opinionated_;
 
-  /// Queued events plus the dimensions they imply (for validation).
+  /// Queued events plus the state they imply (for validation): the id
+  /// mirrors simulate every queued add, removal, and window eviction
+  /// exactly as Flush will apply them, so Ingest can reject a removal
+  /// of a dead id before it is ever journaled.
   std::vector<StreamEvent> pending_;
   std::size_t pending_n_ = 0;
   std::size_t pending_m_ = 0;
+  std::vector<std::uint64_t> pending_clustering_ids_;
+  std::vector<std::uint64_t> pending_object_ids_;
+  std::uint64_t pending_next_clustering_id_ = 0;
+  std::uint64_t pending_next_object_id_ = 0;
 
   /// Incremental fold grouping (maintained only when options_.fold):
   /// groups ordered by first member ascending — SignatureIndex::Build's
@@ -288,6 +379,8 @@ struct StreamReplayResult {
   RunOutcome outcome = RunOutcome::kConverged;
   std::size_t rebuilds = 0;
   std::size_t repairs = 0;
+  /// Window evictions summed over all flushes.
+  std::size_t evictions = 0;
 };
 
 /// Replays a parsed event log through the stream: ingests records in
@@ -295,9 +388,12 @@ struct StreamReplayResult {
 /// events remain (or when no Flush ever ran, so the final solution
 /// exists). `make_run` supplies one fresh RunContext per batch —
 /// deadlines restart per batch — and defaults to the unlimited context.
+/// When `lines` maps records to 1-based source lines (the ParseEventLog
+/// out-param), an Ingest rejection is reported against its line.
 Result<StreamReplayResult> ReplayEventLog(
     StreamAggregator& stream, const std::vector<StreamRecord>& records,
-    const std::function<RunContext()>& make_run = {});
+    const std::function<RunContext()>& make_run = {},
+    const std::vector<std::size_t>* lines = nullptr);
 
 }  // namespace clustagg
 

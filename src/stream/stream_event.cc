@@ -16,11 +16,12 @@ Status LineError(std::size_t line, const std::string& what) {
                                  ": " + what);
 }
 
-/// Everything a hand-edited or Windows-authored log may pad tokens
-/// with: spaces, tabs, the \r of a CRLF line ending (lines are split on
-/// \n only, so the \r trails the last token), and the rarer \v / \f.
+/// Everything a hand-edited log may pad tokens with: spaces, tabs, and
+/// the rarer \v / \f. \r is NOT padding — it terminates a line (alone
+/// or as the first half of CRLF), so error line numbers keep matching
+/// the original file whatever convention authored it.
 bool IsPadding(char c) {
-  return c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f';
+  return c == ' ' || c == '\t' || c == '\v' || c == '\f';
 }
 
 /// Splits a line into whitespace-separated tokens.
@@ -71,24 +72,73 @@ Result<std::vector<Clustering::Label>> ParseLabels(
   return labels;
 }
 
+/// Parses the single id argument of a remove_* directive: a plain
+/// non-negative decimal integer that fits in 64 bits.
+Result<std::uint64_t> ParseRemovalId(const std::vector<std::string_view>& tokens,
+                                     std::size_t line) {
+  if (tokens.size() != 2) {
+    return LineError(line, "'" + std::string(tokens[0]) +
+                               "' takes exactly one id argument");
+  }
+  const std::string_view token = tokens[1];
+  std::uint64_t value = 0;
+  for (char c : token) {
+    if (c < '0' || c > '9') {
+      return LineError(line, "bad id token '" + std::string(token) +
+                                 "' (expected a non-negative integer)");
+    }
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) {
+      return LineError(line,
+                       "id '" + std::string(token) + "' overflows 64 bits");
+    }
+    value = value * 10 + digit;
+  }
+  if (token.empty()) return LineError(line, "empty id token");
+  return value;
+}
+
 }  // namespace
 
-Result<std::vector<StreamRecord>> ParseEventLog(std::string_view text) {
+StreamRecord ToStreamRecord(const StreamEvent& event) {
+  return std::visit([](const auto& e) { return StreamRecord(e); }, event);
+}
+
+StreamEvent ToStreamEvent(const StreamRecord& record) {
+  if (const auto* add = std::get_if<AddClusteringEvent>(&record)) return *add;
+  if (const auto* add = std::get_if<AddObjectEvent>(&record)) return *add;
+  if (const auto* rm = std::get_if<RemoveClusteringEvent>(&record)) return *rm;
+  return std::get<RemoveObjectEvent>(record);
+}
+
+Result<std::vector<StreamRecord>> ParseEventLog(
+    std::string_view text, std::vector<std::size_t>* lines) {
   // Tolerate the UTF-8 byte-order mark editors on some platforms
   // prepend; without this the first directive reads as an unknown
-  // token starting with \xEF.
+  // token starting with \xEF. The mark is a prefix of line 1, not a
+  // line of its own, so numbering is unaffected.
   if (text.size() >= 3 && text.substr(0, 3) == "\xEF\xBB\xBF") {
     text.remove_prefix(3);
   }
+  if (lines != nullptr) lines->clear();
   std::vector<StreamRecord> records;
   std::size_t line_number = 0;
   std::size_t pos = 0;
   while (pos <= text.size()) {
-    const std::size_t eol = text.find('\n', pos);
-    const std::string_view line =
-        text.substr(pos, eol == std::string_view::npos ? std::string_view::npos
-                                                       : eol - pos);
-    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    // A line ends at \n, at \r\n (one terminator), or at a lone \r —
+    // classic-Mac / mixed-convention files keep their own line count,
+    // so reported error lines match what an editor shows.
+    std::size_t eol = pos;
+    while (eol < text.size() && text[eol] != '\n' && text[eol] != '\r') ++eol;
+    const std::string_view line = text.substr(pos, eol - pos);
+    if (eol >= text.size()) {
+      pos = text.size() + 1;
+    } else if (text[eol] == '\r' && eol + 1 < text.size() &&
+               text[eol + 1] == '\n') {
+      pos = eol + 2;
+    } else {
+      pos = eol + 1;
+    }
     ++line_number;
     const std::vector<std::string_view> tokens = Tokenize(line);
     if (tokens.empty() || tokens[0].front() == '#') continue;
@@ -124,11 +174,21 @@ Result<std::vector<StreamRecord>> ParseEventLog(std::string_view text) {
           ParseLabels(tokens, 1, line_number);
       if (!labels.ok()) return labels.status();
       records.emplace_back(AddObjectEvent{*std::move(labels)});
+    } else if (directive == "remove_clustering") {
+      Result<std::uint64_t> id = ParseRemovalId(tokens, line_number);
+      if (!id.ok()) return id.status();
+      records.emplace_back(RemoveClusteringEvent{*id});
+    } else if (directive == "remove_object") {
+      Result<std::uint64_t> id = ParseRemovalId(tokens, line_number);
+      if (!id.ok()) return id.status();
+      records.emplace_back(RemoveObjectEvent{*id});
     } else {
       return LineError(line_number,
                        "unknown directive '" + std::string(directive) +
-                           "' (expected clustering, object, or flush)");
+                           "' (expected clustering, object, "
+                           "remove_clustering, remove_object, or flush)");
     }
+    if (lines != nullptr) lines->push_back(line_number);
   }
   return records;
 }
@@ -157,6 +217,12 @@ std::string FormatEventLog(const std::vector<StreamRecord>& records) {
     } else if (const auto* add = std::get_if<AddObjectEvent>(&record)) {
       out += "object";
       append_labels(add->labels);
+    } else if (const auto* rm = std::get_if<RemoveClusteringEvent>(&record)) {
+      out += "remove_clustering ";
+      out += std::to_string(rm->id);
+    } else if (const auto* rm = std::get_if<RemoveObjectEvent>(&record)) {
+      out += "remove_object ";
+      out += std::to_string(rm->id);
     } else {
       out += "flush";
     }
@@ -165,7 +231,8 @@ std::string FormatEventLog(const std::vector<StreamRecord>& records) {
   return out;
 }
 
-Result<std::vector<StreamRecord>> ReadEventLogFile(const std::string& path) {
+Result<std::vector<StreamRecord>> ReadEventLogFile(
+    const std::string& path, std::vector<std::size_t>* lines) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
     return Status::InvalidArgument("cannot open event log " + path);
@@ -183,7 +250,7 @@ Result<std::vector<StreamRecord>> ReadEventLogFile(const std::string& path) {
   if (read_error) {
     return Status::Internal("read failed for event log " + path);
   }
-  return ParseEventLog(text);
+  return ParseEventLog(text, lines);
 }
 
 }  // namespace clustagg

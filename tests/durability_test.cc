@@ -75,11 +75,6 @@ std::string ReadBytes(const std::string& path) {
   return bytes.ok() ? *std::move(bytes) : std::string();
 }
 
-StreamEvent ToEvent(const StreamRecord& record) {
-  if (const auto* add = std::get_if<AddClusteringEvent>(&record)) return *add;
-  return std::get<AddObjectEvent>(record);
-}
-
 /// One journal frame as JournalWriter lays it down:
 /// [u32 length][u32 CRC-32][payload], little-endian.
 std::string Frame(std::string_view payload) {
@@ -119,7 +114,7 @@ StreamAggregator PlainReplay(const StreamAggregatorOptions& options,
       Result<StreamFlushReport> report = stream.Flush();
       EXPECT_TRUE(report.ok()) << report.status().message();
     } else {
-      const Status status = stream.Ingest(ToEvent(record));
+      const Status status = stream.Ingest(ToStreamEvent(record));
       EXPECT_TRUE(status.ok()) << status.message();
     }
   }
@@ -141,6 +136,33 @@ std::vector<StreamRecord> Workload(std::uint64_t seed, bool fold,
   shape.duplicate_object_probability = fold ? 0.4 : 0.0;
   std::vector<StreamRecord> records = RandomEventLog(shape, &rng);
   if (records.empty() || !std::holds_alternative<FlushMarker>(records.back())) {
+    records.emplace_back(FlushMarker{});
+  }
+  return records;
+}
+
+/// Workload variant mixing explicit RemoveClustering / RemoveObject
+/// events (and, with `window`, auto-evictions) into the adds, so the
+/// journaled record set carries every record type and the resulting
+/// states have id vectors with holes.
+std::vector<StreamRecord> WorkloadWithRemovals(std::uint64_t seed, bool fold,
+                                               std::size_t window = 0,
+                                               std::size_t events = 14) {
+  Rng rng(seed);
+  EventLogShape shape;
+  shape.initial_objects = 4;
+  shape.initial_clusterings = 2;
+  shape.events = events;
+  shape.max_labels = 3;
+  shape.weighted = true;
+  shape.flush_probability = 0.35;
+  shape.duplicate_object_probability = fold ? 0.4 : 0.0;
+  shape.remove_clustering_probability = 0.25;
+  shape.remove_object_probability = 0.2;
+  shape.window = window;
+  std::vector<StreamRecord> records = RandomEventLog(shape, &rng);
+  if (records.empty() ||
+      !std::holds_alternative<FlushMarker>(records.back())) {
     records.emplace_back(FlushMarker{});
   }
   return records;
@@ -361,11 +383,12 @@ TEST(JournalTest, CrcValidNonRecordPayloadIsDataLossWhereverItSits) {
 // Snapshots
 // ---------------------------------------------------------------------------
 
-/// A non-trivial exported state: weighted, folded, several flushes.
+/// A non-trivial exported state: weighted, folded, several flushes,
+/// removals punching holes into both id sequences.
 StreamAggregatorState SampleState() {
   StreamAggregator stream = PlainReplay(
       StreamOptions(/*fold=*/true, /*lazy_rebuild=*/false),
-      Workload(11, /*fold=*/true));
+      WorkloadWithRemovals(11, /*fold=*/true));
   Result<StreamAggregatorState> state = stream.ExportState();
   EXPECT_TRUE(state.ok()) << state.status().message();
   return state.ok() ? *std::move(state) : StreamAggregatorState{};
@@ -385,6 +408,10 @@ void ExpectStatesEqual(const StreamAggregatorState& a,
   EXPECT_EQ(a.predicted_cost, b.predicted_cost);
   EXPECT_EQ(a.drift_accum, b.drift_accum);
   EXPECT_EQ(a.flush_count, b.flush_count);
+  EXPECT_EQ(a.clustering_ids, b.clustering_ids);
+  EXPECT_EQ(a.object_ids, b.object_ids);
+  EXPECT_EQ(a.next_clustering_id, b.next_clustering_id);
+  EXPECT_EQ(a.next_object_id, b.next_object_id);
 }
 
 TEST(SnapshotTest, EncodeDecodeRoundTripsBitForBit) {
@@ -547,6 +574,71 @@ TEST(StreamStateTest, RestoreRejectsInternallyInconsistentState) {
     EXPECT_EQ(stream.RestoreState(std::move(state)).code(),
               StatusCode::kDataLoss);
   }
+  {
+    StreamAggregatorState state = *exported;  // one id per column, no more
+    state.clustering_ids.push_back(state.next_clustering_id);
+    StreamAggregator stream(StreamOptions(false, false));
+    EXPECT_EQ(stream.RestoreState(std::move(state)).code(),
+              StatusCode::kDataLoss);
+  }
+  {
+    StreamAggregatorState state = *exported;  // one id per object
+    ASSERT_FALSE(state.object_ids.empty());
+    state.object_ids.pop_back();
+    StreamAggregator stream(StreamOptions(false, false));
+    EXPECT_EQ(stream.RestoreState(std::move(state)).code(),
+              StatusCode::kDataLoss);
+  }
+  {
+    StreamAggregatorState state = *exported;  // ids strictly ascending
+    ASSERT_GE(state.object_ids.size(), 2u);
+    std::swap(state.object_ids.front(), state.object_ids.back());
+    StreamAggregator stream(StreamOptions(false, false));
+    EXPECT_EQ(stream.RestoreState(std::move(state)).code(),
+              StatusCode::kDataLoss);
+  }
+  {
+    StreamAggregatorState state = *exported;  // ids live below their next-id
+    ASSERT_FALSE(state.clustering_ids.empty());
+    state.clustering_ids.back() = state.next_clustering_id + 5;
+    StreamAggregator stream(StreamOptions(false, false));
+    EXPECT_EQ(stream.RestoreState(std::move(state)).code(),
+              StatusCode::kDataLoss);
+  }
+}
+
+TEST(StreamStateTest, ExportRestoreRoundTripsTheWindowQueue) {
+  // A windowed stream's export carries the eviction queue implicitly:
+  // the alive id vector IS the FIFO order. Restore must reproduce both
+  // the ids and the *future* eviction behavior bit for bit.
+  StreamAggregatorOptions options = StreamOptions(/*fold=*/false,
+                                                  /*lazy_rebuild=*/false);
+  options.window = 3;
+  const std::vector<StreamRecord> records =
+      WorkloadWithRemovals(61, /*fold=*/false, /*window=*/3);
+  StreamAggregator original = PlainReplay(options, records);
+  ASSERT_LE(original.num_clusterings(), 3u);
+
+  Result<StreamAggregatorState> state = original.ExportState();
+  ASSERT_TRUE(state.ok()) << state.status().message();
+  StreamAggregator restored(options);
+  ASSERT_TRUE(restored.RestoreState(*std::move(state)).ok());
+  oracle::ExpectStreamsBitIdentical(restored, original);
+
+  // Two more adds overflow the window in both streams: the evicted ids,
+  // the freshly assigned ids, and the surviving state must agree —
+  // proof the next-id counters and the FIFO order survived the trip.
+  for (int round = 0; round < 2; ++round) {
+    AddClusteringEvent extra;
+    extra.labels.assign(original.num_objects(),
+                        static_cast<Clustering::Label>(round));
+    if (!extra.labels.empty()) extra.labels[0] = 1 - round;
+    for (StreamAggregator* stream : {&original, &restored}) {
+      ASSERT_TRUE(stream->Ingest(extra).ok());
+      ASSERT_TRUE(stream->Flush().ok());
+    }
+  }
+  oracle::ExpectStreamsBitIdentical(restored, original);
 }
 
 // ---------------------------------------------------------------------------
@@ -569,7 +661,7 @@ Status DriveDurable(const StreamAggregatorOptions& stream_options,
     if (std::holds_alternative<FlushMarker>(record)) {
       status = durable->Flush().status();
     } else {
-      status = durable->Ingest(ToEvent(record));
+      status = durable->Ingest(ToStreamEvent(record));
     }
     if (!status.ok()) return status;
   }
@@ -803,6 +895,8 @@ struct CrashFixture {
   bool lazy_rebuild;
   std::uint64_t snapshot_every;  // 0 = journal only
   std::uint64_t fsync_every;
+  bool removals = false;     // mix RemoveClustering/RemoveObject records in
+  std::size_t window = 0;    // 0 = unbounded, else sliding-window eviction
 };
 
 /// Simulates a crash at every kill point of the fixture's workload and
@@ -819,9 +913,13 @@ void RunCrashMatrix(const CrashFixture& fixture) {
   const std::string snapshot = journal + ".snap";
   const std::vector<std::string> all_files = {journal, snapshot,
                                               snapshot + ".tmp"};
-  const StreamAggregatorOptions options =
+  StreamAggregatorOptions options =
       StreamOptions(fixture.fold, fixture.lazy_rebuild);
-  const std::vector<StreamRecord> records = Workload(7, fixture.fold);
+  options.window = fixture.window;
+  const std::vector<StreamRecord> records =
+      fixture.removals || fixture.window > 0
+          ? WorkloadWithRemovals(7, fixture.fold, fixture.window)
+          : Workload(7, fixture.fold);
   DurabilityOptions durability;
   durability.journal_path = journal;
   durability.fsync_every = fixture.fsync_every;
@@ -892,10 +990,10 @@ void RunCrashMatrix(const CrashFixture& fixture) {
       EXPECT_EQ(recovered->stream().num_clusterings(), 0u);
       continue;
     }
-    BatchMirror mirror;
+    BatchMirror mirror(fixture.window);
     for (std::size_t i = 0; i < applied_end; ++i) {
       if (!std::holds_alternative<FlushMarker>(durable_records[i])) {
-        mirror.Apply(ToEvent(durable_records[i]));
+        mirror.Apply(ToStreamEvent(durable_records[i]));
       }
     }
     ASSERT_EQ(recovered->stream().num_objects(), mirror.num_objects());
@@ -946,6 +1044,33 @@ TEST(DurabilityCrashMatrixTest, SnapshottingLazyFoldedNoAutoFsync) {
   RunCrashMatrix({"snap_lazy_fold", true, true, 2, 0});
 }
 
+// Removal records in the journal: every kill point must still recover
+// to the exact prefix, with the id vectors carrying holes.
+TEST(DurabilityCrashMatrixTest, JournalOnlyDenseRemovals) {
+  RunCrashMatrix({"journal_dense_rm", false, false, 0, 1, /*removals=*/true});
+}
+
+TEST(DurabilityCrashMatrixTest, JournalOnlyLazyFoldedRemovals) {
+  RunCrashMatrix({"journal_lazy_fold_rm", true, true, 0, 2, /*removals=*/true});
+}
+
+TEST(DurabilityCrashMatrixTest, SnapshottingDenseFoldedRemovals) {
+  RunCrashMatrix({"snap_dense_fold_rm", true, false, 2, 1, /*removals=*/true});
+}
+
+// Window legs: auto-evictions happen at flush time, so the journal holds
+// only adds/removes — recovery must re-derive every eviction and the
+// snapshots must round-trip the window queue.
+TEST(DurabilityCrashMatrixTest, JournalOnlyDenseWindow) {
+  RunCrashMatrix(
+      {"journal_dense_win", false, false, 0, 1, /*removals=*/true, 3});
+}
+
+TEST(DurabilityCrashMatrixTest, SnapshottingLazyFoldedWindow) {
+  RunCrashMatrix(
+      {"snap_lazy_fold_win", true, true, 2, 0, /*removals=*/true, 3});
+}
+
 // ---------------------------------------------------------------------------
 // Recover, then keep going
 // ---------------------------------------------------------------------------
@@ -993,7 +1118,7 @@ TEST(DurabilityTest, RecoveryThenContinuingMatchesAnUninterruptedRun) {
       if (std::holds_alternative<FlushMarker>(records[i])) {
         status = durable->Flush().status();
       } else {
-        status = durable->Ingest(ToEvent(records[i]));
+        status = durable->Ingest(ToStreamEvent(records[i]));
       }
       ASSERT_TRUE(status.ok()) << status.message();
     }

@@ -3,8 +3,10 @@
 // valid result or an error Status — never a crash or an invariant
 // violation. Seeds are fixed, so failures reproduce.
 
+#include <cstdint>
 #include <string>
 #include <variant>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -12,6 +14,7 @@
 #include "io/clustering_io.h"
 #include "io/csv.h"
 #include "stream/snapshot.h"
+#include "stream/stream_aggregator.h"
 #include "stream/stream_event.h"
 
 namespace clustagg {
@@ -240,7 +243,11 @@ TEST_P(ParserFuzzTest, ParseEventLogStructuredSoup) {
   // line-ending variants hand-edited or Windows-authored files carry.
   Rng rng(GetParam() * 141650939 + 23);
   static const char* kDirectives[] = {"clustering", "object", "flush",
-                                      "clusterin",  "# note", ""};
+                                      "clusterin",  "# note", "",
+                                      "remove_clustering",
+                                      "remove_object",
+                                      "remove_clustering 4",
+                                      "remove_object 0"};
   static const char* kTails[] = {"",     " ",    "\t",  "\r",
                                  " \r",  "\t\r", " \t ", "\v\f"};
   static const char* kEols[] = {"\n", "\r\n"};
@@ -294,6 +301,142 @@ TEST(ParserEdgeCaseTest, ParseEventLogCrlfAndPaddingEquivalence) {
   EXPECT_FALSE(ParseEventLog("flush now\r\n").ok());
 }
 
+TEST_P(ParserFuzzTest, ParseEventLogLineNumbersMatchTheSourceFile) {
+  // Build a valid log with randomly mixed EOL styles (LF, CRLF, bare
+  // CR), random padding, comments, and an optional BOM; plant one bogus
+  // directive on a known physical line. The parse error must name
+  // exactly that line — the number an editor shows for the original
+  // file, whatever its line-ending convention.
+  Rng rng(GetParam() * 217645199 + 37);
+  static const char* kEols[] = {"\n", "\r\n", "\r"};
+  static const char* kGood[] = {"clustering 0 1", "object 0 1", "flush",
+                                "# comment", ""};
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t lines = 1 + rng.NextBounded(10);
+    const std::size_t bogus_line = rng.NextBounded(lines);
+    std::string input = rng.NextBernoulli(0.3) ? "\xEF\xBB\xBF" : "";
+    for (std::size_t l = 0; l < lines; ++l) {
+      std::string line;
+      if (l == bogus_line) {
+        line = "b0gus directive";
+      } else {
+        line = kGood[rng.NextBounded(std::size(kGood))];
+        if (rng.NextBernoulli(0.3)) line += " \t";
+      }
+      const char* eol = kEols[rng.NextBounded(std::size(kEols))];
+      // A bare-CR terminator directly followed by an empty LF-terminated
+      // line would spell "\r\n" — byte-identical to one CRLF terminator,
+      // so it genuinely IS one line; keep the generator unambiguous.
+      if (line.empty() && eol[0] == '\n' && !input.empty() &&
+          input.back() == '\r') {
+        line = " ";
+      }
+      input += line;
+      input += eol;
+    }
+    Result<std::vector<StreamRecord>> records = ParseEventLog(input);
+    ASSERT_FALSE(records.ok()) << input;
+    const std::string expected =
+        "line " + std::to_string(bogus_line + 1) + ":";
+    EXPECT_NE(records.status().message().find(expected), std::string::npos)
+        << "expected '" << expected << "' in: " << records.status().message();
+  }
+}
+
+TEST_P(ParserFuzzTest, ParsedLineMapSurvivesEveryEolStyle) {
+  // Non-error twin of the test above: the ParseEventLog `lines`
+  // out-param must map record i to the physical source line it came
+  // from, across all EOL styles and interleaved comments/blanks.
+  Rng rng(GetParam() * 236887699 + 41);
+  static const char* kEols[] = {"\n", "\r\n", "\r"};
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t lines = 1 + rng.NextBounded(12);
+    std::string input;
+    std::vector<std::size_t> expected;
+    for (std::size_t l = 0; l < lines; ++l) {
+      switch (rng.NextBounded(4)) {
+        case 0: input += "# note"; break;
+        case 1: input += "  "; break;
+        case 2:
+          input += "clustering 0 1";
+          expected.push_back(l + 1);
+          break;
+        default:
+          input += "flush";
+          expected.push_back(l + 1);
+          break;
+      }
+      input += kEols[rng.NextBounded(std::size(kEols))];
+    }
+    std::vector<std::size_t> got;
+    Result<std::vector<StreamRecord>> records = ParseEventLog(input, &got);
+    ASSERT_TRUE(records.ok()) << records.status().message();
+    ASSERT_EQ(records->size(), expected.size());
+    EXPECT_EQ(got, expected) << input;
+  }
+}
+
+TEST_P(ParserFuzzTest, RejectedRemovalsNeverCorruptTheStream) {
+  // Feed a stream random removals — many naming dead or never-assigned
+  // ids — mixed with valid adds. Every rejected event must leave the
+  // stream exactly as if it had never been offered: the final state
+  // must match a twin stream fed only the accepted events.
+  Rng rng(GetParam() * 275604541 + 43);
+  for (int trial = 0; trial < 20; ++trial) {
+    StreamAggregator stream{StreamAggregatorOptions{}};
+    std::vector<StreamEvent> accepted;
+    ASSERT_TRUE(stream.Ingest(AddClusteringEvent{{0, 1, 0}, 1.0}).ok());
+    accepted.emplace_back(AddClusteringEvent{{0, 1, 0}, 1.0});
+    for (int e = 0; e < 30; ++e) {
+      StreamEvent event;
+      switch (rng.NextBounded(4)) {
+        case 0: {
+          AddClusteringEvent add;
+          add.labels.resize(stream.pending_objects());
+          for (auto& l : add.labels) {
+            l = static_cast<Clustering::Label>(rng.NextBounded(3));
+          }
+          event = std::move(add);
+          break;
+        }
+        case 1: {
+          AddObjectEvent add;
+          add.labels.resize(stream.pending_clusterings());
+          for (auto& l : add.labels) {
+            l = static_cast<Clustering::Label>(rng.NextBounded(3));
+          }
+          event = std::move(add);
+          break;
+        }
+        case 2:
+          event = RemoveClusteringEvent{rng.NextBounded(12)};
+          break;
+        default:
+          event = RemoveObjectEvent{rng.NextBounded(12)};
+          break;
+      }
+      if (stream.Ingest(event).ok()) accepted.push_back(std::move(event));
+    }
+    ASSERT_TRUE(stream.Flush().ok());
+    StreamAggregator twin{StreamAggregatorOptions{}};
+    for (const StreamEvent& event : accepted) {
+      ASSERT_TRUE(twin.Ingest(event).ok());
+    }
+    ASSERT_TRUE(twin.Flush().ok());
+    ASSERT_EQ(stream.num_objects(), twin.num_objects());
+    ASSERT_EQ(stream.num_clusterings(), twin.num_clusterings());
+    EXPECT_EQ(stream.clustering_ids(), twin.clustering_ids());
+    EXPECT_EQ(stream.object_ids(), twin.object_ids());
+    EXPECT_EQ(stream.labels().labels(), twin.labels().labels());
+    EXPECT_EQ(stream.cost(), twin.cost());
+    for (std::size_t v = 1; v < twin.num_objects(); ++v) {
+      for (std::size_t u = 0; u < v; ++u) {
+        ASSERT_EQ(stream.distance(u, v), twin.distance(u, v));
+      }
+    }
+  }
+}
+
 TEST_P(ParserFuzzTest, DecodeSnapshotNeverCrashesOnByteSoup) {
   // Random bytes must never decode (the 4-byte magic plus whole-file
   // CRC see to that) and must never crash or over-allocate.
@@ -320,6 +463,10 @@ TEST_P(ParserFuzzTest, DecodeSnapshotRejectsEveryTruncationAndBitFlip) {
   snapshot.state.labels = {0, 0, 1};
   snapshot.state.ever_clustered = true;
   snapshot.state.flush_count = 2;
+  snapshot.state.clustering_ids = {0, 2};  // id 1 was removed
+  snapshot.state.object_ids = {0, 1, 2};
+  snapshot.state.next_clustering_id = 3;
+  snapshot.state.next_object_id = 3;
   const std::string encoded = EncodeSnapshot(snapshot);
   ASSERT_TRUE(DecodeSnapshot(encoded).ok());
   for (std::size_t cut = 0; cut < encoded.size(); ++cut) {

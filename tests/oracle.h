@@ -28,6 +28,7 @@
 #include "core/correlation_instance.h"
 #include "core/local_search.h"
 #include "core/signature_index.h"
+#include "stream/online_repair.h"
 #include "stream/stream_aggregator.h"
 #include "stream/stream_event.h"
 
@@ -55,26 +56,55 @@ struct EventLogShape {
   /// Duplicate an existing object's label tuple instead of drawing a
   /// fresh one, with this probability — exercises signature folding.
   double duplicate_object_probability = 0.0;
+  /// Probability that a random event removes an alive clustering /
+  /// object (by stable id, always valid; checked before the add
+  /// probabilities). Removals keep at least 2 clusterings and 3 objects
+  /// alive so every prefix stays a meaningful instance.
+  double remove_clustering_probability = 0.0;
+  double remove_object_probability = 0.0;
+  /// Mirrors StreamAggregatorOptions::window: the generated removals
+  /// account for the auto-evictions the stream will perform, so they
+  /// never name an id the window already evicted. 0 = unbounded.
+  std::size_t window = 0;
 };
 
 /// Deterministic random event log: an opening block of
 /// `initial_clusterings` clusterings over `initial_objects` objects,
-/// then `events` random AddClustering / AddObject events with optional
-/// flush markers. Always well-formed for StreamAggregator::Ingest.
+/// then `events` random AddClustering / AddObject / RemoveClustering /
+/// RemoveObject events with optional flush markers. Always well-formed
+/// for StreamAggregator::Ingest (removals name alive ids, window
+/// evictions included); with all-zero removal probabilities and window
+/// the draw sequence is byte-identical to the pre-removal generator.
 inline std::vector<StreamRecord> RandomEventLog(const EventLogShape& shape,
                                                 Rng* rng) {
   std::vector<StreamRecord> records;
   std::size_t n = shape.initial_objects;
   std::size_t m = 0;
-  // Per-object label tuples, so AddObject events can duplicate an
-  // existing signature on request.
+  // Per-object label tuples (alive clusterings, in alive order), so
+  // AddObject events can duplicate an existing signature on request and
+  // removals can keep the tuples consistent.
   std::vector<std::vector<Clustering::Label>> tuples(n);
+  // Alive stable ids, mirrored exactly as StreamAggregator assigns
+  // them: monotonic, never reused, window evicting the front.
+  std::vector<std::uint64_t> clustering_ids;
+  std::vector<std::uint64_t> object_ids;
+  std::uint64_t next_clustering_id = 0;
+  std::uint64_t next_object_id = 0;
+  for (std::size_t v = 0; v < n; ++v) object_ids.push_back(next_object_id++);
   auto draw_label = [&]() -> Clustering::Label {
     if (shape.missing_probability > 0.0 &&
         rng->NextBernoulli(shape.missing_probability)) {
       return Clustering::kMissing;
     }
     return static_cast<Clustering::Label>(rng->NextBounded(shape.max_labels));
+  };
+  auto drop_clustering_at = [&](std::size_t pos) {
+    clustering_ids.erase(clustering_ids.begin() +
+                         static_cast<std::ptrdiff_t>(pos));
+    for (std::vector<Clustering::Label>& tuple : tuples) {
+      tuple.erase(tuple.begin() + static_cast<std::ptrdiff_t>(pos));
+    }
+    --m;
   };
   auto add_clustering = [&]() {
     AddClusteringEvent event;
@@ -85,7 +115,11 @@ inline std::vector<StreamRecord> RandomEventLog(const EventLogShape& shape,
     }
     if (shape.weighted) event.weight = rng->NextUniform(0.25, 2.25);
     ++m;
+    clustering_ids.push_back(next_clustering_id++);
     records.emplace_back(std::move(event));
+    while (shape.window > 0 && clustering_ids.size() > shape.window) {
+      drop_clustering_at(0);
+    }
   };
   auto add_object = [&]() {
     AddObjectEvent event;
@@ -97,14 +131,37 @@ inline std::vector<StreamRecord> RandomEventLog(const EventLogShape& shape,
       for (std::size_t i = 0; i < m; ++i) event.labels[i] = draw_label();
     }
     tuples.push_back(event.labels);
+    object_ids.push_back(next_object_id++);
     ++n;
     records.emplace_back(std::move(event));
+  };
+  auto remove_clustering = [&]() {
+    const std::size_t pos = rng->NextBounded(clustering_ids.size());
+    RemoveClusteringEvent event;
+    event.id = clustering_ids[pos];
+    drop_clustering_at(pos);
+    records.emplace_back(event);
+  };
+  auto remove_object = [&]() {
+    const std::size_t pos = rng->NextBounded(object_ids.size());
+    RemoveObjectEvent event;
+    event.id = object_ids[pos];
+    object_ids.erase(object_ids.begin() + static_cast<std::ptrdiff_t>(pos));
+    tuples.erase(tuples.begin() + static_cast<std::ptrdiff_t>(pos));
+    --n;
+    records.emplace_back(event);
   };
   for (std::size_t i = 0; i < shape.initial_clusterings; ++i) {
     add_clustering();
   }
   for (std::size_t e = 0; e < shape.events; ++e) {
-    if (rng->NextBernoulli(shape.add_object_probability)) {
+    if (m > 2 && shape.remove_clustering_probability > 0.0 &&
+        rng->NextBernoulli(shape.remove_clustering_probability)) {
+      remove_clustering();
+    } else if (n > 3 && shape.remove_object_probability > 0.0 &&
+               rng->NextBernoulli(shape.remove_object_probability)) {
+      remove_object();
+    } else if (rng->NextBernoulli(shape.add_object_probability)) {
       add_object();
     } else {
       add_clustering();
@@ -117,33 +174,59 @@ inline std::vector<StreamRecord> RandomEventLog(const EventLogShape& shape,
 }
 
 /// From-scratch mirror of the stream's applied input state: replays the
-/// same events into plain label columns and hands out the batch-side
-/// artifacts (ClusteringSet, instances, fold index) the oracle compares
-/// against.
+/// same events — adds, removals, and the sliding-window auto-evictions
+/// a `window` implies — into plain label columns and hands out the
+/// batch-side artifacts (ClusteringSet, instances, fold index) the
+/// oracle compares against. Assigns the same stable ids the stream
+/// does, naively: columns are erased outright, nothing incremental.
 class BatchMirror {
  public:
+  BatchMirror() = default;
+  explicit BatchMirror(std::size_t window) : window_(window) {}
+
   void Apply(const StreamEvent& event) {
     if (const auto* add = std::get_if<AddClusteringEvent>(&event)) {
       // A clustering on a clustering-less mirror defines the objects,
       // matching StreamAggregator::Ingest.
       if (columns_.empty() && add->labels.size() >= n_) {
         n_ = add->labels.size();
+        while (object_ids_.size() < n_) {
+          object_ids_.push_back(next_object_id_++);
+        }
       }
       ASSERT_EQ(add->labels.size(), n_);
       columns_.push_back(add->labels);
       weights_.push_back(add->weight);
-    } else {
-      const auto& object = std::get<AddObjectEvent>(event);
-      ASSERT_EQ(object.labels.size(), columns_.size());
-      for (std::size_t i = 0; i < columns_.size(); ++i) {
-        columns_[i].push_back(object.labels[i]);
+      clustering_ids_.push_back(next_clustering_id_++);
+      while (window_ > 0 && columns_.size() > window_) {
+        DropClusteringAt(0);
       }
+    } else if (const auto* object = std::get_if<AddObjectEvent>(&event)) {
+      ASSERT_EQ(object->labels.size(), columns_.size());
+      for (std::size_t i = 0; i < columns_.size(); ++i) {
+        columns_[i].push_back(object->labels[i]);
+      }
+      object_ids_.push_back(next_object_id_++);
       ++n_;
+    } else if (const auto* drop = std::get_if<RemoveClusteringEvent>(&event)) {
+      DropClusteringAt(PositionOf(clustering_ids_, drop->id));
+    } else {
+      const auto& gone = std::get<RemoveObjectEvent>(event);
+      const std::size_t pos = PositionOf(object_ids_, gone.id);
+      for (std::vector<Clustering::Label>& column : columns_) {
+        column.erase(column.begin() + static_cast<std::ptrdiff_t>(pos));
+      }
+      object_ids_.erase(object_ids_.begin() + static_cast<std::ptrdiff_t>(pos));
+      --n_;
     }
   }
 
   std::size_t num_objects() const { return n_; }
   std::size_t num_clusterings() const { return columns_.size(); }
+  const std::vector<std::uint64_t>& clustering_ids() const {
+    return clustering_ids_;
+  }
+  const std::vector<std::uint64_t>& object_ids() const { return object_ids_; }
 
   /// The ClusteringSet a from-scratch rebuild of this prefix aggregates.
   ClusteringSet Input() const {
@@ -159,9 +242,30 @@ class BatchMirror {
   }
 
  private:
+  static std::size_t PositionOf(const std::vector<std::uint64_t>& ids,
+                                std::uint64_t id) {
+    std::size_t pos = 0;
+    while (pos < ids.size() && ids[pos] != id) ++pos;
+    EXPECT_LT(pos, ids.size()) << "removal names unknown id " << id;
+    return pos;
+  }
+
+  void DropClusteringAt(std::size_t pos) {
+    ASSERT_LT(pos, columns_.size());
+    columns_.erase(columns_.begin() + static_cast<std::ptrdiff_t>(pos));
+    weights_.erase(weights_.begin() + static_cast<std::ptrdiff_t>(pos));
+    clustering_ids_.erase(clustering_ids_.begin() +
+                          static_cast<std::ptrdiff_t>(pos));
+  }
+
   std::vector<std::vector<Clustering::Label>> columns_;
   std::vector<double> weights_;
   std::size_t n_ = 0;
+  std::size_t window_ = 0;
+  std::vector<std::uint64_t> clustering_ids_;
+  std::vector<std::uint64_t> object_ids_;
+  std::uint64_t next_clustering_id_ = 0;
+  std::uint64_t next_object_id_ = 0;
 };
 
 /// Unfolded batch instance over the prefix, on the requested backend.
@@ -248,6 +352,10 @@ inline void ExpectStreamMatchesBatch(const StreamAggregator& stream,
                                      const StreamFlushReport& report) {
   ASSERT_EQ(stream.num_objects(), mirror.num_objects());
   ASSERT_EQ(stream.num_clusterings(), mirror.num_clusterings());
+  EXPECT_EQ(stream.clustering_ids(), mirror.clustering_ids())
+      << "alive clustering ids diverge from the batch mirror";
+  EXPECT_EQ(stream.object_ids(), mirror.object_ids())
+      << "alive object ids diverge from the batch mirror";
   if (mirror.num_clusterings() == 0) return;
   const StreamAggregatorOptions& options = stream.options();
   const ClusteringSet input = mirror.Input();
@@ -289,9 +397,11 @@ inline void ExpectStreamMatchesBatch(const StreamAggregator& stream,
     const Clustering start = options.fold
                                  ? FoldByIndex(report.pre_repair, index)
                                  : report.pre_repair;
-    const LocalSearchClusterer repairer(options.repair);
     Result<ClustererRun> repaired =
-        repairer.RunFromControlled(scored, start, RunContext());
+        options.repair_policy == StreamRepairPolicy::kOnline
+            ? OnlineRepair(scored, start, RunContext())
+            : LocalSearchClusterer(options.repair)
+                  .RunFromControlled(scored, start, RunContext());
     ASSERT_TRUE(repaired.ok()) << repaired.status().message();
     const Clustering expected =
         options.fold ? index.Expand(repaired->clustering)
@@ -320,6 +430,8 @@ inline void ExpectStreamsBitIdentical(const StreamAggregator& recovered,
                                       const StreamAggregator& reference) {
   ASSERT_EQ(recovered.num_objects(), reference.num_objects());
   ASSERT_EQ(recovered.num_clusterings(), reference.num_clusterings());
+  EXPECT_EQ(recovered.clustering_ids(), reference.clustering_ids());
+  EXPECT_EQ(recovered.object_ids(), reference.object_ids());
   EXPECT_EQ(recovered.pending_events(), reference.pending_events());
   EXPECT_EQ(recovered.total_weight(), reference.total_weight());
   for (std::size_t v = 1; v < reference.num_objects(); ++v) {

@@ -210,8 +210,9 @@ TEST(PropertyTest, CostInvariantUnderObjectReordering) {
 // markers included — they only choose which unit summands appear).
 
 /// Ingests events in order, flushes once, and returns the stream.
-StreamAggregator StreamOf(const std::vector<StreamEvent>& events) {
-  StreamAggregator stream{StreamAggregatorOptions{}};
+StreamAggregator StreamOf(const StreamAggregatorOptions& options,
+                          const std::vector<StreamEvent>& events) {
+  StreamAggregator stream{options};
   for (const StreamEvent& event : events) {
     Status status = stream.Ingest(event);
     EXPECT_TRUE(status.ok()) << status.message();
@@ -219,6 +220,10 @@ StreamAggregator StreamOf(const std::vector<StreamEvent>& events) {
   Result<StreamFlushReport> report = stream.Flush();
   EXPECT_TRUE(report.ok()) << report.status().message();
   return stream;
+}
+
+StreamAggregator StreamOf(const std::vector<StreamEvent>& events) {
+  return StreamOf(StreamAggregatorOptions{}, events);
 }
 
 void ExpectSameStreamState(const StreamAggregator& a,
@@ -307,6 +312,96 @@ TEST(PropertyTest, StreamObjectAndClusteringCommute) {
 
     ExpectSameStreamState(StreamOf(object_first),
                           StreamOf(clustering_first));
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+// (g) Adding a clustering and then removing it again is a counter-exact
+// no-op: X, cost, and labels land bit-identical to a stream that never
+// saw the pair. Unit weight exercises the integer-exact decrement path;
+// the fractional weight forces the general re-accumulation path, which
+// must land on the same bits because the survivors re-sum in the same
+// ascending order the base stream used.
+TEST(PropertyTest, StreamAddThenRemoveClusteringIsANoOp) {
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    SCOPED_TRACE("seed = " + std::to_string(seed));
+    Rng rng(seed);
+    const std::size_t n = 2 + rng.NextBounded(10);
+    const std::size_t m = 2 + rng.NextBounded(4);
+    std::vector<StreamEvent> base;
+    for (std::size_t i = 0; i < m; ++i) {
+      base.emplace_back(AddClusteringEvent{
+          RandomClusteringWithMissing(n, 3, 0.1, &rng).labels(), 1.0});
+    }
+    const Clustering extra = RandomClusteringWithMissing(n, 3, 0.1, &rng);
+    for (const double weight : {1.0, 2.5}) {
+      SCOPED_TRACE("weight = " + std::to_string(weight));
+      std::vector<StreamEvent> round_trip = base;
+      round_trip.emplace_back(AddClusteringEvent{extra.labels(), weight});
+      // The extra clustering is the (m+1)-th ingested, so its stable id
+      // is m (0-based, never reused).
+      round_trip.emplace_back(RemoveClusteringEvent{m});
+      ExpectSameStreamState(StreamOf(base), StreamOf(round_trip));
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+// (h) A sliding window of size w over k > w adds lands bit-identical to
+// a fresh unbounded stream fed only the surviving suffix, and the
+// survivors keep their original stable ids.
+TEST(PropertyTest, StreamWindowEqualsSuffixOnlyStream) {
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    SCOPED_TRACE("seed = " + std::to_string(seed));
+    Rng rng(seed);
+    const std::size_t n = 2 + rng.NextBounded(10);
+    const std::size_t w = 2 + rng.NextBounded(3);
+    const std::size_t k = w + 1 + rng.NextBounded(4);
+    std::vector<StreamEvent> adds;
+    for (std::size_t i = 0; i < k; ++i) {
+      adds.emplace_back(AddClusteringEvent{
+          RandomClusteringWithMissing(n, 3, 0.1, &rng).labels(), 1.0});
+    }
+    StreamAggregatorOptions windowed_options;
+    windowed_options.window = w;
+    const StreamAggregator windowed = StreamOf(windowed_options, adds);
+    const std::vector<StreamEvent> suffix(adds.end() - w, adds.end());
+    ExpectSameStreamState(windowed, StreamOf(suffix));
+    if (::testing::Test::HasFatalFailure()) return;
+    ASSERT_EQ(windowed.clustering_ids().size(), w);
+    for (std::size_t j = 0; j < w; ++j) {
+      EXPECT_EQ(windowed.clustering_ids()[j], k - w + j);
+    }
+  }
+}
+
+// (i) Window eviction is order-consistent: permuting the doomed prefix
+// among itself and the surviving suffix among itself changes nothing —
+// eviction is strictly FIFO, so the same positions die, and X over the
+// surviving multiset is permutation-invariant bit for bit (e).
+TEST(PropertyTest, StreamWindowEvictionPermutationConsistent) {
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    SCOPED_TRACE("seed = " + std::to_string(seed));
+    Rng rng(seed);
+    const std::size_t n = 2 + rng.NextBounded(10);
+    const std::size_t w = 2 + rng.NextBounded(3);
+    const std::size_t k = w + 2 + rng.NextBounded(4);
+    std::vector<StreamEvent> adds;
+    for (std::size_t i = 0; i < k; ++i) {
+      adds.emplace_back(AddClusteringEvent{
+          RandomClusteringWithMissing(n, 3, 0.1, &rng).labels(), 1.0});
+    }
+    std::vector<StreamEvent> permuted;
+    for (std::size_t i : RandomPermutation(k - w, &rng)) {
+      permuted.push_back(adds[i]);
+    }
+    for (std::size_t i : RandomPermutation(w, &rng)) {
+      permuted.push_back(adds[k - w + i]);
+    }
+    StreamAggregatorOptions options;
+    options.window = w;
+    ExpectSameStreamState(StreamOf(options, adds),
+                          StreamOf(options, permuted));
     if (::testing::Test::HasFatalFailure()) return;
   }
 }

@@ -71,16 +71,31 @@ EventLogShape ShapeFor(const Fixture& fixture, Rng* rng) {
   return shape;
 }
 
+/// Extra knobs for the removal / window / repair-policy regimes; the
+/// all-defaults value reproduces the pre-removal differential exactly.
+struct Churn {
+  double remove_clustering_probability = 0.0;
+  double remove_object_probability = 0.0;
+  std::size_t window = 0;
+  StreamRepairPolicy policy = StreamRepairPolicy::kLocalSearch;
+};
+
 /// Replays the log one record at a time and runs the full oracle
 /// comparison after every flush (explicit markers plus the final one),
 /// i.e. after every prefix at which the stream exposes a solution.
 void RunDifferential(const Fixture& fixture, double rebuild_threshold,
-                     std::uint64_t seed) {
+                     std::uint64_t seed, const Churn& churn = {}) {
   Rng rng(seed);
-  const std::vector<StreamRecord> records =
-      RandomEventLog(ShapeFor(fixture, &rng), &rng);
-  StreamAggregator stream(OptionsFor(fixture, rebuild_threshold));
-  BatchMirror mirror;
+  EventLogShape shape = ShapeFor(fixture, &rng);
+  shape.remove_clustering_probability = churn.remove_clustering_probability;
+  shape.remove_object_probability = churn.remove_object_probability;
+  shape.window = churn.window;
+  const std::vector<StreamRecord> records = RandomEventLog(shape, &rng);
+  StreamAggregatorOptions options = OptionsFor(fixture, rebuild_threshold);
+  options.window = churn.window;
+  options.repair_policy = churn.policy;
+  StreamAggregator stream(options);
+  BatchMirror mirror(churn.window);
   std::size_t flushes = 0;
   auto flush_and_compare = [&]() {
     Result<StreamFlushReport> report = stream.Flush();
@@ -95,9 +110,7 @@ void RunDifferential(const Fixture& fixture, double rebuild_threshold,
       if (::testing::Test::HasFatalFailure()) return;
       continue;
     }
-    StreamEvent event = std::holds_alternative<AddClusteringEvent>(record)
-                            ? StreamEvent(std::get<AddClusteringEvent>(record))
-                            : StreamEvent(std::get<AddObjectEvent>(record));
+    StreamEvent event = ToStreamEvent(record);
     mirror.Apply(event);
     ASSERT_TRUE(stream.Ingest(std::move(event)).ok());
   }
@@ -146,6 +159,113 @@ TEST(StreamDifferentialTest, DriftPolicyMixedRegimeMatches) {
   }
 }
 
+// Removal regime (the PR 8 headline): logs mixing RemoveClustering /
+// RemoveObject into the adds must keep every flushed prefix
+// bit-identical to a from-scratch batch build over the *surviving*
+// inputs — X on both backends, fold grouping, alive ids, repaired
+// labels, exact cost — across all fixtures.
+TEST(StreamDifferentialTest, RemovalsMatchBatchOnEveryPrefix) {
+  Churn churn;
+  churn.remove_clustering_probability = 0.25;
+  churn.remove_object_probability = 0.2;
+  for (const Fixture& fixture : kFixtures) {
+    for (std::uint64_t seed = 21; seed <= 26; ++seed) {
+      SCOPED_TRACE(std::string(fixture.name) +
+                   ", seed = " + std::to_string(seed));
+      RunDifferential(fixture, 1e9, seed, churn);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+// Removals under the rebuild fallback: threshold 0 forces a full
+// Aggregate over the surviving input set after every flush, pinning
+// CurrentInput() reconstruction with holes punched by removals.
+TEST(StreamDifferentialTest, RemovalsMatchBatchUnderRebuildFallback) {
+  Churn churn;
+  churn.remove_clustering_probability = 0.25;
+  churn.remove_object_probability = 0.2;
+  for (const Fixture& fixture : kFixtures) {
+    for (std::uint64_t seed = 31; seed <= 33; ++seed) {
+      SCOPED_TRACE(std::string(fixture.name) +
+                   ", seed = " + std::to_string(seed));
+      RunDifferential(fixture, 0.0, seed, churn);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+// Sliding window: --window auto-evictions are implicit removals of the
+// oldest alive clustering; every eviction prefix must match the batch
+// build over the window's survivors (the mirror evicts in lockstep).
+TEST(StreamDifferentialTest, WindowEvictionMatchesBatchOnEveryPrefix) {
+  Churn churn;
+  churn.window = 4;
+  for (const Fixture& fixture : kFixtures) {
+    for (std::uint64_t seed = 41; seed <= 44; ++seed) {
+      SCOPED_TRACE(std::string(fixture.name) +
+                   ", seed = " + std::to_string(seed));
+      RunDifferential(fixture, 1e9, seed, churn);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+// Window and explicit removals together — the mixes interact (an
+// explicit removal shrinks the window occupancy; a later add may then
+// not evict), and the mirror must agree on exactly which ids survive.
+TEST(StreamDifferentialTest, WindowPlusExplicitRemovalsMatchBatch) {
+  Churn churn;
+  churn.window = 3;
+  churn.remove_clustering_probability = 0.2;
+  churn.remove_object_probability = 0.15;
+  for (const Fixture& fixture : kFixtures) {
+    for (std::uint64_t seed = 51; seed <= 53; ++seed) {
+      SCOPED_TRACE(std::string(fixture.name) +
+                   ", seed = " + std::to_string(seed));
+      RunDifferential(fixture, 1e9, seed, churn);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+// Online agglomerative repair policy: same prefix pinning with
+// --repair=online, removals and window included. The oracle replays
+// OnlineRepair on the batch artifacts, so labels and cost must match
+// bit for bit exactly like the warm-LOCALSEARCH policy.
+TEST(StreamDifferentialTest, OnlineRepairMatchesBatchOnEveryPrefix) {
+  Churn churn;
+  churn.policy = StreamRepairPolicy::kOnline;
+  churn.remove_clustering_probability = 0.2;
+  churn.remove_object_probability = 0.15;
+  churn.window = 5;
+  for (const Fixture& fixture : kFixtures) {
+    for (std::uint64_t seed = 61; seed <= 64; ++seed) {
+      SCOPED_TRACE(std::string(fixture.name) +
+                   ", seed = " + std::to_string(seed));
+      RunDifferential(fixture, 1e9, seed, churn);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+// Mixed drift regime with removals: removals charge their vanished
+// uncertainty mass to drift, so the rebuild-vs-repair decision flips
+// flush by flush; whichever path fires must match its batch replay.
+TEST(StreamDifferentialTest, DriftPolicyMixedRegimeWithRemovalsMatches) {
+  Churn churn;
+  churn.remove_clustering_probability = 0.2;
+  churn.remove_object_probability = 0.15;
+  for (const Fixture& fixture : kFixtures) {
+    for (std::uint64_t seed = 71; seed <= 73; ++seed) {
+      SCOPED_TRACE(std::string(fixture.name) +
+                   ", seed = " + std::to_string(seed));
+      RunDifferential(fixture, 0.12, seed, churn);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
 // Maintained distances alone, compared after *every single event* (one
 // flush per event, rebuilds disabled beyond the first): the finest
 // prefix granularity for the X invariant on both backends.
@@ -160,15 +280,52 @@ TEST(StreamDifferentialTest, DistancesMatchAfterEverySingleEvent) {
     BatchMirror mirror;
     std::size_t applied = 0;
     for (const StreamRecord& record : records) {
-      StreamEvent event =
-          std::holds_alternative<AddClusteringEvent>(record)
-              ? StreamEvent(std::get<AddClusteringEvent>(record))
-              : StreamEvent(std::get<AddObjectEvent>(record));
+      StreamEvent event = ToStreamEvent(record);
       mirror.Apply(event);
       ASSERT_TRUE(stream.Ingest(std::move(event)).ok());
       Result<StreamFlushReport> report = stream.Flush();
       ASSERT_TRUE(report.ok()) << report.status().message();
       SCOPED_TRACE("event " + std::to_string(applied++));
+      if (mirror.num_clusterings() == 0) continue;
+      const ClusteringSet input = mirror.Input();
+      oracle::ExpectSameDistances(
+          stream, oracle::BatchInstance(input, stream.options().missing,
+                                        DistanceBackend::kDense));
+      oracle::ExpectSameDistances(
+          stream, oracle::BatchInstance(input, stream.options().missing,
+                                        DistanceBackend::kLazy));
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+// Finest granularity for the removal paths: one flush per event, so
+// every individual RemoveClustering / RemoveObject / window eviction is
+// immediately checked against both batch backends.
+TEST(StreamDifferentialTest, DistancesMatchAfterEverySingleRemovalEvent) {
+  for (const Fixture& fixture : kFixtures) {
+    SCOPED_TRACE(fixture.name);
+    Rng rng(123);
+    EventLogShape shape = ShapeFor(fixture, &rng);
+    shape.flush_probability = 0.0;
+    shape.remove_clustering_probability = 0.3;
+    shape.remove_object_probability = 0.25;
+    shape.window = 5;
+    const std::vector<StreamRecord> records = RandomEventLog(shape, &rng);
+    StreamAggregatorOptions options = OptionsFor(fixture, 1e9);
+    options.window = shape.window;
+    StreamAggregator stream(options);
+    BatchMirror mirror(shape.window);
+    std::size_t applied = 0;
+    for (const StreamRecord& record : records) {
+      StreamEvent event = ToStreamEvent(record);
+      mirror.Apply(event);
+      ASSERT_TRUE(stream.Ingest(std::move(event)).ok());
+      Result<StreamFlushReport> report = stream.Flush();
+      ASSERT_TRUE(report.ok()) << report.status().message();
+      SCOPED_TRACE("event " + std::to_string(applied++));
+      EXPECT_EQ(stream.clustering_ids(), mirror.clustering_ids());
+      EXPECT_EQ(stream.object_ids(), mirror.object_ids());
       if (mirror.num_clusterings() == 0) continue;
       const ClusteringSet input = mirror.Input();
       oracle::ExpectSameDistances(
@@ -204,10 +361,7 @@ TEST(StreamDifferentialTest, SmallNCostBracketedByExactAndLowerBound) {
         ASSERT_TRUE(stream.Flush().ok());
         continue;
       }
-      StreamEvent event =
-          std::holds_alternative<AddClusteringEvent>(record)
-              ? StreamEvent(std::get<AddClusteringEvent>(record))
-              : StreamEvent(std::get<AddObjectEvent>(record));
+      StreamEvent event = ToStreamEvent(record);
       mirror.Apply(event);
       ASSERT_TRUE(stream.Ingest(std::move(event)).ok());
     }
@@ -263,10 +417,7 @@ TEST(StreamDifferentialTest, CancelledBatchResumesConsistently) {
   StreamAggregator interrupted{StreamAggregatorOptions{}};
   StreamAggregator straight{StreamAggregatorOptions{}};
   for (const StreamRecord& record : records) {
-    StreamEvent event =
-        std::holds_alternative<AddClusteringEvent>(record)
-            ? StreamEvent(std::get<AddClusteringEvent>(record))
-            : StreamEvent(std::get<AddObjectEvent>(record));
+    StreamEvent event = ToStreamEvent(record);
     ASSERT_TRUE(interrupted.Ingest(event).ok());
     ASSERT_TRUE(straight.Ingest(std::move(event)).ok());
   }

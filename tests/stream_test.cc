@@ -93,6 +93,207 @@ TEST(StreamEventTest, FormatParseRoundTripsExactly) {
   }
 }
 
+TEST(StreamEventTest, ParsesAndRoundTripsRemovalDirectives) {
+  const std::string text =
+      "clustering 0 1 0\n"
+      "remove_clustering 0\n"
+      "object 1 1 1\n"
+      "remove_object 2\n"
+      "flush\n";
+  Result<std::vector<StreamRecord>> records = ParseEventLog(text);
+  ASSERT_TRUE(records.ok()) << records.status().message();
+  ASSERT_EQ(records->size(), 5u);
+  EXPECT_EQ(std::get<RemoveClusteringEvent>((*records)[1]).id, 0u);
+  EXPECT_EQ(std::get<RemoveObjectEvent>((*records)[3]).id, 2u);
+  // Format -> Parse is the identity, including a maximal id.
+  std::vector<StreamRecord> out;
+  out.emplace_back(RemoveClusteringEvent{18446744073709551615ULL});
+  out.emplace_back(RemoveObjectEvent{0});
+  Result<std::vector<StreamRecord>> reparsed =
+      ParseEventLog(FormatEventLog(out));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().message();
+  ASSERT_EQ(reparsed->size(), 2u);
+  EXPECT_EQ(std::get<RemoveClusteringEvent>((*reparsed)[0]).id,
+            18446744073709551615ULL);
+  EXPECT_EQ(std::get<RemoveObjectEvent>((*reparsed)[1]).id, 0u);
+}
+
+TEST(StreamEventTest, RemovalDirectiveErrorsNameTheOffendingLine) {
+  struct Case {
+    const char* text;
+    const char* line;
+  };
+  const Case cases[] = {
+      {"remove_clustering\n", "line 1"},
+      {"clustering 0 1\nremove_clustering 1 2\n", "line 2"},
+      {"remove_clustering x\n", "line 1"},
+      {"remove_object -1\n", "line 1"},
+      {"remove_object 18446744073709551616\n", "line 1"},  // UINT64_MAX + 1
+      {"remove_object 1.5\n", "line 1"},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.text);
+    Result<std::vector<StreamRecord>> records = ParseEventLog(c.text);
+    ASSERT_FALSE(records.ok());
+    EXPECT_EQ(records.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(records.status().message().find(c.line), std::string::npos)
+        << records.status().message();
+  }
+}
+
+TEST(StreamEventTest, LineNumbersSurviveCrlfBomAndBareCr) {
+  // CRLF line endings: the error is on physical line 3 of the file and
+  // must be reported as line 3, not a CR-skewed count.
+  Result<std::vector<StreamRecord>> crlf =
+      ParseEventLog("clustering 0 1\r\nflush\r\nbogus\r\n");
+  ASSERT_FALSE(crlf.ok());
+  EXPECT_NE(crlf.status().message().find("line 3"), std::string::npos)
+      << crlf.status().message();
+  // A UTF-8 BOM belongs to line 1.
+  Result<std::vector<StreamRecord>> bom =
+      ParseEventLog("\xEF\xBB\xBF" "bogus 0\nclustering 0\n");
+  ASSERT_FALSE(bom.ok());
+  EXPECT_NE(bom.status().message().find("line 1"), std::string::npos)
+      << bom.status().message();
+  // Bare-CR (classic Mac) files split into lines too: three lines, with
+  // the error on the second — historically the whole file collapsed
+  // onto line 1 because CR counted as padding.
+  Result<std::vector<StreamRecord>> bare_cr =
+      ParseEventLog("clustering 0 1\rbogus\rflush\r");
+  ASSERT_FALSE(bare_cr.ok());
+  EXPECT_NE(bare_cr.status().message().find("line 2"), std::string::npos)
+      << bare_cr.status().message();
+  // The record->line map points each parsed record at its 1-based
+  // source line, comments and blanks skipped.
+  std::vector<std::size_t> lines;
+  Result<std::vector<StreamRecord>> ok = ParseEventLog(
+      "# header\r\n\r\nclustering 0 1\r\nremove_clustering 0\r\nflush\r\n",
+      &lines);
+  ASSERT_TRUE(ok.ok()) << ok.status().message();
+  EXPECT_EQ(lines, (std::vector<std::size_t>{3, 4, 5}));
+}
+
+TEST(StreamAggregatorTest, RejectsRemovalOfUnknownOrDeadId) {
+  StreamAggregator stream{StreamAggregatorOptions{}};
+  // Nothing exists yet: any id is unknown.
+  Status empty = stream.Ingest(RemoveClusteringEvent{0});
+  EXPECT_EQ(empty.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(empty.message().find("0"), std::string::npos);
+  ASSERT_TRUE(stream.Ingest(AddClusteringEvent{{0, 1, 0}, 1.0}).ok());
+  ASSERT_TRUE(stream.Ingest(AddClusteringEvent{{0, 0, 1}, 1.0}).ok());
+  // Queued state counts: clustering 0 exists only as a pending event.
+  EXPECT_TRUE(stream.Ingest(RemoveClusteringEvent{0}).ok());
+  // Double removal of the same id is rejected at Ingest — before
+  // anything is applied, journaled, or corrupted.
+  Status twice = stream.Ingest(RemoveClusteringEvent{0});
+  EXPECT_EQ(twice.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(twice.message().find("already-removed"), std::string::npos);
+  // Never-assigned ids are unknown.
+  EXPECT_EQ(stream.Ingest(RemoveClusteringEvent{99}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(stream.Ingest(RemoveObjectEvent{99}).code(),
+            StatusCode::kInvalidArgument);
+  // A rejected removal leaves the queue exactly as it was.
+  EXPECT_EQ(stream.pending_events(), 3u);
+  EXPECT_EQ(stream.pending_clusterings(), 1u);
+  ASSERT_TRUE(stream.Flush().ok());
+  EXPECT_EQ(stream.clustering_ids(), (std::vector<std::uint64_t>{1}));
+  // Applied-then-removed ids stay dead forever (ids are never reused).
+  EXPECT_EQ(stream.Ingest(RemoveClusteringEvent{0}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(StreamAggregatorTest, RejectsRemovalOfWindowEvictedId) {
+  StreamAggregatorOptions options;
+  options.window = 2;
+  StreamAggregator stream(options);
+  ASSERT_TRUE(stream.Ingest(AddClusteringEvent{{0, 1}, 1.0}).ok());
+  ASSERT_TRUE(stream.Ingest(AddClusteringEvent{{0, 0}, 1.0}).ok());
+  // This add overflows the window: id 0 will be evicted on Flush, and
+  // the pending mirror knows it already.
+  ASSERT_TRUE(stream.Ingest(AddClusteringEvent{{1, 0}, 1.0}).ok());
+  Status evicted = stream.Ingest(RemoveClusteringEvent{0});
+  EXPECT_EQ(evicted.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(evicted.message().find("already-removed"), std::string::npos);
+  // The still-alive ids remain removable.
+  EXPECT_TRUE(stream.Ingest(RemoveClusteringEvent{2}).ok());
+  ASSERT_TRUE(stream.Flush().ok());
+  EXPECT_EQ(stream.clustering_ids(), (std::vector<std::uint64_t>{1}));
+}
+
+TEST(StreamAggregatorTest, WindowEvictsOldestFirstInFirstOut) {
+  StreamAggregatorOptions options;
+  options.window = 2;
+  options.rebuild_threshold = 1e9;
+  StreamAggregator stream(options);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(stream
+                    .Ingest(AddClusteringEvent{
+                        {static_cast<Clustering::Label>(i % 2), 0, 1}, 1.0})
+                    .ok());
+  }
+  Result<StreamFlushReport> report = stream.Flush();
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  // 4 adds into a window of 2: ids 0 and 1 evicted, 2 and 3 alive.
+  EXPECT_EQ(stream.clustering_ids(), (std::vector<std::uint64_t>{2, 3}));
+  EXPECT_EQ(stream.num_clusterings(), 2u);
+  EXPECT_EQ(report->evictions, 2u);
+  EXPECT_EQ(stream.evictions(), 2u);
+  // The eviction count keeps accumulating across flushes.
+  ASSERT_TRUE(stream.Ingest(AddClusteringEvent{{0, 0, 1}, 1.0}).ok());
+  Result<StreamFlushReport> next = stream.Flush();
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(next->evictions, 1u);
+  EXPECT_EQ(stream.evictions(), 3u);
+  EXPECT_EQ(stream.clustering_ids(), (std::vector<std::uint64_t>{3, 4}));
+}
+
+TEST(StreamAggregatorTest, RemovalShrinksStateAndCountersExactly) {
+  StreamAggregator stream{StreamAggregatorOptions{}};
+  ASSERT_TRUE(stream.Ingest(AddClusteringEvent{{0, 1, 1}, 1.0}).ok());
+  ASSERT_TRUE(stream.Ingest(AddClusteringEvent{{0, 0, 1}, 1.0}).ok());
+  ASSERT_TRUE(stream.Flush().ok());
+  EXPECT_EQ(stream.distance(0, 1), 0.5);
+  // Remove the first clustering: the survivor alone defines X.
+  ASSERT_TRUE(stream.Ingest(RemoveClusteringEvent{0}).ok());
+  ASSERT_TRUE(stream.Flush().ok());
+  EXPECT_EQ(stream.num_clusterings(), 1u);
+  EXPECT_EQ(stream.clustering_ids(), (std::vector<std::uint64_t>{1}));
+  EXPECT_EQ(stream.distance(0, 1), 0.0);
+  EXPECT_EQ(stream.distance(1, 2), 1.0);
+  EXPECT_EQ(stream.total_weight(), 1.0);
+  // Remove the middle object: pairs re-pack, surviving values keep.
+  ASSERT_TRUE(stream.Ingest(RemoveObjectEvent{1}).ok());
+  ASSERT_TRUE(stream.Flush().ok());
+  EXPECT_EQ(stream.num_objects(), 2u);
+  EXPECT_EQ(stream.object_ids(), (std::vector<std::uint64_t>{0, 2}));
+  EXPECT_EQ(stream.distance(0, 1), 1.0);  // was the (0, 2) pair
+}
+
+TEST(StreamAggregatorTest, OnlineRepairPolicyMergesAgreeingClusters) {
+  StreamAggregatorOptions options;
+  options.repair_policy = StreamRepairPolicy::kOnline;
+  options.rebuild_threshold = 1e9;
+  StreamAggregator stream(options);
+  ASSERT_TRUE(stream.Ingest(AddClusteringEvent{{0, 0, 1, 1}, 1.0}).ok());
+  Result<StreamFlushReport> first = stream.Flush();
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(first->rebuilt);  // the initial build always rebuilds
+  // Two new objects arrive as singletons; the online merge must fold
+  // them into the clusters the unanimous evidence demands.
+  ASSERT_TRUE(stream.Ingest(AddObjectEvent{{0}}).ok());
+  ASSERT_TRUE(stream.Ingest(AddObjectEvent{{1}}).ok());
+  ASSERT_TRUE(stream.Ingest(AddClusteringEvent{{0, 0, 1, 1, 0, 1}, 1.0}).ok());
+  Result<StreamFlushReport> second = stream.Flush();
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->repaired);
+  EXPECT_FALSE(second->rebuilt);
+  EXPECT_EQ(second->cost, 0.0);
+  EXPECT_TRUE(stream.labels().SameCluster(0, 4));
+  EXPECT_TRUE(stream.labels().SameCluster(2, 5));
+  EXPECT_FALSE(stream.labels().SameCluster(0, 2));
+}
+
 TEST(StreamAggregatorTest, IngestValidatesDimensionsAndLabels) {
   StreamAggregator stream{StreamAggregatorOptions{}};
   // The first clustering on an empty stream defines the objects.
@@ -280,6 +481,27 @@ TEST(StreamAggregatorTest, TelemetryRecordsIngestAndRepair) {
   EXPECT_EQ(telemetry.gauge("stream.clusterings")->value(), 2);
   EXPECT_EQ(telemetry.histogram("stream.ingest.batch_nanos")->count(), 2u);
   EXPECT_EQ(telemetry.histogram("stream.repair.nanos")->count(), 1u);
+}
+TEST(StreamAggregatorTest, TelemetryRecordsRemovalsAndEvictions) {
+  Telemetry telemetry;
+  const RunContext run = RunContext().WithTelemetry(&telemetry);
+  StreamAggregatorOptions options;
+  options.window = 2;
+  StreamAggregator stream(options);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(stream.Ingest(AddClusteringEvent{{0, 0, 1}, 1.0}).ok());
+  }
+  ASSERT_TRUE(stream.Ingest(RemoveClusteringEvent{2}).ok());
+  ASSERT_TRUE(stream.Ingest(RemoveObjectEvent{0}).ok());
+  ASSERT_TRUE(stream.Flush(run).ok());
+  // 3 adds into a window of 2 evict once; the two explicit removals
+  // count separately from the eviction.
+  EXPECT_EQ(telemetry.counter("stream.evict.clusterings")->value(), 1u);
+  EXPECT_GT(telemetry.counter("stream.evict.pairs_touched")->value(), 0u);
+  EXPECT_EQ(telemetry.counter("stream.ingest.removals")->value(), 2u);
+  EXPECT_EQ(telemetry.counter("stream.ingest.clusterings")->value(), 3u);
+  EXPECT_EQ(telemetry.gauge("stream.clusterings")->value(), 1);
+  EXPECT_EQ(telemetry.gauge("stream.objects")->value(), 2);
 }
 #endif  // CLUSTAGG_TELEMETRY_ENABLED
 

@@ -158,9 +158,10 @@ int CmdStream(const Args& args) {
         "--recover"));
   }
   std::vector<StreamRecord> records;
+  std::vector<std::size_t> record_lines;
   if (args.Has("stream")) {
     Result<std::vector<StreamRecord>> parsed =
-        ReadEventLogFile(args.Get("stream"));
+        ReadEventLogFile(args.Get("stream"), &record_lines);
     if (!parsed.ok()) return Fail(parsed.status());
     records = *std::move(parsed);
   }
@@ -207,6 +208,23 @@ int CmdStream(const Args& args) {
   if (options.rebuild_threshold < 0) {
     return Fail(Status::InvalidArgument(
         "--rebuild-threshold expects a non-negative drift bound"));
+  }
+  if (args.Has("window")) {
+    const long long window = args.GetInt("window", 0);
+    if (window <= 0) {
+      return Fail(Status::InvalidArgument(
+          "--window expects a positive clustering count"));
+    }
+    options.window = static_cast<std::size_t>(window);
+  }
+  if (args.Has("repair")) {
+    const std::string repair = args.Get("repair");
+    if (repair == "online") {
+      options.repair_policy = StreamRepairPolicy::kOnline;
+    } else if (repair != "warm") {
+      return Fail(Status::InvalidArgument(
+          "--repair expects 'warm' or 'online', got '" + repair + "'"));
+    }
   }
 
   long long deadline_ms = 0;
@@ -295,7 +313,8 @@ int CmdStream(const Args& args) {
   // between validation and application and a shutdown signal can stop
   // cleanly between records.
   bool interrupted = false;
-  for (const StreamRecord& record : records) {
+  for (std::size_t r = 0; r < records.size(); ++r) {
+    const StreamRecord& record = records[r];
     if (g_shutdown_signal != 0) {
       interrupted = true;
       break;
@@ -304,13 +323,21 @@ int CmdStream(const Args& args) {
       if (Status s = flush(); !s.ok()) return Fail(s);
       continue;
     }
-    StreamEvent event =
-        std::holds_alternative<AddClusteringEvent>(record)
-            ? StreamEvent(std::get<AddClusteringEvent>(record))
-            : StreamEvent(std::get<AddObjectEvent>(record));
+    StreamEvent event = ToStreamEvent(record);
     Status status = durable ? durable->Ingest(std::move(event))
                             : plain.Ingest(std::move(event));
-    if (!status.ok()) return Fail(status);
+    if (!status.ok()) {
+      // Attribute semantic rejections — a removal of a dead id, a label
+      // count mismatch — to the offending line of the log, like parse
+      // errors.
+      if (status.code() == StatusCode::kInvalidArgument &&
+          r < record_lines.size()) {
+        status = Status::InvalidArgument(
+            "event log line " + std::to_string(record_lines[r]) + ": " +
+            std::string(status.message()));
+      }
+      return Fail(status);
+    }
   }
   // A signal flushes what is already queued and stops; a normal run
   // also flushes once when no flush ever happened, so the final labels
@@ -344,6 +371,13 @@ int CmdStream(const Args& args) {
                view.num_clusterings(), view.num_objects(), reports.size(),
                rebuilds, repairs, view.labels().NumClusters(), view.cost());
   std::fprintf(stderr, "run outcome = %s\n", RunOutcomeName(overall));
+  if (view.evictions() > 0) {
+    std::fprintf(stderr,
+                 "window %zu evicted %llu clusterings (%zu alive)\n",
+                 options.window,
+                 static_cast<unsigned long long>(view.evictions()),
+                 view.num_clusterings());
+  }
   if (options.fold) {
     std::fprintf(stderr, "folded %zu objects into %zu signatures\n",
                  view.num_objects(), view.fold_signatures());
@@ -692,6 +726,7 @@ int CmdHelp() {
       "      a table or JSON; --fake-clock substitutes a deterministic\n"
       "      clock so --stats=json output is byte-stable.\n"
       "  aggregate --stream FILE [--rebuild-threshold X] [--fold]\n"
+      "            [--window N] [--repair warm|online]\n"
       "            [--algorithm ...] [--missing coin|ignore] [--coin-p P]\n"
       "            [--shards auto|off|N] [--max-cluster-size N]\n"
       "            [--threads N] [--deadline-ms N] [--out FILE]\n"
@@ -699,16 +734,23 @@ int CmdHelp() {
       "            [--journal PATH [--fsync-every N] [--snapshot-every N]\n"
       "             [--snapshot PATH]] [--recover]\n"
       "      replay a recorded event log (directives: 'clustering\n"
-      "      [weight=W] L1..Ln', 'object L1..Lm', 'flush', '#' comments,\n"
-      "      '?' = missing; see docs/streaming.md) through the\n"
-      "      incremental StreamAggregator. Each 'flush' closes a batch:\n"
-      "      deltas apply to the maintained X counters, then the solution\n"
-      "      is repaired in place (warm LOCALSEARCH) or fully rebuilt\n"
-      "      with --algorithm when accumulated drift exceeds\n"
-      "      --rebuild-threshold (default 0.25). --deadline-ms bounds\n"
-      "      each batch; an interrupted batch keeps the remainder queued.\n"
-      "      Per-batch progress goes to stderr, final labels to --out or\n"
-      "      stdout.\n"
+      "      [weight=W] L1..Ln', 'object L1..Lm', 'remove_clustering ID',\n"
+      "      'remove_object ID', 'flush', '#' comments, '?' = missing;\n"
+      "      see docs/streaming.md) through the incremental\n"
+      "      StreamAggregator. Each 'flush' closes a batch: deltas apply\n"
+      "      to the maintained X counters, then the solution is repaired\n"
+      "      in place (--repair warm, the default, re-runs LOCALSEARCH\n"
+      "      from the previous labels; --repair online runs the\n"
+      "      agglomerative merge repair) or fully rebuilt with\n"
+      "      --algorithm when accumulated drift exceeds\n"
+      "      --rebuild-threshold (default 0.25). Clusterings and objects\n"
+      "      get stable 0-based ids in arrival order (never reused);\n"
+      "      remove_* directives evict by id, and --window N keeps only\n"
+      "      the N newest clusterings, auto-evicting the oldest when an\n"
+      "      add overflows the window (see docs/streaming.md).\n"
+      "      --deadline-ms bounds each batch; an interrupted batch keeps\n"
+      "      the remainder queued. Per-batch progress goes to stderr,\n"
+      "      final labels to --out or stdout.\n"
       "      --journal writes every event ahead to a CRC-framed journal\n"
       "      before applying it, so a crash loses nothing durable;\n"
       "      --fsync-every N (default 1) group-fsyncs every N records\n"

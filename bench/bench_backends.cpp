@@ -2,15 +2,22 @@
 //
 // Part 1 pits the seed's clustering-major row-wise dense kernel (kept
 // here as a frozen baseline) against the shipped object-major tiled
-// kernel on an n = 4096, m = 9 instance, checking bit-identical output
-// and reporting the speedup.
+// kernel on an n = 4096, m = 9 instance, then against the bit-packed
+// SWAR row kernel (and the AVX2 kernel when compiled in), checking
+// bit-identical output at every tier and reporting the speedups.
 //
 // Part 2 measures parallel dense construction scaling at 1, 2, 4, and 8
-// threads — the band-partitioned builder should scale near-linearly.
+// threads — the band-partitioned builder should scale near-linearly up
+// to the host's actual core count (see "host.hardware_threads" in the
+// emitted json; on a 1-core container every multi-thread row is pure
+// scheduling overhead).
 //
 // Part 3 measures per-query latency of the lazy backend on the
-// mismatch-count fast path (complete labels, unit weights) and the
-// general weighted/missing path.
+// mismatch-count fast path (complete labels, unit weights), the packed
+// single-word kernel on the same instance, and the general
+// weighted/missing path. Queries walk a precomputed pair buffer so the
+// numbers isolate the distance call from index generation (an RNG draw
+// costs more than the kernel under test).
 //
 // Part 4 measures duplicate-signature folding on a Mushrooms-shaped
 // fixture (n = 8192 objects, 512 distinct signatures): full pipeline
@@ -29,6 +36,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "bench_common.h"
 #include "clustagg/clustagg.h"
@@ -36,11 +44,24 @@
 #include "common/parallel.h"
 #include "common/stopwatch.h"
 #include "common/symmetric_matrix.h"
+#include "core/internal/packed_labels.h"
 
 namespace {
 
 using namespace clustagg;
 using bench::JsonObject;
+using internal::PackedKernelTier;
+
+/// Forces a kernel tier for one measurement and restores the default on
+/// scope exit. Tier changes only affect sources built afterwards, so
+/// every guarded block builds its own source.
+class TierGuard {
+ public:
+  explicit TierGuard(PackedKernelTier tier) {
+    internal::SetPackedKernelTierForTest(&tier);
+  }
+  ~TierGuard() { internal::SetPackedKernelTierForTest(nullptr); }
+};
 
 ClusteringSet PlantedInput(std::size_t n, std::size_t m, std::size_t k,
                            double noise, std::uint64_t seed) {
@@ -167,18 +188,44 @@ void LegacyVsTiledKernel(JsonObject* json) {
   std::printf("  legacy row-wise (clustering-major): %.3f s\n",
               legacy_seconds);
 
-  watch.Restart();
-  Result<std::shared_ptr<const DenseDistanceSource>> tiled =
-      DenseDistanceSource::Build(input, {}, 0);
-  CLUSTAGG_CHECK_OK(tiled.status());
-  const double tiled_seconds = watch.ElapsedSeconds();
+  // Tiled byte-compare kernel, packing forced off: this is the PR 4
+  // baseline the packed kernel is measured against.
+  double tiled_seconds = 0.0;
+  std::vector<float> tiled_packed;
+  {
+    TierGuard guard(PackedKernelTier::kPortable);
+    watch.Restart();
+    Result<std::shared_ptr<const DenseDistanceSource>> tiled =
+        DenseDistanceSource::Build(input, {}, 0);
+    CLUSTAGG_CHECK_OK(tiled.status());
+    tiled_seconds = watch.ElapsedSeconds();
+    tiled_packed = (*tiled)->dense_matrix()->packed();
+  }
   std::printf("  tiled (object-major, fast path):    %.3f s\n",
               tiled_seconds);
   std::printf("  speedup: %.2fx\n", legacy_seconds / tiled_seconds);
 
   // The overhaul promises bit-identical output, so verify it here too:
   // a faster kernel with different numbers would be a bug, not a win.
-  CLUSTAGG_CHECK((*tiled)->dense_matrix()->packed() == legacy.packed());
+  CLUSTAGG_CHECK(tiled_packed == legacy.packed());
+
+  // Bit-packed SWAR row kernel, then the AVX2 kernel when this build
+  // carries it — each against the same bit-identity bar.
+  double swar_seconds = 0.0;
+  {
+    TierGuard guard(PackedKernelTier::kSwar);
+    watch.Restart();
+    Result<std::shared_ptr<const DenseDistanceSource>> packed_dense =
+        DenseDistanceSource::Build(input, {}, 0);
+    CLUSTAGG_CHECK_OK(packed_dense.status());
+    swar_seconds = watch.ElapsedSeconds();
+    CLUSTAGG_CHECK((*packed_dense)->dense_matrix()->packed() ==
+                   tiled_packed);
+  }
+  std::printf("  packed (SWAR row kernel):           %.3f s\n",
+              swar_seconds);
+  std::printf("  packed speedup over tiled: %.2fx\n",
+              tiled_seconds / swar_seconds);
 
   JsonObject part;
   part.Set("n", n)
@@ -186,7 +233,26 @@ void LegacyVsTiledKernel(JsonObject* json) {
       .Set("threads", threads)
       .Set("legacy_rowwise_build_ns", legacy_seconds * 1e9)
       .Set("tiled_build_ns", tiled_seconds * 1e9)
-      .Set("speedup", legacy_seconds / tiled_seconds);
+      .Set("speedup", legacy_seconds / tiled_seconds)
+      .Set("packed_build_ns", swar_seconds * 1e9)
+      .Set("packed_speedup", tiled_seconds / swar_seconds);
+  if (internal::Avx2KernelAvailable()) {
+    double avx2_seconds = 0.0;
+    {
+      TierGuard guard(PackedKernelTier::kAvx2);
+      watch.Restart();
+      Result<std::shared_ptr<const DenseDistanceSource>> avx2_dense =
+          DenseDistanceSource::Build(input, {}, 0);
+      CLUSTAGG_CHECK_OK(avx2_dense.status());
+      avx2_seconds = watch.ElapsedSeconds();
+      CLUSTAGG_CHECK((*avx2_dense)->dense_matrix()->packed() ==
+                     tiled_packed);
+    }
+    std::printf("  packed (AVX2 row kernel):           %.3f s\n",
+                avx2_seconds);
+    part.Set("avx2_build_ns", avx2_seconds * 1e9)
+        .Set("avx2_speedup", tiled_seconds / avx2_seconds);
+  }
   json->Set("dense_kernel", part);
 }
 
@@ -238,33 +304,56 @@ void QueryLatency(JsonObject* json) {
   const ClusteringSet with_missing =
       *ClusteringSet::Create(std::move(noisy));
 
+  // Precomputed random pair buffer, cycled: two RNG draws cost ~14 ns —
+  // more than the kernels under test — so drawing inside the timed loop
+  // would bury the comparison in generator noise. Every case walks the
+  // same pairs.
+  constexpr std::size_t kPairBuf = 1 << 16;
+  std::vector<std::uint32_t> pair_u(kPairBuf);
+  std::vector<std::uint32_t> pair_v(kPairBuf);
+  Rng pairs(11);
+  for (std::size_t i = 0; i < kPairBuf; ++i) {
+    pair_u[i] = static_cast<std::uint32_t>(pairs.NextBounded(n));
+    pair_v[i] = static_cast<std::uint32_t>(pairs.NextBounded(n));
+  }
+
   JsonObject part;
   part.Set("n", n).Set("m", m).Set("queries", queries);
+  part.Set("methodology", std::string("precomputed_pair_buffer"));
   const struct {
     const char* name;
     const char* key;
     const ClusteringSet* input;
-  } cases[] = {{"fast path (complete, unit weights)", "fast_path_ns",
-                &complete},
+    PackedKernelTier tier;
+  } cases[] = {{"fast path (byte loop, complete)", "fast_path_ns",
+                &complete, PackedKernelTier::kPortable},
+               {"packed fast path (SWAR word)", "packed_query_ns",
+                &complete, PackedKernelTier::kSwar},
                {"general path (10% missing)", "general_path_ns",
-                &with_missing}};
+                &with_missing, PackedKernelTier::kSwar}};
+  double fast_sink = 0.0;
+  double packed_sink = 0.0;
   for (const auto& c : cases) {
+    TierGuard guard(c.tier);
     Result<std::shared_ptr<const LazyDistanceSource>> lazy =
         LazyDistanceSource::Build(*c.input, {});
     CLUSTAGG_CHECK_OK(lazy.status());
-    Rng pairs(11);
     double sink = 0.0;
     Stopwatch watch;
     for (std::size_t q = 0; q < queries; ++q) {
-      const std::size_t u = pairs.NextBounded(n);
-      const std::size_t v = pairs.NextBounded(n);
-      sink += (*lazy)->distance(u, v);
+      const std::size_t i = q & (kPairBuf - 1);
+      sink += (*lazy)->distance(pair_u[i], pair_v[i]);
     }
     const double ns = watch.ElapsedSeconds() * 1e9 /
                       static_cast<double>(queries);
     std::printf("  %s: %.1f ns/query (checksum %.1f)\n", c.name, ns, sink);
     part.Set(c.key, ns);
+    if (std::strcmp(c.key, "fast_path_ns") == 0) fast_sink = sink;
+    if (std::strcmp(c.key, "packed_query_ns") == 0) packed_sink = sink;
   }
+  // Same pairs, same instance: the packed kernel must reproduce the
+  // byte loop's answers to the last bit, so the sums match exactly.
+  CLUSTAGG_CHECK(fast_sink == packed_sink);
   json->Set("lazy_query", part);
 }
 

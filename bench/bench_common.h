@@ -9,6 +9,7 @@
 #include <cstring>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -16,6 +17,7 @@
 #include "common/check.h"
 #include "common/stopwatch.h"
 #include "common/table_printer.h"
+#include "core/internal/packed_labels.h"
 
 namespace clustagg::bench {
 
@@ -97,13 +99,65 @@ class JsonObject {
   std::vector<std::pair<std::string, std::string>> fields_;
 };
 
+/// First "model name" line of /proc/cpuinfo, or "unknown" where the file
+/// or the field does not exist (non-Linux, non-x86).
+inline std::string CpuModelName() {
+  std::FILE* f = std::fopen("/proc/cpuinfo", "r");
+  if (f == nullptr) return "unknown";
+  std::string model = "unknown";
+  char line[256];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "model name", 10) != 0) continue;
+    const char* colon = std::strchr(line, ':');
+    if (colon == nullptr) break;
+    ++colon;
+    while (*colon == ' ' || *colon == '\t') ++colon;
+    model = colon;
+    while (!model.empty() && (model.back() == '\n' || model.back() == ' ')) {
+      model.pop_back();
+    }
+    break;
+  }
+  std::fclose(f);
+  return model;
+}
+
+/// Host provenance record stamped into every BENCH_*.json: trajectory
+/// numbers are only comparable against runs from the same hardware /
+/// compiler / kernel-tier configuration, so the record travels with the
+/// measurements instead of living in a README nobody updates.
+inline JsonObject HostJson() {
+  JsonObject host;
+  host.Set("hardware_threads",
+           static_cast<std::size_t>(std::thread::hardware_concurrency()));
+  host.Set("cpu", CpuModelName());
+  host.Set("compiler", std::string(__VERSION__));
+#if defined(CLUSTAGG_BENCH_BUILD_TYPE)
+  host.Set("build_type", std::string(CLUSTAGG_BENCH_BUILD_TYPE));
+#endif
+#if defined(CLUSTAGG_BENCH_NATIVE) && CLUSTAGG_BENCH_NATIVE
+  host.Set("native", std::size_t{1});
+#else
+  host.Set("native", std::size_t{0});
+#endif
+  host.Set("kernel_tier",
+           std::string(internal::PackedKernelTierName(
+               internal::ActivePackedKernelTier())));
+  host.Set("avx2_kernel",
+           std::size_t{internal::Avx2KernelAvailable() ? 1u : 0u});
+  return host;
+}
+
 /// Writes one trajectory record to `path` (overwriting) and echoes the
 /// path to stderr so bench logs show where the machine-readable copy
-/// went.
+/// went. Every record gets the HostJson() provenance appended under
+/// "host".
 inline void WriteBenchJson(const std::string& path, const JsonObject& obj) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   CLUSTAGG_CHECK(f != nullptr);
-  const std::string text = obj.ToString() + "\n";
+  JsonObject stamped = obj;
+  stamped.Set("host", HostJson());
+  const std::string text = stamped.ToString() + "\n";
   std::fwrite(text.data(), 1, text.size(), f);
   std::fclose(f);
   std::fprintf(stderr, "wrote %s\n", path.c_str());

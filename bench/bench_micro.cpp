@@ -10,6 +10,7 @@
 #include "clustagg/clustagg.h"
 #include "common/check.h"
 #include "common/rng.h"
+#include "core/internal/packed_labels.h"
 
 namespace clustagg {
 namespace {
@@ -90,6 +91,70 @@ void BM_BuildInstanceDense(benchmark::State& state) {
 }
 BENCHMARK(BM_BuildInstanceDense)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// Lazy fast-path point queries at the acceptance point (n = 4096,
+// m = 9), byte-compare loop vs. the packed SWAR word kernel. Pairs come
+// from a precomputed buffer: the RNG draw alone costs more than either
+// kernel, so in-loop generation would flatten the comparison.
+void LazyQueryAtTier(benchmark::State& state,
+                     internal::PackedKernelTier tier) {
+  internal::SetPackedKernelTierForTest(&tier);
+  const std::size_t n = 4096;
+  const ClusteringSet input = PlantedInput(n, 9, 8, 0.2, 5);
+  Result<std::shared_ptr<const LazyDistanceSource>> lazy =
+      LazyDistanceSource::Build(input, {});
+  CLUSTAGG_CHECK_OK(lazy.status());
+  constexpr std::size_t kPairBuf = 1 << 16;
+  std::vector<std::uint32_t> pair_u(kPairBuf);
+  std::vector<std::uint32_t> pair_v(kPairBuf);
+  Rng rng(11);
+  for (std::size_t i = 0; i < kPairBuf; ++i) {
+    pair_u[i] = static_cast<std::uint32_t>(rng.NextBounded(n));
+    pair_v[i] = static_cast<std::uint32_t>(rng.NextBounded(n));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize((*lazy)->distance(pair_u[i], pair_v[i]));
+    i = (i + 1) & (kPairBuf - 1);
+  }
+  internal::SetPackedKernelTierForTest(nullptr);
+}
+
+void BM_LazyQueryFastPath(benchmark::State& state) {
+  LazyQueryAtTier(state, internal::PackedKernelTier::kPortable);
+}
+BENCHMARK(BM_LazyQueryFastPath);
+
+void BM_LazyQueryPacked(benchmark::State& state) {
+  LazyQueryAtTier(state, internal::PackedKernelTier::kSwar);
+}
+BENCHMARK(BM_LazyQueryPacked);
+
+// Dense build at the acceptance point under each kernel tier: the
+// packed row kernel's speedup over Arg-matched BM_BuildInstanceDense
+// runs is the build-side claim.
+void DenseBuildAtTier(benchmark::State& state,
+                      internal::PackedKernelTier tier) {
+  internal::SetPackedKernelTierForTest(&tier);
+  const ClusteringSet input = PlantedInput(4096, 9, 8, 0.2, 2);
+  for (auto _ : state) {
+    Result<std::shared_ptr<const DenseDistanceSource>> dense =
+        DenseDistanceSource::Build(input, {}, 1);
+    CLUSTAGG_CHECK_OK(dense.status());
+    benchmark::DoNotOptimize(dense);
+  }
+  internal::SetPackedKernelTierForTest(nullptr);
+}
+
+void BM_DenseBuildPortable(benchmark::State& state) {
+  DenseBuildAtTier(state, internal::PackedKernelTier::kPortable);
+}
+BENCHMARK(BM_DenseBuildPortable)->Unit(benchmark::kMillisecond);
+
+void BM_DenseBuildPacked(benchmark::State& state) {
+  DenseBuildAtTier(state, internal::PackedKernelTier::kSwar);
+}
+BENCHMARK(BM_DenseBuildPacked)->Unit(benchmark::kMillisecond);
 
 void BM_BuildInstanceLazy(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

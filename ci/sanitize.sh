@@ -10,6 +10,14 @@
 #   ci/sanitize.sh 'stream|differential' differential   # streaming
 #   ci/sanitize.sh shard                                # shard pipeline
 #   ci/sanitize.sh durability                           # crash safety
+#   ci/sanitize.sh native                               # packed kernel
+#
+# `native` is a special leg, not a label regex: it builds once with
+# CLUSTAGG_NATIVE=ON (compiling the AVX2 packed-label kernel) under
+# ASan and runs the backend-equivalence and property suites plus the
+# tier-forcing CLI smoke — every dispatch tier (portable, swar, and
+# avx2 where the CPU has it) answers under sanitizer instrumentation,
+# and the bit-identity checks diff their costs against each other.
 #
 # The shard leg is the library's widest parallel surface (worker threads
 # run whole Aggregate pipelines concurrently), so its TSan pass in
@@ -43,6 +51,27 @@ shift $((OPTIND - 1))
 if [ "$#" -eq 0 ]; then
   echo "usage: ci/sanitize.sh [-j jobs] LABEL_REGEX..." >&2
   exit 2
+fi
+
+if [ "$1" = "native" ]; then
+  # AVX2 packed-kernel leg: one ASan build with the native kernel
+  # compiled in, running the backend-equivalence + property suites and
+  # the CLUSTAGG_KERNEL tier-forcing smoke. Forcing each tier through
+  # the environment exercises the runtime dispatch itself; the suites'
+  # EXPECT_EQ bit-identity checks are the cost diff.
+  BUILD="$ROOT/build-sanitize-native"
+  echo "=== CLUSTAGG_SANITIZE=address CLUSTAGG_NATIVE=ON ==="
+  cmake -B "$BUILD" -S "$ROOT" -DCLUSTAGG_SANITIZE=address \
+        -DCLUSTAGG_NATIVE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+  cmake --build "$BUILD" -j"$JOBS"
+  for TIER in portable swar avx2; do
+    echo "--- CLUSTAGG_KERNEL=$TIER ---"
+    (cd "$BUILD" && CLUSTAGG_KERNEL="$TIER" \
+         ctest -L 'backend|property' --no-tests=error \
+         --output-on-failure -j"$JOBS")
+  done
+  echo "sanitize: native leg passed"
+  exit 0
 fi
 
 for SAN in address thread; do

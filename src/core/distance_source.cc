@@ -10,6 +10,7 @@
 #include "common/parallel.h"
 #include "core/clustering.h"
 #include "core/instrumentation.h"
+#include "core/internal/packed_labels.h"
 
 namespace clustagg {
 
@@ -38,6 +39,27 @@ struct DistanceColumns {
   /// the kRandomCoin correction adds exactly 0.0 and both policies
   /// divide the same numerator by the same denominator.
   bool uniform_no_missing = false;
+  /// Bit-packed label lanes (see core/internal/packed_labels.h), built
+  /// whenever uniform_no_missing holds, every column's alphabet packs
+  /// into <= 16-bit lanes, and the active kernel tier enables packing.
+  /// The packed mismatch count is the same integer the byte loop
+  /// produces, so queries stay bit-identical; nullptr falls back to the
+  /// auto-vectorized byte-compare loop.
+  std::unique_ptr<PackedLabels> packed;
+  /// Hot fields of *packed, flattened so a single point query reads
+  /// them straight off this struct (already in cache from the bounds
+  /// check) instead of chasing packed -> words/classes — three
+  /// dependent loads that would dominate a ~10-op kernel.
+  /// packed_words is non-null only for single-word layouts.
+  const std::uint64_t* packed_words = nullptr;
+  std::uint64_t packed_lsb_mask = 0;
+  std::uint32_t packed_width = 0;
+  std::uint32_t packed_mul_shift = 0;
+  bool packed_mul = false;
+  /// packed_value[c] = double(float(double(c) / total_weight)) for
+  /// c in [0, m]: the fast path's exact arithmetic precomputed, so the
+  /// query path trades the division for an L1 load.
+  std::vector<double> packed_value;
 };
 
 }  // namespace internal
@@ -69,6 +91,24 @@ internal::DistanceColumns MakeColumns(const ClusteringSet& input,
     }
   }
   cols.uniform_no_missing = uniform && !any_missing;
+  if (cols.uniform_no_missing &&
+      internal::ActivePackedKernelTier() !=
+          internal::PackedKernelTier::kPortable) {
+    cols.packed =
+        internal::PackLabelRows(cols.labels.data(), cols.n, cols.m);
+  }
+  if (cols.packed != nullptr) {
+    cols.packed_value =
+        internal::BuildPackedValueLut(cols.m, cols.total_weight);
+    if (cols.packed->words_per_object == 1) {
+      const internal::PackedClass& cls = cols.packed->classes[0];
+      cols.packed_words = cols.packed->words.data();
+      cols.packed_lsb_mask = cls.lsb_mask;
+      cols.packed_width = cls.width;
+      cols.packed_mul_shift = cols.packed->mul_shift;
+      cols.packed_mul = cols.packed->mul_count_ok;
+    }
+  }
   return cols;
 }
 
@@ -80,10 +120,29 @@ internal::DistanceColumns MakeColumns(const ClusteringSet& input,
 double ColumnDistance(const internal::DistanceColumns& cols, std::size_t u,
                       std::size_t v) {
   if (u == v) return 0.0;
+  if (cols.packed_words != nullptr) {
+    // Single packed word per object: XOR + lane-collapse + count +
+    // LUT — same integer as the byte loop, same (precomputed)
+    // division, same bits. All operands live on this struct or in two
+    // word loads, so the query carries no pointer chain.
+    const std::uint64_t collapsed = internal::CollapseToLaneLsb(
+        cols.packed_words[u] ^ cols.packed_words[v], cols.packed_width,
+        cols.packed_lsb_mask);
+    const std::size_t mismatches =
+        cols.packed_mul
+            ? (collapsed * cols.packed_lsb_mask) >> cols.packed_mul_shift
+            : internal::Popcount64(collapsed);
+    return cols.packed_value[mismatches];
+  }
   const std::size_t m = cols.m;
   const Clustering::Label* row_u = cols.labels.data() + u * m;
   const Clustering::Label* row_v = cols.labels.data() + v * m;
   if (cols.uniform_no_missing) {
+    if (cols.packed != nullptr) {
+      // Multi-word packed layout: per-class SWAR count, then the LUT.
+      return cols.packed_value[internal::CountMismatchesPacked(
+          *cols.packed, u, v)];
+    }
     std::size_t mismatches = 0;
     for (std::size_t i = 0; i < m; ++i) {
       mismatches += row_u[i] != row_v[i] ? 1 : 0;
@@ -179,6 +238,22 @@ Result<std::shared_ptr<const DenseDistanceSource>> BuildDenseFromColumns(
         const std::size_t u0 = band_start[band];
         const std::size_t u1 = band_start[band + 1];
         if (u1 - u0 > 1) run.ChargeIterations(u1 - u0 - 1);
+        if (cols.packed != nullptr) {
+          // Packed rows are a word or two per object — the whole packed
+          // store usually fits in L1 — so no column tiling is needed:
+          // each matrix row's tail [u+1, n) is filled in one contiguous
+          // sweep by the SWAR/AVX2 row kernel (which prefetches the
+          // v-words ahead of itself). Values are bit-identical to the
+          // byte-loop tile fill below.
+          for (std::size_t u = u0; u < u1; ++u) {
+            if (u + 1 >= n) continue;
+            internal::PackedMismatchRowFloat(
+                *cols.packed, u, u + 1, n, cols.total_weight,
+                cols.packed_value.data(),
+                packed.data() + distances.PackedIndex(u, u + 1));
+          }
+          return;
+        }
         for (std::size_t c0 = u0 + 1; c0 < n; c0 += kTileCols) {
           const std::size_t c1 = std::min(n, c0 + kTileCols);
           for (std::size_t u = u0; u < u1; ++u) {
@@ -217,6 +292,15 @@ void DistanceSource::FillRow(std::size_t u, std::span<double> row) const {
   const std::size_t n = size();
   CLUSTAGG_CHECK(u < n && row.size() >= n);
   for (std::size_t v = 0; v < n; ++v) row[v] = distance(u, v);
+}
+
+void DistanceSource::AgreementRow(std::size_t u,
+                                  std::span<char> agree) const {
+  const std::size_t n = size();
+  CLUSTAGG_CHECK(u < n && agree.size() >= n);
+  for (std::size_t v = 0; v < n; ++v) {
+    agree[v] = distance(u, v) < 0.5 ? 1 : 0;
+  }
 }
 
 Result<std::shared_ptr<const DenseDistanceSource>> DenseDistanceSource::Build(
@@ -262,6 +346,31 @@ void DenseDistanceSource::FillRow(std::size_t u, std::span<double> row) const {
   }
 }
 
+void DenseDistanceSource::AgreementRow(std::size_t u,
+                                       std::span<char> agree) const {
+  const std::size_t n = distances_.size();
+  CLUSTAGG_CHECK(u < n && agree.size() >= n);
+  // Same strided column walk as FillRow, comparing in float (identical
+  // to comparing the widened double against 0.5).
+  if (u > 0) {
+    const float* packed = distances_.packed().data();
+    std::size_t idx = u - 1;  // PackedIndex(0, u)
+    for (std::size_t v = 0; v + 1 < u; ++v) {
+      agree[v] = packed[idx] < 0.5f ? 1 : 0;
+      idx += n - v - 2;
+    }
+    agree[u - 1] = packed[idx] < 0.5f ? 1 : 0;
+  }
+  agree[u] = 1;
+  if (u + 1 < n) {
+    const float* tail =
+        distances_.packed().data() + distances_.PackedIndex(u, u + 1);
+    for (std::size_t v = u + 1; v < n; ++v) {
+      agree[v] = tail[v - u - 1] < 0.5f ? 1 : 0;
+    }
+  }
+}
+
 LazyDistanceSource::LazyDistanceSource(
     std::unique_ptr<internal::DistanceColumns> columns)
     : columns_(std::move(columns)) {}
@@ -297,9 +406,37 @@ void LazyDistanceSource::FillRow(std::size_t u, std::span<double> row) const {
   const internal::DistanceColumns& cols = *columns_;
   const std::size_t n = cols.n;
   CLUSTAGG_CHECK(u < n && row.size() >= n);
+  if (cols.packed != nullptr) {
+    // Bulk packed fill (X_uu comes out exactly 0.0: zero mismatches).
+    internal::PackedMismatchRowDouble(*cols.packed, u, 0, n,
+                                      cols.total_weight,
+                                      cols.packed_value.data(), row.data());
+    return;
+  }
   for (std::size_t v = 0; v < n; ++v) {
     row[v] = static_cast<float>(ColumnDistance(cols, u, v));
   }
+}
+
+void LazyDistanceSource::AgreementRow(std::size_t u,
+                                      std::span<char> agree) const {
+  const internal::DistanceColumns& cols = *columns_;
+  const std::size_t n = cols.n;
+  CLUSTAGG_CHECK(u < n && agree.size() >= n);
+  if (cols.packed != nullptr) {
+    // Integer threshold per pair (2 * mismatches < m) — no float
+    // materialization at all; equivalent to the rounded compare for any
+    // m below ~2^24 (see PackedAgreementRow).
+    internal::PackedAgreementRow(*cols.packed, u, 0, n, agree.data());
+    return;
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    agree[v] = static_cast<float>(ColumnDistance(cols, u, v)) < 0.5f ? 1 : 0;
+  }
+}
+
+bool LazyDistanceSource::uses_packed_labels() const {
+  return columns_->packed != nullptr;
 }
 
 Result<std::shared_ptr<const DistanceSource>> BuildDistanceSource(

@@ -71,6 +71,14 @@ class DistanceSource {
   /// implementations; the default loops over `distance`.
   virtual void FillRow(std::size_t u, std::span<double> row) const;
 
+  /// Bulk threshold query for the agreement-graph consumers (shard
+  /// decompose): agree[v] != 0 iff X_uv < 1/2, for every v in [0, n)
+  /// (u itself agrees with itself). Exactly equivalent to comparing
+  /// FillRow output against 0.5, but backends can answer it without
+  /// materializing distances — the lazy backend's packed kernel decides
+  /// it with an integer compare per pair. The default loops `distance`.
+  virtual void AgreementRow(std::size_t u, std::span<char> agree) const;
+
   /// The packed matrix when this source is dense, nullptr otherwise.
   /// Consumers with a tight inner loop (local search, agglomerative
   /// merging) use this to devirtualize the hot path.
@@ -114,6 +122,7 @@ class DenseDistanceSource final : public DistanceSource {
     return distances_(u, v);
   }
   void FillRow(std::size_t u, std::span<double> row) const override;
+  void AgreementRow(std::size_t u, std::span<char> agree) const override;
   const SymmetricMatrix<float>* dense_matrix() const override {
     return &distances_;
   }
@@ -141,7 +150,14 @@ class LazyDistanceSource final : public DistanceSource {
   std::size_t size() const override;
   double distance(std::size_t u, std::size_t v) const override;
   void FillRow(std::size_t u, std::span<double> row) const override;
+  void AgreementRow(std::size_t u, std::span<char> agree) const override;
   const char* name() const override { return "lazy"; }
+
+  /// True when this source carries the bit-packed label representation
+  /// (plain instance, packable alphabets, packing tier active).
+  /// Introspection for tests and benches; queries answer bit-identically
+  /// either way.
+  bool uses_packed_labels() const;
 
  private:
   explicit LazyDistanceSource(

@@ -29,7 +29,7 @@ std::size_t PlanCapacity(std::size_t num_nodes, const ShardOptions& options) {
 /// chunk, which is what the cut bound pays for. Returns the part lists.
 Result<std::vector<std::vector<std::size_t>>> SplitComponent(
     const DistanceSource& source, const std::vector<std::size_t>& members,
-    std::size_t capacity, std::vector<double>& row_buf,
+    std::size_t capacity, std::vector<char>& agree_buf,
     const RunContext& run) {
   const std::size_t size = members.size();
   const std::size_t parts = (size + capacity - 1) / capacity;
@@ -48,10 +48,10 @@ Result<std::vector<std::vector<std::size_t>>> SplitComponent(
       if (head % 16 == 15 && run.ShouldStop()) {
         return run.StopStatus(run.Poll());
       }
-      source.FillRow(order[head], row_buf);
+      source.AgreementRow(order[head], agree_buf);
       for (std::size_t i = 0; i < size; ++i) {
         const std::size_t v = members[i];
-        if (!visited[i] && row_buf[v] < 0.5) {
+        if (!visited[i] && agree_buf[v]) {
           visited[i] = 1;
           order.push_back(v);
         }
@@ -89,18 +89,21 @@ Result<ShardPlan> DecomposeAgreementGraph(
   // Phase 1: stream the agreement graph and union endpoints. Each worker
   // owns a private forest; merging them afterwards reproduces the same
   // components whatever the schedule, so the plan is thread-count
-  // independent.
+  // independent. The scan asks only X_uv < 1/2, so it goes through
+  // AgreementRow: under the packed label kernel each row is answered
+  // with an integer mismatch-count threshold per pair, never
+  // materializing distances.
   const std::size_t threads =
       EffectiveRowThreads(n, ResolveThreadCount(num_threads));
   std::vector<UnionFind> forests(threads, UnionFind(n));
-  std::vector<std::vector<double>> rows(threads, std::vector<double>(n));
+  std::vector<std::vector<char>> rows(threads, std::vector<char>(n));
   const bool scanned = ParallelForRowsCancellable(
       n, threads, run, [&](std::size_t u, std::size_t tid) {
-        std::vector<double>& row = rows[tid];
-        source.FillRow(u, row);
+        std::vector<char>& agree = rows[tid];
+        source.AgreementRow(u, agree);
         UnionFind& forest = forests[tid];
         for (std::size_t v = u + 1; v < n; ++v) {
-          if (row[v] < 0.5) forest.Union(u, v);
+          if (agree[v]) forest.Union(u, v);
         }
       });
   if (!scanned) {
@@ -126,9 +129,12 @@ Result<ShardPlan> DecomposeAgreementGraph(
   }
 
   // Phase 2: split components above the cap and charge the cut edges.
+  // The BFS split only needs agreement bits; the cut accounting below
+  // still reads exact X values through FillRow.
   const std::size_t capacity = PlanCapacity(n, options);
   std::vector<std::vector<std::size_t>> units;
-  std::vector<double>& row_buf = rows[0];
+  std::vector<char>& agree_buf = rows[0];
+  std::vector<double> row_buf(n);
   std::vector<std::size_t> part_of(n, 0);
   for (std::vector<std::size_t>& component : members) {
     if (component.size() <= capacity) {
@@ -136,7 +142,7 @@ Result<ShardPlan> DecomposeAgreementGraph(
       continue;
     }
     Result<std::vector<std::vector<std::size_t>>> parts = SplitComponent(
-        source, component, capacity, row_buf, run);
+        source, component, capacity, agree_buf, run);
     if (!parts.ok()) return parts.status();
     ++plan.split_components;
     for (std::size_t p = 0; p < parts->size(); ++p) {

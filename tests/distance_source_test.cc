@@ -16,6 +16,7 @@
 #include "core/clustering_set.h"
 #include "core/correlation_instance.h"
 #include "core/distance_source.h"
+#include "core/internal/packed_labels.h"
 #include "core/signature_index.h"
 
 namespace clustagg {
@@ -399,6 +400,117 @@ TEST(DistanceSourceTest, LegacyBuildersStillMatchPairwise) {
                     input.PairwiseDistance(u, v))));
     }
   }
+}
+
+// ----------------------------------------------- packed kernel tiers
+
+/// Forces a packed-kernel tier for the enclosing scope; the default
+/// (environment/CPU) selection is restored on destruction. Tier changes
+/// only affect sources built afterwards, so each guarded block builds
+/// its own sources.
+class TierOverride {
+ public:
+  explicit TierOverride(internal::PackedKernelTier tier) {
+    internal::SetPackedKernelTierForTest(&tier);
+  }
+  ~TierOverride() { internal::SetPackedKernelTierForTest(nullptr); }
+};
+
+std::vector<internal::PackedKernelTier> AllTiers() {
+  return {internal::PackedKernelTier::kPortable,
+          internal::PackedKernelTier::kSwar,
+          internal::PackedKernelTier::kAvx2};
+}
+
+TEST(PackedKernelTest, AllTiersBitIdenticalOnBothBackends) {
+  // Same instance, every tier, both backends: every distance must be
+  // the same bits (kAvx2 silently degrades to kSwar on machines
+  // without the kernel — still a distinct dispatch decision to pin).
+  const ClusteringSet input = RandomInput(48, 9, 8, 91);
+  std::vector<std::vector<double>> per_tier;
+  for (internal::PackedKernelTier tier : AllTiers()) {
+    TierOverride guard(tier);
+    const BackendPair pair = BuildBoth(input, {});
+    std::vector<double> flat;
+    for (std::size_t u = 0; u < 48; ++u) {
+      for (std::size_t v = 0; v < 48; ++v) {
+        const double d = pair.lazy.distance(u, v);
+        EXPECT_EQ(pair.dense.distance(u, v), d)
+            << "tier=" << internal::PackedKernelTierName(tier) << " u="
+            << u << " v=" << v;
+        flat.push_back(d);
+      }
+    }
+    per_tier.push_back(std::move(flat));
+  }
+  EXPECT_EQ(per_tier[0], per_tier[1]);
+  EXPECT_EQ(per_tier[0], per_tier[2]);
+}
+
+TEST(PackedKernelTest, PackingEligibilityFollowsInstanceShape) {
+  TierOverride guard(internal::PackedKernelTier::kSwar);
+  const auto packed_of = [](const ClusteringSet& input) {
+    Result<std::shared_ptr<const LazyDistanceSource>> lazy =
+        LazyDistanceSource::Build(input, {});
+    EXPECT_TRUE(lazy.ok());
+    return (*lazy)->uses_packed_labels();
+  };
+  EXPECT_TRUE(packed_of(RandomInput(20, 5, 4, 3)));
+  // A missing label or a non-unit weight must fall back automatically.
+  EXPECT_FALSE(packed_of(RandomInput(20, 5, 4, 3, 0.2)));
+  EXPECT_FALSE(packed_of(RandomInput(20, 5, 4, 3, 0.0, true)));
+}
+
+TEST(PackedKernelTest, PortableTierNeverPacks) {
+  TierOverride guard(internal::PackedKernelTier::kPortable);
+  Result<std::shared_ptr<const LazyDistanceSource>> lazy =
+      LazyDistanceSource::Build(RandomInput(20, 5, 4, 3), {});
+  ASSERT_TRUE(lazy.ok());
+  EXPECT_FALSE((*lazy)->uses_packed_labels());
+}
+
+TEST(PackedKernelTest, AgreementRowMatchesThresholdedDistances) {
+  // Dense (strided matrix walk), lazy packed (integer threshold), and
+  // lazy unpacked (float compare) must all agree with the definition:
+  // agree[v] iff distance(u, v) < 0.5, and u agrees with itself.
+  for (double missing_rate : {0.0, 0.15}) {
+    const ClusteringSet input = RandomInput(33, 6, 5, 17, missing_rate);
+    for (internal::PackedKernelTier tier : AllTiers()) {
+      TierOverride guard(tier);
+      const BackendPair pair = BuildBoth(input, {});
+      for (const CorrelationInstance* instance :
+           {&pair.dense, &pair.lazy}) {
+        std::vector<char> agree(33);
+        for (std::size_t u = 0; u < 33; ++u) {
+          instance->source()->AgreementRow(u, agree);
+          for (std::size_t v = 0; v < 33; ++v) {
+            const bool expected = instance->distance(u, v) < 0.5;
+            EXPECT_EQ(agree[v] != 0, expected)
+                << instance->backend_name() << " tier="
+                << internal::PackedKernelTierName(tier) << " u=" << u
+                << " v=" << v;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(PackedKernelTest, SignatureGroupingTierInvariant) {
+  // SignatureIndex hashes packed rows when a tier enables packing; the
+  // grouping (including kMissing treated as an ordinary symbol) must
+  // not depend on the tier.
+  const ClusteringSet input = RandomInput(40, 4, 3, 29, 0.2);
+  std::vector<std::vector<std::size_t>> groupings;
+  for (internal::PackedKernelTier tier : AllTiers()) {
+    TierOverride guard(tier);
+    const SignatureIndex index = SignatureIndex::Build(input);
+    std::vector<std::size_t> sig(40);
+    for (std::size_t v = 0; v < 40; ++v) sig[v] = index.signature_of(v);
+    groupings.push_back(std::move(sig));
+  }
+  EXPECT_EQ(groupings[0], groupings[1]);
+  EXPECT_EQ(groupings[0], groupings[2]);
 }
 
 TEST(SymmetricMatrixCreateTest, SucceedsForNormalSizes) {

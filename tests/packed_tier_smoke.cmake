@@ -1,0 +1,52 @@
+# Kernel-tier dispatch smoke test: the same end-to-end aggregation runs
+# under CLUSTAGG_KERNEL=portable, =swar, and =avx2 (which silently
+# degrades to swar on builds/CPUs without the AVX2 kernel), and every
+# tier must write the exact same label file — the bit-identity contract
+# of the packed label kernel, checked through the shipped binary.
+file(MAKE_DIRECTORY ${WORK})
+execute_process(COMMAND ${CLI} gen votes --seed 11 --out ${WORK}/votes.csv
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "gen failed: ${rc}")
+endif()
+
+foreach(tier portable swar avx2)
+  execute_process(COMMAND ${CMAKE_COMMAND} -E env CLUSTAGG_KERNEL=${tier}
+                  ${CLI} aggregate --csv ${WORK}/votes.csv
+                  --class-column class --algorithm localsearch
+                  --threads 1
+                  --out ${WORK}/agg_${tier}.labels
+                  RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "aggregate under CLUSTAGG_KERNEL=${tier} "
+                        "failed: ${rc}")
+  endif()
+endforeach()
+
+foreach(tier swar avx2)
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                  ${WORK}/agg_portable.labels ${WORK}/agg_${tier}.labels
+                  RESULT_VARIABLE same)
+  if(NOT same EQUAL 0)
+    message(FATAL_ERROR "CLUSTAGG_KERNEL=${tier} wrote a different "
+                        "clustering than the portable tier")
+  endif()
+endforeach()
+
+# An unknown tier value must not break anything: the library falls back
+# to its default selection.
+execute_process(COMMAND ${CMAKE_COMMAND} -E env CLUSTAGG_KERNEL=bogus
+                ${CLI} aggregate --csv ${WORK}/votes.csv
+                --class-column class --algorithm localsearch
+                --threads 1 --out ${WORK}/agg_bogus.labels
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "unknown CLUSTAGG_KERNEL value should fall back, "
+                      "not fail: ${rc}")
+endif()
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                ${WORK}/agg_portable.labels ${WORK}/agg_bogus.labels
+                RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+  message(FATAL_ERROR "fallback tier wrote a different clustering")
+endif()

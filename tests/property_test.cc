@@ -19,6 +19,8 @@
 #include "core/clustering.h"
 #include "core/clustering_set.h"
 #include "core/disagreement.h"
+#include "core/distance_source.h"
+#include "core/internal/packed_labels.h"
 #include "core/lower_bound.h"
 #include "stream/stream_aggregator.h"
 #include "stream/stream_event.h"
@@ -403,6 +405,230 @@ TEST(PropertyTest, StreamWindowEvictionPermutationConsistent) {
     ExpectSameStreamState(StreamOf(options, adds),
                           StreamOf(options, permuted));
     if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+// --------------------------------------------- packed label kernel
+
+/// Forces a packed-kernel tier for the enclosing scope, restoring the
+/// default on destruction.
+class TierOverride {
+ public:
+  explicit TierOverride(internal::PackedKernelTier tier) {
+    internal::SetPackedKernelTierForTest(&tier);
+  }
+  ~TierOverride() { internal::SetPackedKernelTierForTest(nullptr); }
+};
+
+/// All pairwise lazy distances of `input` computed under `tier`, via
+/// both the point-query path and FillRow (which must agree).
+std::vector<double> LazyDistancesAtTier(const ClusteringSet& input,
+                                        internal::PackedKernelTier tier) {
+  TierOverride guard(tier);
+  Result<std::shared_ptr<const LazyDistanceSource>> lazy =
+      LazyDistanceSource::Build(input, {});
+  EXPECT_TRUE(lazy.ok()) << lazy.status().message();
+  const std::size_t n = input.num_objects();
+  std::vector<double> flat;
+  flat.reserve(n * n);
+  std::vector<double> row(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    (*lazy)->FillRow(u, row);
+    for (std::size_t v = 0; v < n; ++v) {
+      const double d = (*lazy)->distance(u, v);
+      EXPECT_EQ(row[v], d) << "u=" << u << " v=" << v;
+      flat.push_back(d);
+    }
+  }
+  return flat;
+}
+
+/// A ClusteringSet whose column i draws labels from an alphabet of
+/// exactly alphabet[i] symbols (every symbol appears at least once when
+/// n allows, pinning the packed lane width).
+ClusteringSet AlphabetInput(std::size_t n,
+                            const std::vector<std::size_t>& alphabets,
+                            Rng* rng) {
+  std::vector<Clustering> inputs;
+  for (std::size_t k : alphabets) {
+    std::vector<Clustering::Label> labels(n);
+    for (std::size_t v = 0; v < n; ++v) {
+      // First k objects get symbols 0..k-1 in order so the alphabet is
+      // fully occupied; the rest draw uniformly.
+      labels[v] = static_cast<Clustering::Label>(
+          v < k ? v : rng->NextBounded(k));
+    }
+    inputs.emplace_back(std::move(labels));
+  }
+  Result<ClusteringSet> set = ClusteringSet::Create(std::move(inputs));
+  EXPECT_TRUE(set.ok()) << set.status().message();
+  return *std::move(set);
+}
+
+// (p1) Packed axiom: across alphabet sizes spanning every lane width
+// (binary through >16 labels) and every m in 1..12, the SWAR and AVX2
+// tiers answer bit-identically to the portable byte loop, on the point
+// query and on FillRow.
+TEST(PackedKernelProperty, BitIdenticalAcrossAlphabetAndWidthSweep) {
+  const std::size_t n = 48;
+  Rng rng(4242);
+  for (std::size_t alphabet : {2u, 3u, 4u, 5u, 16u, 17u, 40u, 300u}) {
+    for (std::size_t m = 1; m <= 12; ++m) {
+      SCOPED_TRACE("alphabet = " + std::to_string(alphabet) +
+                   ", m = " + std::to_string(m));
+      const ClusteringSet input = AlphabetInput(
+          n, std::vector<std::size_t>(m, alphabet), &rng);
+      const std::vector<double> portable = LazyDistancesAtTier(
+          input, internal::PackedKernelTier::kPortable);
+      EXPECT_EQ(portable, LazyDistancesAtTier(
+                              input, internal::PackedKernelTier::kSwar));
+      EXPECT_EQ(portable, LazyDistancesAtTier(
+                              input, internal::PackedKernelTier::kAvx2));
+    }
+  }
+}
+
+// (p2) Lane-width boundary fuzz: mixed per-column alphabets drawn from
+// the width-transition sizes (1<->2<->4<->8<->16 bits), which exercises
+// multi-class and multi-word layouts and the layout-choice heuristic.
+TEST(PackedKernelProperty, MixedWidthBoundaryFuzz) {
+  const std::size_t boundary_sizes[] = {2, 3, 4, 5, 15, 16, 17, 30,
+                                        33, 40, 256, 257, 300};
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    SCOPED_TRACE("seed = " + std::to_string(seed));
+    Rng rng(seed);
+    const std::size_t n = 16 + rng.NextBounded(48);
+    const std::size_t m = 1 + rng.NextBounded(12);
+    std::vector<std::size_t> alphabets(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      alphabets[i] = boundary_sizes[rng.NextBounded(
+          sizeof(boundary_sizes) / sizeof(boundary_sizes[0]))];
+    }
+    const ClusteringSet input = AlphabetInput(n, alphabets, &rng);
+    const std::vector<double> portable = LazyDistancesAtTier(
+        input, internal::PackedKernelTier::kPortable);
+    EXPECT_EQ(portable, LazyDistancesAtTier(
+                            input, internal::PackedKernelTier::kSwar));
+    EXPECT_EQ(portable, LazyDistancesAtTier(
+                            input, internal::PackedKernelTier::kAvx2));
+  }
+}
+
+// (p3) Eligibility: instances with missing labels or non-unit weights
+// must fall back to the byte loop automatically — and still answer
+// identically across tiers (the tiers then share one code path).
+TEST(PackedKernelProperty, MissingAndWeightedInstancesFallBack) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    SCOPED_TRACE("seed = " + std::to_string(seed));
+    Rng rng(seed);
+    const std::size_t n = 24;
+    const std::size_t m = 1 + rng.NextBounded(9);
+    for (const bool weighted : {false, true}) {
+      for (const double missing_rate : {0.0, 0.25}) {
+        if (!weighted && missing_rate == 0.0) continue;
+        std::vector<Clustering> inputs;
+        std::vector<double> weights;
+        for (std::size_t i = 0; i < m; ++i) {
+          std::vector<Clustering::Label> labels(n);
+          for (std::size_t v = 0; v < n; ++v) {
+            labels[v] = rng.NextBernoulli(missing_rate)
+                            ? Clustering::kMissing
+                            : static_cast<Clustering::Label>(
+                                  rng.NextBounded(6));
+          }
+          inputs.emplace_back(std::move(labels));
+          if (weighted) weights.push_back(0.5 + rng.NextDouble());
+        }
+        const ClusteringSet input = *ClusteringSet::Create(
+            std::move(inputs), std::move(weights));
+        {
+          TierOverride guard(internal::PackedKernelTier::kSwar);
+          Result<std::shared_ptr<const LazyDistanceSource>> lazy =
+              LazyDistanceSource::Build(input, {});
+          ASSERT_TRUE(lazy.ok());
+          EXPECT_FALSE((*lazy)->uses_packed_labels());
+        }
+        const std::vector<double> portable = LazyDistancesAtTier(
+            input, internal::PackedKernelTier::kPortable);
+        EXPECT_EQ(portable,
+                  LazyDistancesAtTier(input,
+                                      internal::PackedKernelTier::kSwar));
+      }
+    }
+  }
+}
+
+// (p4) Plain instances pack; the packed decision is observable and
+// consistent with the tier.
+TEST(PackedKernelProperty, PlainInstancesPackUnderPackingTiers) {
+  Rng rng(7);
+  const ClusteringSet input = AlphabetInput(30, {4, 4, 9}, &rng);
+  for (internal::PackedKernelTier tier :
+       {internal::PackedKernelTier::kSwar,
+        internal::PackedKernelTier::kAvx2}) {
+    TierOverride guard(tier);
+    Result<std::shared_ptr<const LazyDistanceSource>> lazy =
+        LazyDistanceSource::Build(input, {});
+    ASSERT_TRUE(lazy.ok());
+    EXPECT_TRUE((*lazy)->uses_packed_labels());
+  }
+  TierOverride guard(internal::PackedKernelTier::kPortable);
+  Result<std::shared_ptr<const LazyDistanceSource>> lazy =
+      LazyDistanceSource::Build(input, {});
+  ASSERT_TRUE(lazy.ok());
+  EXPECT_FALSE((*lazy)->uses_packed_labels());
+}
+
+// (p5) PackLabelRows eligibility boundaries: m = 0 and alphabets wider
+// than 16-bit lanes are ineligible; exactly 2^16 distinct labels still
+// packs (width 16). The 2^16 + 1 case needs that many objects, so the
+// rows are synthesized directly rather than through a ClusteringSet.
+TEST(PackedKernelProperty, PackEligibilityBoundaries) {
+  EXPECT_EQ(internal::PackLabelRows(nullptr, 0, 0), nullptr);
+
+  const std::size_t at_limit = std::size_t{1} << 16;
+  std::vector<Clustering::Label> rows(at_limit + 1);
+  for (std::size_t v = 0; v < rows.size(); ++v) {
+    rows[v] = static_cast<Clustering::Label>(v);
+  }
+  // n = 2^16 objects, all distinct: exactly at the lane-width limit.
+  std::unique_ptr<internal::PackedLabels> packed =
+      internal::PackLabelRows(rows.data(), at_limit, 1);
+  ASSERT_NE(packed, nullptr);
+  ASSERT_EQ(packed->classes.size(), 1u);
+  EXPECT_EQ(packed->classes[0].width, 16u);
+  // One more distinct label: over the limit, packing refuses.
+  EXPECT_EQ(internal::PackLabelRows(rows.data(), at_limit + 1, 1),
+            nullptr);
+}
+
+// (p6) The packed mismatch count is the byte loop's integer for every
+// pair, verified directly against a reference count over the original
+// labels (not just through the divided distances).
+TEST(PackedKernelProperty, PackedCountMatchesReferenceCount) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    SCOPED_TRACE("seed = " + std::to_string(seed));
+    Rng rng(seed);
+    const std::size_t n = 8 + rng.NextBounded(40);
+    const std::size_t m = 1 + rng.NextBounded(12);
+    std::vector<Clustering::Label> rows(n * m);
+    for (auto& label : rows) {
+      label = static_cast<Clustering::Label>(rng.NextBounded(1 + rng.NextBounded(300)));
+    }
+    std::unique_ptr<internal::PackedLabels> packed =
+        internal::PackLabelRows(rows.data(), n, m);
+    ASSERT_NE(packed, nullptr);
+    for (std::size_t u = 0; u < n; ++u) {
+      for (std::size_t v = 0; v < n; ++v) {
+        std::size_t expected = 0;
+        for (std::size_t i = 0; i < m; ++i) {
+          expected += rows[u * m + i] != rows[v * m + i] ? 1 : 0;
+        }
+        EXPECT_EQ(internal::CountMismatchesPacked(*packed, u, v),
+                  expected)
+            << "u=" << u << " v=" << v;
+      }
+    }
   }
 }
 

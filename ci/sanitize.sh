@@ -11,6 +11,7 @@
 #   ci/sanitize.sh shard                                # shard pipeline
 #   ci/sanitize.sh durability                           # crash safety
 #   ci/sanitize.sh native                               # packed kernel
+#   ci/sanitize.sh local                                # membership oracle
 #
 # `native` is a special leg, not a label regex: it builds once with
 # CLUSTAGG_NATIVE=ON (compiling the AVX2 packed-label kernel) under
@@ -18,6 +19,11 @@
 # tier-forcing CLI smoke — every dispatch tier (portable, swar, and
 # avx2 where the CPU has it) answers under sanitizer instrumentation,
 # and the bit-identity checks diff their costs against each other.
+#
+# The local leg runs the membership-oracle suites (labels `local` and
+# `differential`): many threads share one oracle and race its LRU memo,
+# so the TSan pass is what certifies the concurrent-query contract of
+# docs/local_queries.md.
 #
 # The shard leg is the library's widest parallel surface (worker threads
 # run whole Aggregate pipelines concurrently), so its TSan pass in

@@ -41,6 +41,7 @@
 #include "eval/metrics.h"
 #include "io/clustering_io.h"
 #include "io/csv.h"
+#include "local/local_oracle.h"
 #include "shard/decompose.h"
 #include "shard/shard_aggregator.h"
 #include "shard/shard_options.h"

@@ -15,13 +15,17 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "common/telemetry.h"
 #include "core/aggregator.h"
 #include "core/clustering.h"
 #include "core/clustering_set.h"
+#include "core/correlation_instance.h"
 #include "core/disagreement.h"
 #include "core/distance_source.h"
 #include "core/internal/packed_labels.h"
 #include "core/lower_bound.h"
+#include "core/pivot.h"
+#include "local/local_oracle.h"
 #include "stream/stream_aggregator.h"
 #include "stream/stream_event.h"
 
@@ -630,6 +634,194 @@ TEST(PackedKernelProperty, PackedCountMatchesReferenceCount) {
       }
     }
   }
+}
+
+// ------------------------------------------------ local query oracle
+
+/// The single global CC-PIVOT pass the local oracle simulates,
+/// normalized (PivotClusterer with repetitions = 1).
+Clustering ReferencePivotRun(const ClusteringSet& input,
+                             std::uint64_t seed) {
+  Result<CorrelationInstance> instance =
+      CorrelationInstance::Build(input);
+  EXPECT_TRUE(instance.ok()) << instance.status().message();
+  PivotOptions options;
+  options.repetitions = 1;
+  options.seed = seed;
+  Result<ClustererRun> run =
+      PivotClusterer(options).RunControlled(*instance, RunContext());
+  EXPECT_TRUE(run.ok()) << run.status().message();
+  return run->clustering.Normalized();
+}
+
+// (l1) Query-order invariance: the pivot assignment the oracle reports
+// for an object does not depend on what was queried before it — fresh
+// oracles queried in different orders give identical answer maps.
+TEST(LocalOracleProperty, QueryOrderInvariance) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    SCOPED_TRACE("seed = " + std::to_string(seed));
+    Rng rng(seed * 13);
+    const std::size_t n = 2 + rng.NextBounded(40);
+    const ClusteringSet input =
+        RandomClusteringSet(n, 3, 1 + rng.NextBounded(4), &rng);
+    LocalOracleOptions options;
+    options.seed = seed;
+    std::vector<std::size_t> reference;
+    for (std::size_t trial = 0; trial < 3; ++trial) {
+      Result<LocalMembershipOracle> oracle =
+          LocalMembershipOracle::FromClusterings(input, {}, options);
+      ASSERT_TRUE(oracle.ok()) << oracle.status().message();
+      std::vector<std::size_t> pivots(n);
+      for (std::size_t u : RandomPermutation(n, &rng)) {
+        Result<MembershipAnswer> answer = oracle->ClusterOf(u);
+        ASSERT_TRUE(answer.ok());
+        pivots[u] = answer->pivot;
+      }
+      if (trial == 0) {
+        reference = std::move(pivots);
+      } else {
+        EXPECT_EQ(pivots, reference) << "trial " << trial;
+      }
+    }
+    if (::testing::Test::HasFailure()) return;
+  }
+}
+
+// (l2) Object-permutation equivariance of the local/global agreement:
+// for every relabeling of the object universe, the oracle still
+// reproduces the global run over that presentation bit-identically (the
+// pin is not an artifact of one fixed object order).
+TEST(LocalOracleProperty, ObjectPermutationKeepsLocalGlobalAgreement) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    SCOPED_TRACE("seed = " + std::to_string(seed));
+    Rng rng(seed * 29);
+    const std::size_t n = 2 + rng.NextBounded(40);
+    const std::size_t m = 2 + rng.NextBounded(3);
+    const ClusteringSet base =
+        RandomClusteringSet(n, m, 1 + rng.NextBounded(4), &rng);
+    const std::vector<std::size_t> sigma = RandomPermutation(n, &rng);
+    std::vector<Clustering> permuted;
+    for (std::size_t i = 0; i < m; ++i) {
+      std::vector<Clustering::Label> labels(n);
+      for (std::size_t v = 0; v < n; ++v) {
+        labels[v] = base.clusterings()[i].labels()[sigma[v]];
+      }
+      permuted.emplace_back(std::move(labels));
+    }
+    Result<ClusteringSet> input =
+        ClusteringSet::Create(std::move(permuted));
+    ASSERT_TRUE(input.ok());
+    LocalOracleOptions options;
+    options.seed = seed;
+    Result<LocalMembershipOracle> oracle =
+        LocalMembershipOracle::FromClusterings(*input, {}, options);
+    ASSERT_TRUE(oracle.ok());
+    Result<Clustering> local = oracle->MaterializeLabels();
+    ASSERT_TRUE(local.ok());
+    EXPECT_EQ(*local, ReferencePivotRun(*input, seed));
+    if (::testing::Test::HasFailure()) return;
+  }
+}
+
+// (l3) Seed determinism across backends and kernel tiers: one seed, one
+// answer — dense and lazy sources and every packed tier materialize the
+// same labeling, which is the global run's.
+TEST(LocalOracleProperty, SeedDeterminismAcrossBackendsAndTiers) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    SCOPED_TRACE("seed = " + std::to_string(seed));
+    Rng rng(seed * 97);
+    const std::size_t n = 2 + rng.NextBounded(40);
+    const ClusteringSet input =
+        RandomClusteringSet(n, 2 + rng.NextBounded(3),
+                            1 + rng.NextBounded(4), &rng);
+    LocalOracleOptions options;
+    options.seed = seed;
+    const Clustering global = ReferencePivotRun(input, seed);
+
+    Result<std::shared_ptr<const DenseDistanceSource>> dense =
+        DenseDistanceSource::Build(input, {});
+    ASSERT_TRUE(dense.ok());
+    Result<LocalMembershipOracle> dense_oracle =
+        LocalMembershipOracle::Create(*dense, options);
+    ASSERT_TRUE(dense_oracle.ok());
+    Result<Clustering> dense_labels = dense_oracle->MaterializeLabels();
+    ASSERT_TRUE(dense_labels.ok());
+    EXPECT_EQ(*dense_labels, global);
+
+    for (internal::PackedKernelTier tier :
+         {internal::PackedKernelTier::kPortable,
+          internal::PackedKernelTier::kSwar,
+          internal::PackedKernelTier::kAvx2}) {
+      SCOPED_TRACE(internal::PackedKernelTierName(tier));
+      TierOverride guard(tier);
+      Result<LocalMembershipOracle> oracle =
+          LocalMembershipOracle::FromClusterings(input, {}, options);
+      ASSERT_TRUE(oracle.ok());
+      Result<Clustering> labels = oracle->MaterializeLabels();
+      ASSERT_TRUE(labels.ok());
+      EXPECT_EQ(*labels, global);
+    }
+    if (::testing::Test::HasFailure()) return;
+  }
+}
+
+// (l4) Sublinearity, asserted hard: on a planted instance of k
+// well-separated clusters over n = 2000 objects, per-query work is
+// governed by k, not n. Every query must converge under a shared
+// iteration budget of 200 candidate steps per query (a tenth of one
+// linear scan each), and the recorded pivot-inspection and
+// distance-query totals stay far below Q * n. The same totals feed the
+// local.pivot_inspections / local.distance_queries telemetry counters
+// (checked for agreement when telemetry is compiled in).
+TEST(LocalOracleProperty, PlantedClustersQuerySublinearly) {
+  const std::size_t n = 2000;
+  const std::size_t k = 20;
+  const std::size_t kQueries = 200;
+  std::vector<Clustering::Label> labels(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    labels[v] = static_cast<Clustering::Label>(v % k);
+  }
+  std::vector<Clustering> inputs(3, Clustering(labels));
+  Result<ClusteringSet> input = ClusteringSet::Create(std::move(inputs));
+  ASSERT_TRUE(input.ok());
+  Result<LocalMembershipOracle> oracle =
+      LocalMembershipOracle::FromClusterings(*input, {}, {});
+  ASSERT_TRUE(oracle.ok());
+
+  Telemetry telemetry;
+  const RunContext run =
+      RunContext::WithIterationBudget(kQueries * 200)
+          .WithTelemetry(&telemetry);
+  Rng rng(77);
+  std::uint64_t total_inspections = 0;
+  std::uint64_t total_distance_queries = 0;
+  for (std::size_t q = 0; q < kQueries; ++q) {
+    const std::size_t u = rng.NextBounded(n);
+    Result<MembershipAnswer> answer = oracle->ClusterOf(u, run);
+    ASSERT_TRUE(answer.ok());
+    // The hard budget never fires: every query is far below even one
+    // linear scan.
+    ASSERT_EQ(answer->outcome, RunOutcome::kConverged) << "query " << q;
+    total_inspections += answer->pivot_inspections;
+    total_distance_queries += answer->distance_queries;
+    // A chain in a planted instance is the object plus at most its
+    // cluster pivot.
+    EXPECT_LE(answer->chain_depth, 2u) << "query " << q;
+  }
+  // Adjudications are cluster-structure work: a small constant per
+  // query, nowhere near n.
+  EXPECT_LE(total_inspections, 4 * kQueries);
+  // Distance probes per query concentrate around k (the scan stops at
+  // the first same-cluster candidate); 10 k per query is a generous
+  // hard ceiling, and two orders of magnitude below n.
+  EXPECT_LE(total_distance_queries, kQueries * 10 * k);
+#ifdef CLUSTAGG_TELEMETRY_ENABLED
+  EXPECT_EQ(telemetry.counter("local.pivot_inspections")->value(),
+            total_inspections);
+  EXPECT_EQ(telemetry.counter("local.distance_queries")->value(),
+            total_distance_queries);
+  EXPECT_EQ(telemetry.counter("local.queries")->value(), kQueries);
+#endif
 }
 
 }  // namespace

@@ -4,6 +4,8 @@
 // Subcommands:
 //   aggregate  aggregate label files (or a categorical CSV) into one
 //              clustering
+//   query      answer local cluster-membership questions from the
+//              sublinear lazy CC-PIVOT oracle, without aggregating
 //   eval       compare two label files (Rand, adjusted Rand, NMI,
 //              disagreement distance)
 //   gen        write one of the paper's synthetic datasets to disk
@@ -14,6 +16,8 @@
 //       c3.labels --out aggregate.labels
 //   clustagg aggregate --csv mushrooms.csv --class-column class
 //       --algorithm agglomerative --report
+//   clustagg query --local --seed 7 --of 12 c1.labels c2.labels
+//   clustagg query --local --pair 3,17 c1.labels c2.labels
 //   clustagg eval truth.labels predicted.labels
 //   clustagg gen votes --seed 7 --out votes.csv
 
@@ -109,6 +113,73 @@ constexpr int kSignalShutdownExit = 9;
 volatile std::sig_atomic_t g_shutdown_signal = 0;
 
 extern "C" void HandleShutdownSignal(int sig) { g_shutdown_signal = sig; }
+
+/// Assembles the input ClusteringSet the way every instance-consuming
+/// subcommand (aggregate, query) documents it: positional label files,
+/// a categorical CSV with --csv/--class-column, or label files weighted
+/// by --weights.
+Result<ClusteringSet> ReadInputSet(const Args& args) {
+  if (args.Has("csv")) {
+    CsvOptions csv;
+    csv.class_column = args.Get("class-column");
+    if (args.Has("delimiter")) csv.delimiter = args.Get("delimiter")[0];
+    if (args.Has("no-header")) csv.has_header = false;
+    Result<CsvDataset> dataset = ReadCategoricalCsv(args.Get("csv"), csv);
+    if (!dataset.ok()) return dataset.status();
+    return AttributeClusterings(dataset->table);
+  }
+  if (args.Has("weights")) {
+    // --weights w1,w2,... parallel to the label files.
+    std::vector<Clustering> clusterings;
+    for (const std::string& path : args.positional()) {
+      Result<Clustering> c = ReadClusteringFile(path);
+      if (!c.ok()) return c.status();
+      clusterings.push_back(std::move(*c));
+    }
+    Result<std::vector<double>> weights = ParseWeights(args.Get("weights"));
+    if (!weights.ok()) return weights.status();
+    return ClusteringSet::Create(std::move(clusterings),
+                                 std::move(*weights));
+  }
+  return ReadClusteringSet(args.positional());
+}
+
+/// Parses the missing-value flags shared by aggregate and query.
+Result<MissingValueOptions> ParseMissingFlags(const Args& args) {
+  MissingValueOptions missing;
+  const std::string policy = args.Get("missing", "coin");
+  if (policy == "ignore") {
+    missing.policy = MissingValuePolicy::kIgnore;
+  } else if (policy != "coin" && !policy.empty()) {
+    return Status::InvalidArgument("--missing expects 'coin' or 'ignore', "
+                                   "got '" + policy + "'");
+  }
+  missing.coin_together_probability = args.GetDouble("coin-p", 0.5);
+  return missing;
+}
+
+/// Strictly parses a non-negative integer flag value (object ids for
+/// query --of / --pair); anything but digits is rejected so a typo'd id
+/// cannot silently query object 0.
+Result<std::size_t> ParseObjectId(const std::string& text) {
+  if (text.empty()) {
+    return Status::InvalidArgument("expected an object id, got ''");
+  }
+  std::size_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("expected a non-negative object id, "
+                                     "got '" + text + "'");
+    }
+    const std::size_t digit = static_cast<std::size_t>(c - '0');
+    if (value > (static_cast<std::size_t>(-1) - digit) / 10) {
+      return Status::InvalidArgument("object id '" + text +
+                                     "' does not fit in size_t");
+    }
+    value = value * 10 + digit;
+  }
+  return value;
+}
 
 std::optional<AggregationAlgorithm> ParseAlgorithm(const std::string& name) {
   static const std::map<std::string, AggregationAlgorithm> kNames = {
@@ -416,33 +487,7 @@ int CmdAggregate(const Args& args) {
     return CmdStream(args);
   }
   // Assemble the input clusterings.
-  Result<ClusteringSet> input = [&]() -> Result<ClusteringSet> {
-    if (args.Has("csv")) {
-      CsvOptions csv;
-      csv.class_column = args.Get("class-column");
-      if (args.Has("delimiter")) csv.delimiter = args.Get("delimiter")[0];
-      if (args.Has("no-header")) csv.has_header = false;
-      Result<CsvDataset> dataset =
-          ReadCategoricalCsv(args.Get("csv"), csv);
-      if (!dataset.ok()) return dataset.status();
-      return AttributeClusterings(dataset->table);
-    }
-    if (args.Has("weights")) {
-      // --weights w1,w2,... parallel to the label files.
-      std::vector<Clustering> clusterings;
-      for (const std::string& path : args.positional()) {
-        Result<Clustering> c = ReadClusteringFile(path);
-        if (!c.ok()) return c.status();
-        clusterings.push_back(std::move(*c));
-      }
-      Result<std::vector<double>> weights =
-          ParseWeights(args.Get("weights"));
-      if (!weights.ok()) return weights.status();
-      return ClusteringSet::Create(std::move(clusterings),
-                                   std::move(*weights));
-    }
-    return ReadClusteringSet(args.positional());
-  }();
+  Result<ClusteringSet> input = ReadInputSet(args);
   if (!input.ok()) return Fail(input.status());
 
   AggregatorOptions options;
@@ -461,11 +506,23 @@ int CmdAggregate(const Args& args) {
       static_cast<std::size_t>(args.GetInt("sample", 0));
   options.sampling.seed =
       static_cast<std::uint64_t>(args.GetInt("seed", 1));
-  if (args.Get("missing") == "ignore") {
-    options.missing.policy = MissingValuePolicy::kIgnore;
+  // --seed also pins the randomized clusterers, so `aggregate
+  // --algorithm pivot --seed N` and `query --local --seed N` simulate
+  // the same permutation stream (default 1 = the option defaults).
+  options.pivot.seed = static_cast<std::uint64_t>(args.GetInt("seed", 1));
+  options.annealing.seed =
+      static_cast<std::uint64_t>(args.GetInt("seed", 1));
+  if (args.Has("pivot-repetitions")) {
+    const long long reps = args.GetInt("pivot-repetitions", 0);
+    if (reps <= 0) {
+      return Fail(Status::InvalidArgument(
+          "--pivot-repetitions expects a positive repetition count"));
+    }
+    options.pivot.repetitions = static_cast<std::size_t>(reps);
   }
-  options.missing.coin_together_probability =
-      args.GetDouble("coin-p", 0.5);
+  Result<MissingValueOptions> missing = ParseMissingFlags(args);
+  if (!missing.ok()) return Fail(missing.status());
+  options.missing = *missing;
   const std::string backend = args.Get("backend", "dense");
   if (backend == "lazy") {
     options.backend = DistanceBackend::kLazy;
@@ -582,6 +639,173 @@ int CmdAggregate(const Args& args) {
   return 0;
 }
 
+/// `query --local ...`: serve cluster-membership queries from the
+/// sublinear local CC-PIVOT oracle (src/local/, docs/local_queries.md)
+/// without running a full aggregation. The oracle lazily simulates the
+/// single global CC-PIVOT pass pinned by --seed/--threshold, so every
+/// answer — and the full `--all` labeling — is bit-identical to
+/// `aggregate --algorithm pivot --pivot-repetitions 1` with the same
+/// seed over the same inputs. Exactly one of --of U, --pair U,V, --all
+/// selects the query; inputs are read the same way aggregate reads them
+/// (positional label files, --csv, --weights).
+int CmdQuery(const Args& args) {
+  if (!args.Has("local")) {
+    return Fail(Status::InvalidArgument(
+        "query serves local membership lookups; pass --local "
+        "(see 'clustagg help')"));
+  }
+  const int selectors = static_cast<int>(args.Has("of")) +
+                        static_cast<int>(args.Has("pair")) +
+                        static_cast<int>(args.Has("all"));
+  if (selectors != 1) {
+    return Fail(Status::InvalidArgument(
+        "query expects exactly one of --of U, --pair U,V, --all"));
+  }
+
+  Result<ClusteringSet> input = ReadInputSet(args);
+  if (!input.ok()) return Fail(input.status());
+
+  LocalOracleOptions options;
+  options.seed = static_cast<std::uint64_t>(args.GetInt("seed", 1));
+  options.join_threshold = args.GetDouble("threshold", 0.5);
+  if (args.Has("memo")) {
+    const long long memo = args.GetInt("memo", -1);
+    if (memo < 0) {
+      return Fail(Status::InvalidArgument(
+          "--memo expects a non-negative entry count (0 disables "
+          "memoization)"));
+    }
+    options.memo_capacity = static_cast<std::size_t>(memo);
+  }
+  Result<MissingValueOptions> missing = ParseMissingFlags(args);
+  if (!missing.ok()) return Fail(missing.status());
+
+  // Backend: lazy is the natural serving substrate (O(n*m) memory, no
+  // quadratic build before the first answer) and the only one that
+  // composes with --fold; dense is offered for A/B checks since both
+  // return bit-identical distances.
+  const std::string backend = args.Get("backend", "lazy");
+  const bool fold = args.Has("fold");
+  Result<LocalMembershipOracle> oracle = [&]() -> Result<LocalMembershipOracle> {
+    if (fold) {
+      if (backend == "dense") {
+        return Status::InvalidArgument(
+            "--fold simulates over the lazy signature subset; drop "
+            "--backend dense");
+      }
+      return LocalMembershipOracle::FromClusteringsFolded(*input, *missing,
+                                                          options);
+    }
+    if (backend == "dense") {
+      Result<std::shared_ptr<const DenseDistanceSource>> source =
+          DenseDistanceSource::Build(*input, *missing);
+      if (!source.ok()) return source.status();
+      return LocalMembershipOracle::Create(*std::move(source), options);
+    }
+    if (backend != "lazy") {
+      return Status::InvalidArgument("unknown backend '" + backend +
+                                     "' (expected dense or lazy)");
+    }
+    return LocalMembershipOracle::FromClusterings(*input, *missing, options);
+  }();
+  if (!oracle.ok()) return Fail(oracle.status());
+
+  RunContext run;
+  if (args.Has("deadline-ms")) {
+    const long long deadline_ms = args.GetInt("deadline-ms", 0);
+    if (deadline_ms <= 0) {
+      return Fail(Status::InvalidArgument(
+          "--deadline-ms expects a positive number of milliseconds"));
+    }
+    run = RunContext::WithDeadline(std::chrono::milliseconds(deadline_ms));
+  }
+  const bool want_stats = args.Has("stats");
+  std::string stats_mode = args.Get("stats");
+  if (stats_mode.empty()) stats_mode = "table";
+  if (want_stats && stats_mode != "json" && stats_mode != "table") {
+    return Fail(Status::InvalidArgument("--stats expects 'json' or 'table', "
+                                        "got '" + stats_mode + "'"));
+  }
+  FakeClock fake_clock(0, 1000);
+  Telemetry telemetry(args.Has("fake-clock")
+                          ? static_cast<const clustagg::Clock*>(&fake_clock)
+                          : clustagg::Clock::Real());
+  if (want_stats) run = run.WithTelemetry(&telemetry);
+
+  std::fprintf(stderr,
+               "local oracle over %zu clusterings of %zu objects "
+               "(seed %llu, threshold %.3f%s)\n",
+               input->num_clusterings(), input->num_objects(),
+               static_cast<unsigned long long>(options.seed),
+               options.join_threshold,
+               oracle->folded()
+                   ? (", folded to " + std::to_string(oracle->sim_size()) +
+                      " signatures").c_str()
+                   : "");
+
+  int exit_code = 0;
+  if (args.Has("of")) {
+    Result<std::size_t> u = ParseObjectId(args.Get("of"));
+    if (!u.ok()) return Fail(u.status());
+    Result<MembershipAnswer> answer = oracle->ClusterOf(*u, run);
+    if (!answer.ok()) return Fail(answer.status());
+    // stdout carries just the canonical cluster id (the owning pivot's
+    // object id); everything descriptive goes to stderr.
+    std::fprintf(stdout, "%zu\n", answer->pivot);
+    std::fprintf(stderr,
+                 "object %zu -> pivot %zu (outcome = %s, "
+                 "%llu pivot inspections, chain depth %llu, "
+                 "%llu distance queries)\n",
+                 *u, answer->pivot, RunOutcomeName(answer->outcome),
+                 static_cast<unsigned long long>(answer->pivot_inspections),
+                 static_cast<unsigned long long>(answer->chain_depth),
+                 static_cast<unsigned long long>(answer->distance_queries));
+  } else if (args.Has("pair")) {
+    const std::string pair = args.Get("pair");
+    const std::size_t comma = pair.find(',');
+    if (comma == std::string::npos) {
+      return Fail(Status::InvalidArgument(
+          "--pair expects two comma-separated object ids, e.g. "
+          "--pair 3,17"));
+    }
+    Result<std::size_t> u = ParseObjectId(pair.substr(0, comma));
+    if (!u.ok()) return Fail(u.status());
+    Result<std::size_t> v = ParseObjectId(pair.substr(comma + 1));
+    if (!v.ok()) return Fail(v.status());
+    Result<SameClusterAnswer> answer = oracle->SameCluster(*u, *v, run);
+    if (!answer.ok()) return Fail(answer.status());
+    std::fputs(answer->same ? "same\n" : "different\n", stdout);
+    std::fprintf(stderr,
+                 "objects %zu, %zu -> pivots %zu, %zu (outcome = %s)\n",
+                 *u, *v, answer->pivot_u, answer->pivot_v,
+                 RunOutcomeName(answer->outcome));
+  } else {  // --all
+    Result<Clustering> labels = oracle->MaterializeLabels(run);
+    if (!labels.ok()) return Fail(labels.status());
+    std::fprintf(stderr, "materialized %zu objects into %zu clusters\n",
+                 labels->size(), labels->NumClusters());
+    const std::string out = args.Get("out");
+    if (!out.empty()) {
+      if (Status s = WriteClusteringFile(out, *labels); !s.ok()) {
+        return Fail(s);
+      }
+      std::fprintf(stderr, "wrote %s\n", out.c_str());
+    } else {
+      std::fputs(FormatClustering(*labels).c_str(), stdout);
+    }
+  }
+  if (want_stats) {
+    if (stats_mode == "json") {
+      std::fprintf(stderr, "%s\n", telemetry.ToJson().c_str());
+    } else {
+      std::ostringstream table;
+      telemetry.PrintTable(table);
+      std::fputs(table.str().c_str(), stderr);
+    }
+  }
+  return exit_code;
+}
+
 int CmdEval(const Args& args) {
   if (args.positional().size() != 2) {
     return Fail(Status::InvalidArgument(
@@ -690,6 +914,7 @@ int CmdHelp() {
       "            [--algorithm best|balls|agglomerative|furthest|\n"
       "             localsearch|pivot|annealing|majority|exact]\n"
       "            [--alpha X] [--refine] [--sample N] [--seed N]\n"
+      "            [--pivot-repetitions N]\n"
       "            [--missing coin|ignore] [--coin-p P]\n"
       "            [--backend dense|lazy] [--threads N] [--fold]\n"
       "            [--shards auto|off|N] [--max-cluster-size N]\n"
@@ -702,6 +927,10 @@ int CmdHelp() {
       "      materializes the O(n^2/2) distance matrix in parallel;\n"
       "      --backend lazy keeps O(n*m) memory and recomputes distances\n"
       "      on demand. --threads 0 (default) = one per hardware core.\n"
+      "      --seed pins every randomized stage (sampling, pivot,\n"
+      "      annealing); --pivot-repetitions overrides PIVOT's default 8\n"
+      "      attempts (1 = the single run the local query oracle\n"
+      "      simulates).\n"
       "      --fold clusters one weighted representative per distinct\n"
       "      label tuple and expands back — exact, and much faster when\n"
       "      objects repeat (see docs/performance.md).\n"
@@ -768,6 +997,31 @@ int CmdHelp() {
       "      continue with a new --stream log. Recovered state is\n"
       "      bit-identical to an uninterrupted run over the same durable\n"
       "      records (see docs/durability.md).\n"
+      "  query --local (--of U | --pair U,V | --all) [files...]\n"
+      "        [--csv FILE [--class-column NAME]] [--weights w1,w2,...]\n"
+      "        [--seed N] [--threshold X] [--memo N] [--fold]\n"
+      "        [--backend dense|lazy] [--missing coin|ignore]\n"
+      "        [--coin-p P] [--deadline-ms N] [--out FILE]\n"
+      "        [--stats[=json|table]] [--fake-clock]\n"
+      "      answer cluster-membership questions from the sublinear\n"
+      "      local CC-PIVOT oracle (docs/local_queries.md): lazily\n"
+      "      simulate the single global CC-PIVOT run pinned by --seed\n"
+      "      (default 1) and --threshold (default 0.5) instead of\n"
+      "      aggregating. Every answer is bit-identical to, and mutually\n"
+      "      consistent with, 'aggregate --algorithm pivot\n"
+      "      --pivot-repetitions 1' under the same seed and inputs.\n"
+      "      --of U prints U's canonical cluster id (the owning pivot's\n"
+      "      object id) on stdout; --pair U,V prints 'same' or\n"
+      "      'different'; --all materializes the full normalized\n"
+      "      labeling (to --out or stdout) by querying every object.\n"
+      "      --memo N caps the LRU memo of pivot adjudications\n"
+      "      (0 disables it; answers are identical either way). --fold\n"
+      "      simulates over one representative per distinct label tuple\n"
+      "      and answers object-space queries through the grouping\n"
+      "      (lazy backend only). --backend lazy (default) needs no\n"
+      "      quadratic build before the first answer. --deadline-ms\n"
+      "      bounds the query; an interrupted query degrades to a\n"
+      "      tagged best-so-far singleton (exit 0, outcome on stderr).\n"
       "  eval <truth.labels> <candidate.labels>\n"
       "      rand / adjusted rand / NMI / disagreement distance.\n"
       "  gen <votes|mushrooms|census|gaussian> [--seed N] [--rows N]\n"
@@ -798,6 +1052,7 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   const Args args(argc, argv, 2);
   if (command == "aggregate") return CmdAggregate(args);
+  if (command == "query") return CmdQuery(args);
   if (command == "eval") return CmdEval(args);
   if (command == "gen") return CmdGen(args);
   if (command == "help" || command == "--help") return CmdHelp();
